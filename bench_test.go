@@ -1,0 +1,321 @@
+// bench_test.go regenerates the paper's evaluation: one benchmark per
+// published table (BenchmarkTable1, BenchmarkTable2), with one sub-bench
+// per row and algorithm, reporting the measured schedule latency L and
+// move count M as custom metrics next to wall-clock time. The Ablation
+// benchmarks quantify the design choices the paper calls out: the L_PR
+// stretch sweep (Section 3.1.3), the reversed binding order (3.1.4), the
+// γ = 1.1 transfer weighting (3.1.2), pair perturbations and the plateau
+// escape in B-ITER (3.2). Substrate benchmarks at the bottom size the
+// scheduler and bound-graph machinery on the largest kernel.
+//
+// Regenerate everything the paper reports with:
+//
+//	go test -bench=. -benchmem
+package vliwbind_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vliwbind"
+)
+
+func benchRow(b *testing.B, r vliwbind.ExperimentRow) {
+	k, err := vliwbind.KernelByName(r.Kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dp, err := r.Datapath()
+	if err != nil {
+		b.Fatal(err)
+	}
+	algos := []struct {
+		name string
+		run  func(g *vliwbind.Graph) (*vliwbind.Result, error)
+		ref  vliwbind.LM
+	}{
+		{"PCC", func(g *vliwbind.Graph) (*vliwbind.Result, error) {
+			return vliwbind.BindPCC(g, dp, vliwbind.PCCOptions{})
+		}, r.PaperPCC},
+		{"B-INIT", func(g *vliwbind.Graph) (*vliwbind.Result, error) {
+			return vliwbind.InitialBind(g, dp, vliwbind.Options{})
+		}, r.PaperInit},
+		{"B-ITER", func(g *vliwbind.Graph) (*vliwbind.Result, error) {
+			return vliwbind.Bind(g, dp, vliwbind.Options{})
+		}, r.PaperIter},
+	}
+	for _, a := range algos {
+		b.Run(a.name, func(b *testing.B) {
+			g := k.Build()
+			var res *vliwbind.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = a.run(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.L()), "L")
+			b.ReportMetric(float64(res.Moves()), "M")
+			b.ReportMetric(float64(a.ref.L), "paperL")
+			b.ReportMetric(float64(a.ref.M), "paperM")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates every row of the paper's Table 1 (seven DSP
+// kernels, N_B = 2, lat(move) = 1): L and M per algorithm, with the
+// paper's published values attached as paperL/paperM metrics.
+func BenchmarkTable1(b *testing.B) {
+	for _, r := range vliwbind.Table1() {
+		b.Run(r.Name(), func(b *testing.B) { benchRow(b, r) })
+	}
+}
+
+// BenchmarkTable2 regenerates the paper's Table 2: FFT on the five-cluster
+// datapath [2,2|2,1|2,2|3,1|1,1], sweeping N_B in {1,2} and lat(move) in
+// {1,2}.
+func BenchmarkTable2(b *testing.B) {
+	for _, r := range vliwbind.Table2() {
+		b.Run(r.Name(), func(b *testing.B) { benchRow(b, r) })
+	}
+}
+
+// ablationRows is the subset the ablations sweep: rows where the paper
+// saw the biggest wins, plus one serial kernel as a control.
+func ablationRows() []vliwbind.ExperimentRow {
+	idx := map[string]bool{
+		"DCT-DIT [3,1|2,2|1,3]":     true,
+		"DCT-DIT [1,1|1,1|1,1|1,1]": true,
+		"FFT [2,1|2,1|1,2]":         true,
+		"FFT [1,1|1,1|1,1|1,1]":     true,
+		"EWF [1,1|1,1]":             true,
+	}
+	var rows []vliwbind.ExperimentRow
+	for _, r := range vliwbind.Table1() {
+		if idx[r.Name()] {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+func benchAblation(b *testing.B, name string, base, variant vliwbind.Options, phase1Only bool) {
+	b.Run(name, func(b *testing.B) {
+		for _, r := range ablationRows() {
+			b.Run(r.Name(), func(b *testing.B) {
+				k, _ := vliwbind.KernelByName(r.Kernel)
+				dp, _ := r.Datapath()
+				g := k.Build()
+				run := func(o vliwbind.Options) int {
+					var res *vliwbind.Result
+					var err error
+					if phase1Only {
+						res, err = vliwbind.InitialBind(g, dp, o)
+					} else {
+						res, err = vliwbind.Bind(g, dp, o)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					return res.L()
+				}
+				var lBase, lVar int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lBase = run(base)
+					lVar = run(variant)
+				}
+				b.ReportMetric(float64(lBase), "L")
+				b.ReportMetric(float64(lVar), "Lablated")
+				b.ReportMetric(float64(lVar-lBase), "regression")
+			})
+		}
+	})
+}
+
+// BenchmarkAblation quantifies each design choice by comparing the full
+// configuration against a variant with the feature disabled. The
+// "regression" metric is the latency lost without the feature (positive
+// means the feature helps on that row).
+func BenchmarkAblation(b *testing.B) {
+	full := vliwbind.Options{}
+	benchAblation(b, "LPRStretch", full, vliwbind.Options{MaxStretch: -1}, true)
+	benchAblation(b, "ReverseOrder", full, vliwbind.Options{NoReverse: true}, true)
+	benchAblation(b, "GammaWeight", full, vliwbind.Options{Gamma: 1.0}, true)
+	benchAblation(b, "PairPerturbations", full, vliwbind.Options{NoPairs: true}, false)
+	benchAblation(b, "PlateauEscape", full, vliwbind.Options{Sideways: -1}, false)
+	benchAblation(b, "MultiSeed", full, vliwbind.Options{Seeds: 1}, false)
+}
+
+// BenchmarkScheduler sizes the list scheduler alone on the largest kernel
+// (DCT-DIT-2, 96 ops) — the inner loop both binding phases pay for every
+// candidate they evaluate.
+func BenchmarkScheduler(b *testing.B) {
+	g := vliwbind.KernelMust("DCT-DIT-2")
+	dp, _ := vliwbind.ParseDatapath("[3,1|2,2|1,3]", vliwbind.DatapathConfig{})
+	res, err := vliwbind.InitialBind(g, dp, vliwbind.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vliwbind.ListSchedule(res.Bound, dp, res.BoundBinding); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoundGraph sizes move insertion (BuildBound via
+// EvaluateBinding) on the largest kernel.
+func BenchmarkBoundGraph(b *testing.B) {
+	g := vliwbind.KernelMust("DCT-DIT-2")
+	dp, _ := vliwbind.ParseDatapath("[1,1|1,1|1,1]", vliwbind.DatapathConfig{})
+	binding := make([]int, g.NumNodes())
+	for i := range binding {
+		binding[i] = i % 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vliwbind.EvaluateBinding(g, dp, binding); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator sizes the cycle-accurate executor.
+func BenchmarkSimulator(b *testing.B) {
+	g := vliwbind.KernelMust("DCT-DIT-2")
+	dp, _ := vliwbind.ParseDatapath("[2,1|2,1]", vliwbind.DatapathConfig{})
+	res, err := vliwbind.InitialBind(g, dp, vliwbind.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]float64, g.NumInputs())
+	for i := range in {
+		in[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := vliwbind.Execute(res.Schedule, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaling sweeps synthetic graph sizes to show the empirical
+// growth of each algorithm beyond the paper's 96-op maximum.
+func BenchmarkScaling(b *testing.B) {
+	dp, _ := vliwbind.ParseDatapath("[2,1|2,1]", vliwbind.DatapathConfig{})
+	for _, n := range []int{32, 64, 128, 256} {
+		g := vliwbind.RandomGraph(vliwbind.RandomGraphConfig{Ops: n, Seed: 1, Locality: 0.3})
+		b.Run(fmt.Sprintf("B-INIT/%dops", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := vliwbind.InitialBind(g, dp, vliwbind.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("PCC/%dops", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := vliwbind.BindPCC(g, dp, vliwbind.PCCOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselines compares all five binders on representative rows:
+// the paper's two (PCC, B-INIT/B-ITER) plus the two Section 4 baselines
+// implemented here (simulated annealing after Leupers, balanced min-cut
+// after Capitanio et al.). Homogeneous datapaths only, since min-cut
+// cannot handle heterogeneous clusters.
+func BenchmarkBaselines(b *testing.B) {
+	rows := []struct{ kernel, dp string }{
+		{"ARF", "[1,1|1,1]"},
+		{"FFT", "[2,1|2,1]"},
+		{"DCT-DIT", "[1,1|1,1|1,1]"},
+	}
+	for _, row := range rows {
+		k, _ := vliwbind.KernelByName(row.kernel)
+		dp, _ := vliwbind.ParseDatapath(row.dp, vliwbind.DatapathConfig{})
+		g := k.Build()
+		algos := []struct {
+			name string
+			run  func() (*vliwbind.Result, error)
+		}{
+			{"B-ITER", func() (*vliwbind.Result, error) { return vliwbind.Bind(g, dp, vliwbind.Options{}) }},
+			{"PCC", func() (*vliwbind.Result, error) { return vliwbind.BindPCC(g, dp, vliwbind.PCCOptions{}) }},
+			{"Anneal", func() (*vliwbind.Result, error) { return vliwbind.BindAnneal(g, dp, vliwbind.AnnealOptions{Seed: 1}) }},
+			{"MinCut", func() (*vliwbind.Result, error) { return vliwbind.BindMinCut(g, dp, vliwbind.MinCutOptions{}) }},
+		}
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s_%s/%s", row.kernel, row.dp, a.name), func(b *testing.B) {
+				var res *vliwbind.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = a.run()
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.L()), "L")
+				b.ReportMetric(float64(res.Moves()), "M")
+				b.ReportMetric(float64(vliwbind.CutSize(g, res.Binding)), "cut")
+			})
+		}
+	}
+}
+
+// BenchmarkModulo sizes the software-pipelining extension: the EWF loop
+// (34 ops, 4 recurrences) across machines, reporting the achieved II
+// against the lower bound MII.
+func BenchmarkModulo(b *testing.B) {
+	g := vliwbind.KernelMust("EWF")
+	loop := &vliwbind.Loop{
+		Body: g,
+		Carried: []vliwbind.CarriedDep{
+			{From: g.NodeByName("u1"), To: g.NodeByName("v1"), Distance: 1},
+			{From: g.NodeByName("u2"), To: g.NodeByName("v2"), Distance: 1},
+			{From: g.NodeByName("u3"), To: g.NodeByName("v3"), Distance: 1},
+			{From: g.NodeByName("u4"), To: g.NodeByName("v6"), Distance: 1},
+		},
+	}
+	for _, spec := range []string{"[1,1|1,1]", "[2,1|2,1]", "[2,1|2,1|2,1]"} {
+		dp, _ := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{})
+		b.Run(spec, func(b *testing.B) {
+			var ps *vliwbind.PipelinedSchedule
+			var err error
+			for i := 0; i < b.N; i++ {
+				ps, err = vliwbind.ModuloPipeline(loop, dp, vliwbind.ModuloOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ps.II), "II")
+			b.ReportMetric(float64(vliwbind.ModuloMII(loop, dp)), "MII")
+			b.ReportMetric(float64(ps.MovesPerIteration()), "M")
+		})
+	}
+}
+
+// BenchmarkCodegen sizes register allocation plus assembly emission on
+// the largest kernel.
+func BenchmarkCodegen(b *testing.B) {
+	g := vliwbind.KernelMust("DCT-DIT-2")
+	dp, _ := vliwbind.ParseDatapath("[2,1|2,1]", vliwbind.DatapathConfig{})
+	res, err := vliwbind.InitialBind(g, dp, vliwbind.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := vliwbind.AllocateRegisters(res.Schedule, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = vliwbind.EmitAssembly(res.Schedule, a)
+	}
+}

@@ -1,0 +1,84 @@
+// Command dfgstat inspects dataflow graphs: structural statistics
+// (N_V, N_CC, L_CP, op mix), .dfg text export of the built-in benchmark
+// kernels, and Graphviz DOT rendering.
+//
+// Usage:
+//
+//	dfgstat -kernel DCT-DIT            # stats
+//	dfgstat -kernel EWF -emit > e.dfg  # export a builtin kernel
+//	dfgstat -dfg e.dfg -dot            # render a file
+//	dfgstat -all                       # stats for the whole suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vliwbind"
+)
+
+func main() {
+	var (
+		dfgPath = flag.String("dfg", "", "path to a .dfg file")
+		kernel  = flag.String("kernel", "", "built-in benchmark name")
+		all     = flag.Bool("all", false, "print statistics for every built-in benchmark")
+		emit    = flag.Bool("emit", false, "print the graph in .dfg text form")
+		dot     = flag.Bool("dot", false, "print the graph in Graphviz DOT form")
+	)
+	flag.Parse()
+	if err := run(*dfgPath, *kernel, *all, *emit, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "dfgstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dfgPath, kernel string, all, emit, dot bool) error {
+	if all {
+		fmt.Printf("%-10s %5s %5s %5s %5s %5s %8s %8s\n", "KERNEL", "N_V", "N_CC", "L_CP", "IN", "OUT", "ALU-OPS", "MUL-OPS")
+		for _, k := range vliwbind.Kernels() {
+			s := k.Build().Stats()
+			fmt.Printf("%-10s %5d %5d %5d %5d %5d %8d %8d\n", k.Name,
+				s.NumOps, s.NumComponents, s.CriticalPath, s.NumInputs, s.NumOutputs,
+				s.ByFU[vliwbind.FUALU], s.ByFU[vliwbind.FUMul])
+		}
+		return nil
+	}
+	var g *vliwbind.Graph
+	switch {
+	case dfgPath != "":
+		f, err := os.Open(dfgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = vliwbind.ParseGraph(f)
+		if err != nil {
+			return err
+		}
+	case kernel != "":
+		k, err := vliwbind.KernelByName(kernel)
+		if err != nil {
+			return err
+		}
+		g = k.Build()
+	default:
+		return fmt.Errorf("need -dfg FILE, -kernel NAME, or -all")
+	}
+	switch {
+	case emit:
+		return vliwbind.PrintGraph(os.Stdout, g)
+	case dot:
+		fmt.Print(vliwbind.GraphDot(g, nil))
+		return nil
+	default:
+		s := g.Stats()
+		fmt.Printf("graph %s\n", g.Name())
+		fmt.Printf("  operations (N_V):      %d\n", s.NumOps)
+		fmt.Printf("  connected components:  %d\n", s.NumComponents)
+		fmt.Printf("  critical path (L_CP):  %d\n", s.CriticalPath)
+		fmt.Printf("  inputs / outputs:      %d / %d\n", s.NumInputs, s.NumOutputs)
+		fmt.Printf("  ALU ops / MUL ops:     %d / %d\n", s.ByFU[vliwbind.FUALU], s.ByFU[vliwbind.FUMul])
+		return nil
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAll(t *testing.T) {
+	if err := run("", "", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunKernelModes(t *testing.T) {
+	for _, tc := range []struct{ emit, dot bool }{{false, false}, {true, false}, {false, true}} {
+		if err := run("", "DCT-DIT", false, tc.emit, tc.dot); err != nil {
+			t.Errorf("emit=%v dot=%v: %v", tc.emit, tc.dot, err)
+		}
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k.dfg")
+	if err := os.WriteFile(path, []byte("dfg k\nin x\nop a neg x\nout a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", false, false, false); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("", "nope", false, false, false); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := run("/nonexistent.dfg", "", false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,205 @@
+// Command explore performs the design-space exploration the paper's
+// conclusion motivates: given a kernel and a budget of functional units,
+// it enumerates the ways of clustering those units, binds the kernel to
+// each candidate datapath, and reports the latency/register-file-port
+// tradeoff with the Pareto frontier marked.
+//
+// A cluster with n functional units needs roughly 3n register-file ports
+// (two reads and a write per FU); the widest cluster therefore sets the
+// machine's port cost — the very penalty clustering exists to control.
+//
+// Usage:
+//
+//	explore -kernel DCT-DIT -alus 4 -muls 2 -maxclusters 4
+//	explore -kernel FFT -alus 6 -muls 4 -algo iter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vliwbind"
+)
+
+type design struct {
+	spec     string
+	clusters int
+	ports    int // RF ports of the widest cluster
+	l, moves int
+	pareto   bool
+}
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
+		alus   = flag.Int("alus", 4, "total ALU budget")
+		muls   = flag.Int("muls", 2, "total multiplier budget")
+		maxC   = flag.Int("maxclusters", 4, "maximum number of clusters")
+		buses  = flag.Int("buses", 2, "number of buses")
+		algo   = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
+	)
+	flag.Parse()
+	if err := run(*kernel, *alus, *muls, *maxC, *buses, *algo); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel string, alus, muls, maxC, buses int, algo string) error {
+	k, err := vliwbind.KernelByName(kernel)
+	if err != nil {
+		return err
+	}
+	if alus < 1 || muls < 0 || maxC < 1 {
+		return fmt.Errorf("invalid budget: %d ALUs, %d MULs, %d clusters", alus, muls, maxC)
+	}
+	var designs []design
+	for nc := 1; nc <= maxC; nc++ {
+		for _, spec := range clusterings(alus, muls, nc) {
+			g := k.Build()
+			dp, err := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{NumBuses: buses})
+			if err != nil {
+				return err
+			}
+			if dp.CanRun(g) != nil {
+				continue // e.g. all multipliers missing for a mul-bearing kernel
+			}
+			var res *vliwbind.Result
+			switch algo {
+			case "init":
+				res, err = vliwbind.InitialBind(g, dp, vliwbind.Options{})
+			case "iter":
+				res, err = vliwbind.Bind(g, dp, vliwbind.Options{})
+			default:
+				return fmt.Errorf("unknown algorithm %q", algo)
+			}
+			if err != nil {
+				return err
+			}
+			designs = append(designs, design{
+				spec:     spec,
+				clusters: nc,
+				ports:    maxPorts(spec),
+				l:        res.L(),
+				moves:    res.Moves(),
+			})
+		}
+	}
+	markPareto(designs)
+	sort.SliceStable(designs, func(i, j int) bool {
+		if designs[i].l != designs[j].l {
+			return designs[i].l < designs[j].l
+		}
+		return designs[i].ports < designs[j].ports
+	})
+	fmt.Printf("design space for %s: %d ALUs + %d MULs in up to %d clusters (%s binding)\n",
+		kernel, alus, muls, maxC, algo)
+	fmt.Printf("%-24s %9s %9s %6s %6s %s\n", "DATAPATH", "CLUSTERS", "RF-PORTS", "L", "MOVES", "PARETO")
+	for _, d := range designs {
+		mark := ""
+		if d.pareto {
+			mark = "*"
+		}
+		fmt.Printf("%-24s %9d %9d %6d %6d %s\n", d.spec, d.clusters, d.ports, d.l, d.moves, mark)
+	}
+	return nil
+}
+
+// clusterings enumerates the distinct ways to split the FU budget over
+// exactly nc clusters (order-insensitive, every cluster non-empty).
+func clusterings(alus, muls, nc int) []string {
+	var aluParts, mulParts [][]int
+	compose(alus, nc, nil, &aluParts)
+	compose(muls, nc, nil, &mulParts)
+	seen := make(map[string]bool)
+	var out []string
+	for _, ap := range aluParts {
+		for _, mp := range mulParts {
+			ok := true
+			pairs := make([][2]int, nc)
+			for i := 0; i < nc; i++ {
+				if ap[i]+mp[i] == 0 {
+					ok = false
+					break
+				}
+				pairs[i] = [2]int{ap[i], mp[i]}
+			}
+			if !ok {
+				continue
+			}
+			// Canonicalize: clusters are interchangeable, so sort them.
+			sort.Slice(pairs, func(a, b int) bool {
+				if pairs[a][0] != pairs[b][0] {
+					return pairs[a][0] > pairs[b][0]
+				}
+				return pairs[a][1] > pairs[b][1]
+			})
+			var sb strings.Builder
+			sb.WriteByte('[')
+			for i, p := range pairs {
+				if i > 0 {
+					sb.WriteByte('|')
+				}
+				fmt.Fprintf(&sb, "%d,%d", p[0], p[1])
+			}
+			sb.WriteByte(']')
+			spec := sb.String()
+			if !seen[spec] {
+				seen[spec] = true
+				out = append(out, spec)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compose appends all ways to write total as nc non-negative parts.
+func compose(total, nc int, acc []int, out *[][]int) {
+	if nc == 1 {
+		part := append(append([]int(nil), acc...), total)
+		*out = append(*out, part)
+		return
+	}
+	for v := 0; v <= total; v++ {
+		compose(total-v, nc-1, append(acc, v), out)
+	}
+}
+
+// maxPorts estimates the register-file port cost of the widest cluster:
+// 3 ports (2 read, 1 write) per functional unit.
+func maxPorts(spec string) int {
+	trimmed := strings.Trim(spec, "[]")
+	worst := 0
+	for _, part := range strings.Split(trimmed, "|") {
+		var a, m int
+		fmt.Sscanf(part, "%d,%d", &a, &m)
+		if p := 3 * (a + m); p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// markPareto marks designs not dominated in (L, ports): a design is
+// Pareto-optimal when no other design is at least as good in both
+// dimensions and strictly better in one.
+func markPareto(ds []design) {
+	for i := range ds {
+		dominated := false
+		for j := range ds {
+			if i == j {
+				continue
+			}
+			if ds[j].l <= ds[i].l && ds[j].ports <= ds[i].ports &&
+				(ds[j].l < ds[i].l || ds[j].ports < ds[i].ports) {
+				dominated = true
+				break
+			}
+		}
+		ds[i].pareto = !dominated
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+func TestRunSmallBudget(t *testing.T) {
+	if err := run("ARF", 2, 2, 2, 2, "init"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterings(t *testing.T) {
+	// Splitting 2 ALUs + 1 MUL over exactly 2 non-empty clusters yields
+	// precisely these canonical forms (clusters sorted descending).
+	specs := clusterings(2, 1, 2)
+	want := map[string]bool{
+		"[1,1|1,0]": true,  // ALUs split, MUL with one of them
+		"[2,0|0,1]": true,  // ALUs together, MUL alone
+		"[2,1|0,0]": false, // empty cluster: must not appear
+		"[1,0|1,1]": false, // non-canonical order: normalized away
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s] {
+			t.Errorf("duplicate clustering %s", s)
+		}
+		seen[s] = true
+	}
+	if len(specs) != 2 {
+		t.Errorf("clusterings(2,1,2) = %v, want exactly 2 canonical splits", specs)
+	}
+	for spec, expect := range want {
+		if seen[spec] != expect {
+			t.Errorf("clustering %s present=%v, want %v (got %v)", spec, seen[spec], expect, specs)
+		}
+	}
+}
+
+func TestMaxPorts(t *testing.T) {
+	if p := maxPorts("[2,1|1,1]"); p != 9 {
+		t.Errorf("maxPorts = %d, want 9", p)
+	}
+	if p := maxPorts("[1,0]"); p != 3 {
+		t.Errorf("maxPorts = %d, want 3", p)
+	}
+}
+
+func TestMarkPareto(t *testing.T) {
+	ds := []design{
+		{l: 10, ports: 6},
+		{l: 8, ports: 9},
+		{l: 12, ports: 12}, // dominated by both
+	}
+	markPareto(ds)
+	if !ds[0].pareto || !ds[1].pareto || ds[2].pareto {
+		t.Errorf("pareto marking wrong: %+v", ds)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 2, 2, 2, 2, "init"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := run("ARF", 0, 0, 0, 2, "init"); err == nil {
+		t.Error("empty budget accepted")
+	}
+	if err := run("ARF", 2, 2, 2, 2, "frob"); err == nil {
+		t.Error("unknown algo accepted")
+	}
+}

@@ -1,0 +1,31 @@
+// Command gengolden regenerates the golden .dfg exports of the benchmark
+// kernels under internal/kernels/testdata. Run it only when a kernel is
+// deliberately changed; the golden test exists to catch accidental
+// structural drift, since the paper-matching statistics depend on the
+// exact netlists.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vliwbind"
+)
+
+func main() {
+	dir := "internal/kernels/testdata"
+	for _, k := range vliwbind.Kernels() {
+		g := k.Build()
+		var sb strings.Builder
+		if err := vliwbind.PrintGraph(&sb, g); err != nil {
+			panic(err)
+		}
+		name := strings.ToLower(strings.ReplaceAll(k.Name, "-", "_")) + ".dfg"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(sb.String()), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", name)
+	}
+}

@@ -1,0 +1,142 @@
+// Command vbind binds and schedules a dataflow graph on a clustered VLIW
+// datapath, reporting schedule latency and data transfers.
+//
+// Usage:
+//
+//	vbind -kernel EWF -dp "[2,1|1,1]" -algo iter -gantt
+//	vbind -kernel ARF -dp "[2,1|2,1]" -asm
+//	vbind -dfg kernel.dfg -dp "[1,1|1,1]" -buses 1 -movelat 2 -algo init
+//
+// Algorithms: init (greedy B-INIT driver), iter (full two-phase B-ITER,
+// default), pcc (Partial Component Clustering baseline), anneal
+// (simulated annealing, Leupers), mincut (balanced network partitioning,
+// Capitanio et al.; homogeneous clusters only), opt (exhaustive, small
+// graphs only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vliwbind"
+)
+
+func main() {
+	var (
+		dfgPath  = flag.String("dfg", "", "path to a .dfg file (mutually exclusive with -kernel)")
+		kernel   = flag.String("kernel", "", "built-in benchmark name (EWF, ARF, FFT, DCT-DIF, DCT-LEE, DCT-DIT, DCT-DIT-2)")
+		dpSpec   = flag.String("dp", "[1,1|1,1]", "datapath clusters in [alus,muls|...] notation")
+		buses    = flag.Int("buses", 2, "number of buses N_B")
+		moveLat  = flag.Int("movelat", 1, "data transfer latency lat(move)")
+		algo     = flag.String("algo", "iter", "binding algorithm: init, iter, pcc, anneal, mincut, opt")
+		gantt    = flag.Bool("gantt", false, "print the schedule as a Gantt chart")
+		dot      = flag.Bool("dot", false, "print the bound graph in Graphviz DOT form")
+		asm      = flag.Bool("asm", false, "allocate registers and print a VLIW assembly listing")
+		pressure = flag.Bool("pressure", false, "print per-cluster register pressure")
+		regs     = flag.Int("regs", 0, "register file size per cluster; 0 = unbounded, otherwise spill code is inserted to fit")
+		verify   = flag.Bool("verify", true, "execute the schedule cycle-accurately and check outputs")
+	)
+	flag.Parse()
+	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *gantt, *dot, *asm, *pressure, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "vbind:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs int, gantt, dot, asm, pressure, verify bool) error {
+	g, err := loadGraph(dfgPath, kernel)
+	if err != nil {
+		return err
+	}
+	dp, err := vliwbind.ParseDatapath(dpSpec, vliwbind.DatapathConfig{NumBuses: buses, MoveLat: moveLat})
+	if err != nil {
+		return err
+	}
+	var res *vliwbind.Result
+	switch algo {
+	case "init":
+		res, err = vliwbind.InitialBind(g, dp, vliwbind.Options{})
+	case "iter":
+		res, err = vliwbind.Bind(g, dp, vliwbind.Options{})
+	case "pcc":
+		res, err = vliwbind.BindPCC(g, dp, vliwbind.PCCOptions{})
+	case "anneal":
+		res, err = vliwbind.BindAnneal(g, dp, vliwbind.AnnealOptions{})
+	case "mincut":
+		res, err = vliwbind.BindMinCut(g, dp, vliwbind.MinCutOptions{})
+	case "opt":
+		res, err = vliwbind.Optimal(g, dp, 0)
+	default:
+		return fmt.Errorf("unknown algorithm %q (want init, iter, pcc, anneal, mincut or opt)", algo)
+	}
+	if err != nil {
+		return err
+	}
+	stats := g.Stats()
+	fmt.Printf("graph %s: N_V=%d N_CC=%d L_CP=%d\n", g.Name(), stats.NumOps, stats.NumComponents, stats.CriticalPath)
+	fmt.Printf("datapath %s buses=%d lat(move)=%d\n", dp, dp.NumBuses(), dp.MoveLat())
+	fmt.Printf("%s: L=%d moves=%d\n", algo, res.L(), res.Moves())
+	if regs > 0 {
+		sr, err := vliwbind.BindWithSpills(res.Graph, dp, res.Binding, regs)
+		if err != nil {
+			return err
+		}
+		res = sr.Result
+		fmt.Printf("fit to %d-entry register files: %d spills, L=%d (+%d)\n",
+			regs, sr.Spills, res.L(), res.L()-sr.BaseL)
+	}
+	if verify {
+		in := make([]float64, g.NumInputs())
+		for i := range in {
+			in[i] = float64(i + 1)
+		}
+		if err := vliwbind.VerifySchedule(res.Schedule, in); err != nil {
+			return fmt.Errorf("schedule failed cycle-accurate verification: %w", err)
+		}
+		fmt.Println("verified: cycle-accurate execution matches reference evaluation")
+	}
+	if pressure {
+		rep := vliwbind.RegisterPressure(res.Schedule)
+		fmt.Printf("register pressure per cluster: %v (peak %d)\n", rep.MaxLive, rep.Peak)
+	}
+	if gantt {
+		fmt.Print(vliwbind.Gantt(res.Schedule))
+	}
+	if dot {
+		fmt.Print(vliwbind.GraphDot(res.Bound, res.BoundBinding))
+	}
+	if asm {
+		alloc, err := vliwbind.AllocateRegisters(res.Schedule, 0)
+		if err != nil {
+			return err
+		}
+		if err := vliwbind.CheckRegisters(res.Schedule, alloc); err != nil {
+			return fmt.Errorf("register allocation failed its own check: %w", err)
+		}
+		fmt.Print(vliwbind.EmitAssembly(res.Schedule, alloc))
+	}
+	return nil
+}
+
+func loadGraph(dfgPath, kernel string) (*vliwbind.Graph, error) {
+	switch {
+	case dfgPath != "" && kernel != "":
+		return nil, fmt.Errorf("-dfg and -kernel are mutually exclusive")
+	case dfgPath != "":
+		f, err := os.Open(dfgPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return vliwbind.ParseGraph(f)
+	case kernel != "":
+		k, err := vliwbind.KernelByName(kernel)
+		if err != nil {
+			return nil, err
+		}
+		return k.Build(), nil
+	default:
+		return nil, fmt.Errorf("need -dfg FILE or -kernel NAME")
+	}
+}

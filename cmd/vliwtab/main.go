@@ -1,0 +1,88 @@
+// Command vliwtab regenerates the paper's experimental tables: every row
+// of Table 1 (seven DSP benchmarks across two- to four-cluster datapaths)
+// and Table 2 (FFT on a five-cluster datapath, sweeping bus count and
+// transfer latency), running PCC, B-INIT and B-ITER on each and printing
+// measured L/M, ΔL% and times next to the paper's published values.
+//
+// Usage:
+//
+//	vliwtab              # both tables
+//	vliwtab -table 1     # Table 1 only
+//	vliwtab -kernel FFT  # only rows of one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vliwbind"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "which table to regenerate: 1, 2, 3 (five-binder baseline comparison), or 0 for 1+2")
+		kernel = flag.String("kernel", "", "restrict to one benchmark (Table 1 only)")
+		md     = flag.Bool("md", false, "emit a Markdown table (EXPERIMENTS.md format)")
+	)
+	flag.Parse()
+	if err := run(*table, *kernel, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "vliwtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, kernel string, md bool) error {
+	if table == 3 {
+		var ms []vliwbind.BaselineMeasurement
+		for _, r := range vliwbind.BaselineRows() {
+			m, err := vliwbind.RunBaselineExperiment(r)
+			if err != nil {
+				return err
+			}
+			ms = append(ms, m)
+			fmt.Fprintf(os.Stderr, "done %s\n", r.Name())
+		}
+		fmt.Print(vliwbind.FormatBaselines(ms))
+		return nil
+	}
+	var rows []vliwbind.ExperimentRow
+	switch table {
+	case 0:
+		rows = append(vliwbind.Table1(), vliwbind.Table2()...)
+	case 1:
+		rows = vliwbind.Table1()
+	case 2:
+		rows = vliwbind.Table2()
+	default:
+		return fmt.Errorf("unknown table %d", table)
+	}
+	if kernel != "" {
+		var filtered []vliwbind.ExperimentRow
+		for _, r := range rows {
+			if r.Kernel == kernel {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no rows for kernel %q", kernel)
+		}
+		rows = filtered
+	}
+	var ms []vliwbind.Measurement
+	for _, r := range rows {
+		m, err := vliwbind.RunExperiment(r)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, m)
+		fmt.Fprintf(os.Stderr, "done %-28s PCC %s  B-INIT %s  B-ITER %s\n",
+			r.Name(), m.PCC, m.Init, m.Iter)
+	}
+	if md {
+		fmt.Print(vliwbind.FormatMeasurementsMarkdown(ms))
+	} else {
+		fmt.Print(vliwbind.FormatMeasurements(ms))
+	}
+	return nil
+}

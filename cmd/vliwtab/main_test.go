@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunSingleKernel(t *testing.T) {
+	// ARF is the smallest benchmark; both of its Table 1 rows run in
+	// well under a second.
+	if err := run(1, "ARF", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run(2, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(7, "", false); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run(1, "nope", true); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := run(2, "EWF", false); err == nil {
+		t.Error("kernel absent from table 2 accepted")
+	}
+}

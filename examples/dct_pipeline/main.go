@@ -1,0 +1,85 @@
+// dct_pipeline walks the paper's flagship workload end to end: the
+// 8-point DCT-DIT kernel is bound with all three algorithms (the PCC
+// baseline, B-INIT and B-ITER), the resulting schedules are compared, and
+// the winner is executed cycle-accurately on a sample signal to show the
+// clustered machine computes the exact transform the dataflow graph
+// defines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vliwbind"
+)
+
+func main() {
+	g := vliwbind.KernelMust("DCT-DIT")
+	s := g.Stats()
+	fmt.Printf("DCT-DIT: %d ops (%d ALU, %d MUL), critical path %d\n\n",
+		s.NumOps, s.ByFU[vliwbind.FUALU], s.ByFU[vliwbind.FUMul], s.CriticalPath)
+
+	// A three-cluster machine from the paper's Table 1.
+	dp, err := vliwbind.ParseDatapath("[3,1|2,2|1,3]", vliwbind.DatapathConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("datapath %s, %d buses, lat(move)=%d\n\n", dp, dp.NumBuses(), dp.MoveLat())
+
+	type algo struct {
+		name string
+		run  func() (*vliwbind.Result, error)
+	}
+	algos := []algo{
+		{"PCC (baseline)", func() (*vliwbind.Result, error) {
+			return vliwbind.BindPCC(g, dp, vliwbind.PCCOptions{})
+		}},
+		{"B-INIT", func() (*vliwbind.Result, error) {
+			return vliwbind.InitialBind(g, dp, vliwbind.Options{})
+		}},
+		{"B-ITER", func() (*vliwbind.Result, error) {
+			return vliwbind.Bind(g, dp, vliwbind.Options{})
+		}},
+	}
+	var best *vliwbind.Result
+	for _, a := range algos {
+		t0 := time.Now()
+		res, err := a.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s L=%-3d moves=%-3d (%v)\n", a.name, res.L(), res.Moves(), time.Since(t0).Round(time.Millisecond))
+		if best == nil || res.L() < best.L() {
+			best = res
+		}
+	}
+
+	fmt.Printf("\nbest schedule (L=%d):\n%s\n", best.L(), vliwbind.Gantt(best.Schedule))
+
+	// Run a real signal through the scheduled datapath.
+	signal := []float64{12, 10, 8, 6, 4, 2, 1, 0}
+	got, _, err := vliwbind.Execute(best.Schedule, signal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := vliwbind.EvalGraph(g, signal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DCT coefficients from the cycle-accurate datapath:")
+	for i, n := range best.Schedule.Graph.Outputs() {
+		_ = n
+		fmt.Printf("  X[%d] = %+9.4f\n", i, got[i])
+	}
+	// The outputs of the bound graph mirror the original's outputs.
+	for i, n := range g.Outputs() {
+		if got[i] != want[n.ID()] {
+			log.Fatalf("output %d diverges: %v vs %v", i, got[i], want[n.ID()])
+		}
+	}
+	fmt.Println("verified against the reference dataflow evaluation ✓")
+
+	rep := vliwbind.RegisterPressure(best.Schedule)
+	fmt.Printf("register pressure per cluster: %v (the paper's unbounded-RF assumption holds comfortably)\n", rep.MaxLive)
+}

@@ -1,0 +1,58 @@
+// modulo_loop demonstrates the software-pipelining extension: the
+// elliptic wave filter as a real loop (its state updates feed the next
+// iteration), modulo-scheduled onto clustered datapaths. Where the
+// acyclic binder must finish a whole iteration before the next starts,
+// the modulo scheduler overlaps iterations and sustains one iteration
+// every II cycles — the setting of the modulo-scheduling related work in
+// Section 4 of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vliwbind"
+)
+
+func main() {
+	g := vliwbind.KernelMust("EWF")
+
+	// EWF's state-update taps (u1..u4) are next iteration's state
+	// inputs, read by the early spine additions.
+	carried := []vliwbind.CarriedDep{
+		{From: g.NodeByName("u1"), To: g.NodeByName("v1"), Distance: 1},
+		{From: g.NodeByName("u2"), To: g.NodeByName("v2"), Distance: 1},
+		{From: g.NodeByName("u3"), To: g.NodeByName("v3"), Distance: 1},
+		{From: g.NodeByName("u4"), To: g.NodeByName("v6"), Distance: 1},
+	}
+	loop := &vliwbind.Loop{Body: g, Carried: carried}
+
+	fmt.Println("EWF as a software-pipelined loop (34 ops, 4 recurrences):")
+	fmt.Println()
+	fmt.Printf("%-14s %6s %4s %10s %8s %s\n", "DATAPATH", "MII", "II", "MOVES/ITER", "SPAN", "VS ACYCLIC L")
+	for _, spec := range []string{"[1,1|1,1]", "[2,1|2,1]", "[2,2|2,2]", "[2,1|2,1|2,1]"} {
+		dp, err := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mii := vliwbind.ModuloMII(loop, dp)
+		ps, err := vliwbind.ModuloPipeline(loop, dp, vliwbind.ModuloOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vliwbind.ModuloCheck(ps, 0); err != nil {
+			log.Fatalf("%s: invalid pipeline: %v", spec, err)
+		}
+		// The acyclic comparison: one full iteration latency via B-ITER.
+		acyclic, err := vliwbind.Bind(g, dp, vliwbind.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %6d %4d %10d %8d %d cycles/iter -> %d\n",
+			spec, mii, ps.II, ps.MovesPerIteration(), ps.ScheduleLength(), acyclic.L(), ps.II)
+	}
+	fmt.Println()
+	fmt.Println("reading: the pipelined loop sustains an iteration every II cycles,")
+	fmt.Println("several times faster than back-to-back acyclic schedules; every")
+	fmt.Println("schedule above was re-verified by expanding concrete iterations.")
+}

@@ -1,0 +1,3 @@
+module vliwbind
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package anneal implements the simulated-annealing binding baseline of
+// R. Leupers, "Instruction Scheduling for Clustered VLIW DSPs" (PACT
+// 2000), the second comparator discussed in Section 4 of Lapinskii et
+// al.: start from an arbitrary partitioning, repeatedly re-bind a random
+// operation to a random admissible cluster, evaluate each candidate with
+// a detailed scheduler, and accept worsening moves with a temperature-
+// controlled probability. The paper notes this approach's quality is
+// competitive on two-cluster machines but its run time scales poorly
+// with cluster count — both effects are visible in this repository's
+// BenchmarkBaselines.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// Options tunes the annealing schedule. The zero value selects
+// deterministic defaults comparable to Leupers' published setup.
+type Options struct {
+	// Seed makes the run reproducible; runs with the same seed and
+	// inputs produce identical bindings.
+	Seed int64
+	// InitialTemp is the starting temperature in cost units (latency
+	// cycles). Zero defaults to 4.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per temperature step in
+	// (0,1). Zero defaults to 0.9.
+	Cooling float64
+	// MovesPerTemp is the number of perturbations attempted at each
+	// temperature. Zero defaults to 8×N_V.
+	MovesPerTemp int
+	// MinTemp stops the annealing. Zero defaults to 0.05.
+	MinTemp float64
+}
+
+func (o Options) withDefaults(numOps int) Options {
+	if o.InitialTemp == 0 {
+		o.InitialTemp = 4
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.9
+	}
+	if o.MovesPerTemp == 0 {
+		o.MovesPerTemp = 8 * numOps
+	}
+	if o.MinTemp <= 0 {
+		o.MinTemp = 0.05
+	}
+	return o
+}
+
+// cost flattens (L, moves) into one annealing energy: latency dominates,
+// transfers break ties, mirroring Leupers' latency-driven objective.
+func cost(r *bind.Result) float64 {
+	return float64(r.L()) + float64(r.Moves())/1024
+}
+
+// Bind runs the annealing binder and returns the best solution observed
+// (not merely the final state).
+func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
+	if err := dp.CanRun(g); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(g.NumNodes())
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Random admissible initial binding ("initial random partitioning").
+	bn := make([]int, g.NumNodes())
+	targets := make([][]int, g.NumNodes())
+	for i, n := range g.Nodes() {
+		ts := dp.TargetSet(n.Op())
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("anneal: no cluster supports %s", n.Name())
+		}
+		targets[i] = ts
+		bn[i] = ts[rng.Intn(len(ts))]
+	}
+	cur, err := bind.Evaluate(g, dp, bn)
+	if err != nil {
+		return nil, err
+	}
+	best := cur
+
+	for temp := opts.InitialTemp; temp > opts.MinTemp; temp *= opts.Cooling {
+		for m := 0; m < opts.MovesPerTemp; m++ {
+			id := rng.Intn(g.NumNodes())
+			ts := targets[id]
+			if len(ts) < 2 {
+				continue
+			}
+			next := ts[rng.Intn(len(ts))]
+			if next == cur.Binding[id] {
+				continue
+			}
+			cand := append([]int(nil), cur.Binding...)
+			cand[id] = next
+			res, err := bind.Evaluate(g, dp, cand)
+			if err != nil {
+				return nil, err
+			}
+			delta := cost(res) - cost(cur)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				cur = res
+				if cost(cur) < cost(best) {
+					best = cur
+				}
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,147 @@
+package anneal
+
+import (
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/optbind"
+	"vliwbind/internal/sched"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := kernels.Random(kernels.RandomConfig{Ops: 20, Seed: 5})
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	r1, err := Bind(g, dp, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Bind(g, dp, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Binding {
+		if r1.Binding[i] != r2.Binding[i] {
+			t.Fatalf("same seed produced different bindings at node %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	g := kernels.Random(kernels.RandomConfig{Ops: 25, Seed: 5})
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	r1, err := Bind(g, dp, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Bind(g, dp, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.Binding {
+		if r1.Binding[i] != r2.Binding[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical bindings (suspicious)")
+	}
+}
+
+func TestProducesLegalSolutions(t *testing.T) {
+	dp := machine.MustParse("[2,1|1,1]", machine.Config{})
+	for _, name := range []string{"ARF", "FFT"} {
+		k, _ := kernels.ByName(name)
+		g := k.Build()
+		res, err := Bind(g, dp, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := dfg.Validate(res.Bound); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := sched.Check(res.Schedule); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if lb := optbind.LowerBound(g, dp); res.L() < lb {
+			t.Errorf("%s: L=%d beats lower bound %d", name, res.L(), lb)
+		}
+	}
+}
+
+func TestBeatsRandomInitialBinding(t *testing.T) {
+	// Annealing must not end worse than where it started: compare
+	// against the same seeded random initial assignment.
+	g := kernels.Random(kernels.RandomConfig{Ops: 30, Seed: 9})
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	res, err := Bind(g, dp, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average random binding for reference.
+	worst := 0
+	for s := int64(0); s < 5; s++ {
+		bn := make([]int, g.NumNodes())
+		for i := range bn {
+			bn[i] = int((s*31 + int64(i)*17) & 1)
+		}
+		r, err := bind.Evaluate(g, dp, bn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.L() > worst {
+			worst = r.L()
+		}
+	}
+	if res.L() > worst {
+		t.Errorf("annealed L=%d worse than arbitrary binding L=%d", res.L(), worst)
+	}
+}
+
+func TestCompetitiveOnTwoClusters(t *testing.T) {
+	// Section 4: Leupers' annealer is competitive on the two-cluster
+	// 'C6201. It should land within 2 cycles of B-ITER there.
+	k, _ := kernels.ByName("ARF")
+	g := k.Build()
+	dp, err := machine.NewPreset(machine.PresetTIC6201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := Bind(g, dp, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := bind.Bind(g, dp, bind.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.L() > bi.L()+2 {
+		t.Errorf("annealing L=%d not competitive with B-ITER L=%d on 2 clusters", sa.L(), bi.L())
+	}
+}
+
+func TestRejectsUnsupportedOps(t *testing.T) {
+	b := dfg.NewBuilder("m")
+	x := b.Input("x")
+	b.Output(b.Mul(x, x))
+	g := b.Graph()
+	dp := machine.MustParse("[2,0]", machine.Config{})
+	if _, err := Bind(g, dp, Options{}); err == nil {
+		t.Error("unsupported op accepted")
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults(10)
+	if o.InitialTemp != 4 || o.Cooling != 0.9 || o.MovesPerTemp != 80 || o.MinTemp != 0.05 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o2 := Options{InitialTemp: 1, Cooling: 0.5, MovesPerTemp: 3, MinTemp: 0.2}.withDefaults(10)
+	if o2.InitialTemp != 1 || o2.Cooling != 0.5 || o2.MovesPerTemp != 3 || o2.MinTemp != 0.2 {
+		t.Error("explicit options overridden")
+	}
+}

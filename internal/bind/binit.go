@@ -1,0 +1,299 @@
+package bind
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/profile"
+)
+
+// Options tunes both phases of the binding algorithm. The zero value
+// selects the paper's published settings.
+type Options struct {
+	// Alpha, Beta, Gamma weight the FU-serialization, bus-serialization
+	// and data-transfer penalties of Equation 1. Zero values default to
+	// the paper's α = β = 1.0, γ = 1.1.
+	Alpha, Beta, Gamma float64
+	// MaxStretch bounds the load-profile latency sweep of the driver
+	// (Section 3.1.3): B-INIT runs with L_PR = L_CP … L_CP+MaxStretch.
+	// Negative disables stretching; zero defaults to 4 + L_CP/4.
+	MaxStretch int
+	// NoReverse disables the reversed binding order of Section 3.1.4 in
+	// the driver sweep.
+	NoReverse bool
+	// NoPairs disables pair perturbations in B-ITER, leaving only
+	// single-operation re-bindings.
+	NoPairs bool
+	// Sideways is the number of consecutive equal-quality (plateau)
+	// moves B-ITER may accept while escaping local minima — the "more
+	// powerful variant" of the paper's footnote 4. Zero defaults to 4
+	// (the tuned, high-optimization configuration the paper reports);
+	// negative selects the simple strictly-improving variant.
+	Sideways int
+	// MaxIterations caps B-ITER improvement iterations as a safety
+	// valve; zero means no cap beyond natural termination.
+	MaxIterations int
+	// Seeds is how many distinct phase-one candidates Bind hands to the
+	// improvement phase (the driver keeps the best few, not just the
+	// single best, since a low-move initial solution can have no
+	// boundary operations left to perturb). Zero defaults to 3.
+	Seeds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 1.0
+	}
+	if o.Beta == 0 {
+		o.Beta = 1.0
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 1.1
+	}
+	switch {
+	case o.Sideways == 0:
+		o.Sideways = 4
+	case o.Sideways < 0:
+		o.Sideways = 0
+	}
+	return o
+}
+
+// orderNodes returns the binding order of Section 3.1.1: lexicographic by
+// (alap, mobility, number of consumers), with node ID as deterministic
+// tiebreak. In reverse mode (Section 3.1.4) the ordering is mirrored:
+// nodes are ranked by reversed-graph ALAP levels — latest finishers first
+// — and by their number of producers, so binding starts from the output
+// side of the graph.
+func orderNodes(g *dfg.Graph, times *dfg.Times, lat dfg.LatencyFn, reverse bool) []*dfg.Node {
+	nodes := append([]*dfg.Node(nil), g.Nodes()...)
+	if !reverse {
+		sort.SliceStable(nodes, func(i, j int) bool {
+			a, b := nodes[i], nodes[j]
+			if la, lb := times.ALAP[a.ID()], times.ALAP[b.ID()]; la != lb {
+				return la < lb
+			}
+			if ma, mb := times.Mobility(a), times.Mobility(b); ma != mb {
+				return ma < mb
+			}
+			if ca, cb := a.NumConsumers(), b.NumConsumers(); ca != cb {
+				return ca > cb
+			}
+			return a.ID() < b.ID()
+		})
+		return nodes
+	}
+	// Reversed-graph ALAP of v is L − (asap(v) + lat(v)); ascending in it
+	// means descending in ASAP finish time. Mobility is direction
+	// independent.
+	sort.SliceStable(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		fa := times.ASAP[a.ID()] + lat(a.Op())
+		fb := times.ASAP[b.ID()] + lat(b.Op())
+		if fa != fb {
+			return fa > fb
+		}
+		if ma, mb := times.Mobility(a), times.Mobility(b); ma != mb {
+			return ma < mb
+		}
+		if pa, pb := len(a.Preds()), len(b.Preds()); pa != pb {
+			return pa > pb
+		}
+		return a.ID() < b.ID()
+	})
+	return nodes
+}
+
+// trcost computes the data-transfer penalty of Section 3.1.2 for binding v
+// to cluster c, together with the new bus transfers that binding implies
+// (used for buscost and committed afterwards). bn holds the partial
+// binding (-1 for unbound nodes).
+//
+// Forward direction: the direct component counts bound producers in other
+// clusters (one transfer each); the common-consumer component adds one for
+// each consumer of v that already has a bound producer elsewhere — that
+// transfer will exist no matter where the consumer lands. The reverse
+// direction mirrors producers and consumers: v's result must reach each
+// distinct cluster its bound consumers occupy, and the look-ahead counts
+// operands shared with already-bound consumers.
+func trcost(v *dfg.Node, c int, bn []int, reverse bool) (cost int, trs []profile.Transfer) {
+	if !reverse {
+		for _, u := range v.Preds() {
+			if bu := bn[u.ID()]; bu >= 0 && bu != c {
+				cost++
+				trs = append(trs, profile.Transfer{Prod: u, Cons: v, Dest: c})
+			}
+		}
+		// Common-consumer look-ahead: for each yet-unbound consumer of v
+		// with another producer already bound elsewhere, at least one
+		// transfer is inevitable (Figure 3).
+		for _, u := range v.Succs() {
+			if bn[u.ID()] >= 0 {
+				continue
+			}
+			for _, z := range u.Preds() {
+				if z == v {
+					continue
+				}
+				if bz := bn[z.ID()]; bz >= 0 && bz != c {
+					cost++
+					break
+				}
+			}
+		}
+		return cost, trs
+	}
+	// Reverse: bound consumers pull v's result into their clusters; one
+	// transfer per distinct foreign cluster.
+	seen := make(map[int]*dfg.Node)
+	for _, u := range v.Succs() {
+		if bu := bn[u.ID()]; bu >= 0 && bu != c {
+			if _, ok := seen[bu]; !ok {
+				seen[bu] = u
+				cost++
+				trs = append(trs, profile.Transfer{Prod: v, Cons: u, Dest: bu})
+			}
+		}
+	}
+	// Common-producer look-ahead: an unbound operand u of v that also
+	// feeds an already-bound consumer elsewhere will need a transfer
+	// regardless of where u lands.
+	for _, u := range v.Preds() {
+		if bn[u.ID()] >= 0 {
+			continue
+		}
+		for _, z := range u.Succs() {
+			if z == v {
+				continue
+			}
+			if bz := bn[z.ID()]; bz >= 0 && bz != c {
+				cost++
+				break
+			}
+		}
+	}
+	return cost, trs
+}
+
+// InitialOnce runs one pass of the greedy B-INIT binder (Section 3.1) with
+// a fixed load-profile latency lpr and direction. It returns the binding
+// on the original graph. Most callers want Initial, which sweeps these
+// parameters and evaluates each candidate.
+func InitialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts Options) ([]int, error) {
+	opts = opts.withDefaults()
+	prof, err := profile.New(g, dp, lpr)
+	if err != nil {
+		return nil, err
+	}
+	order := orderNodes(g, prof.Times(), dp.Latency, reverse)
+	bn := make([]int, g.NumNodes())
+	for i := range bn {
+		bn[i] = -1
+	}
+	moveLat := float64(dp.MoveLat())
+	moveDII := float64(dp.MoveDII())
+	for _, v := range order {
+		ts := dp.TargetSet(v.Op())
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("bind: no cluster supports %s (%s)", v.Name(), v.Op())
+		}
+		bestC := -1
+		var bestCost, bestTr float64
+		var bestTrs []profile.Transfer
+		var bestFU int
+		for _, c := range ts {
+			tc, trs := trcost(v, c, bn, reverse)
+			fu := prof.FUCost(v, c)
+			bus := prof.BusCost(trs)
+			cost := float64(fu)*opts.Alpha*float64(dp.DII(v.Op())) +
+				float64(bus)*opts.Beta*moveDII +
+				float64(tc)*opts.Gamma*moveLat
+			// Ties break toward fewer transfers, then lighter FU
+			// serialization, then the lower-numbered cluster, keeping
+			// the greedy pass deterministic.
+			better := bestC < 0 || cost < bestCost ||
+				(cost == bestCost && float64(tc) < bestTr) ||
+				(cost == bestCost && float64(tc) == bestTr && fu < bestFU)
+			if better {
+				bestC, bestCost, bestTr, bestFU, bestTrs = c, cost, float64(tc), fu, trs
+			}
+		}
+		bn[v.ID()] = bestC
+		prof.CommitOp(v, bestC)
+		prof.CommitTransfers(bestTrs)
+	}
+	return bn, nil
+}
+
+// Initial is the paper's "driver" around B-INIT (Sections 3.1.3–3.1.4):
+// it varies the load-profile latency from L_CP upward and tries both
+// binding directions, list-scheduling every candidate binding and keeping
+// the best by (L, moves). The result is the phase-one solution handed to
+// Improve.
+func Initial(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
+	cands, err := InitialCandidates(g, dp, opts)
+	if err != nil {
+		return nil, err
+	}
+	return cands[0], nil
+}
+
+// InitialCandidates runs the same sweep as Initial but returns the best
+// distinct phase-one bindings in quality order, at most opts.Seeds of
+// them. Improving several seeds instead of one lets phase two recover
+// when the single best initial solution happens to have no boundary
+// operations to perturb.
+func InitialCandidates(g *dfg.Graph, dp *machine.Datapath, opts Options) ([]*Result, error) {
+	opts = opts.withDefaults()
+	if err := dp.CanRun(g); err != nil {
+		return nil, err
+	}
+	keep := opts.Seeds
+	if keep <= 0 {
+		keep = 6
+	}
+	lcp := dfg.CriticalPath(g, dp.Latency)
+	stretch := opts.MaxStretch
+	switch {
+	case stretch < 0:
+		stretch = 0
+	case stretch == 0:
+		stretch = 4 + lcp/4
+	}
+	dirs := []bool{false}
+	if !opts.NoReverse {
+		dirs = append(dirs, true)
+	}
+	var cands []*Result
+	seen := make(map[string]bool)
+	for s := 0; s <= stretch; s++ {
+		for _, rev := range dirs {
+			bn, err := InitialOnce(g, dp, lcp+s, rev, opts)
+			if err != nil {
+				return nil, err
+			}
+			if key := bindingKey(bn); seen[key] {
+				continue
+			} else {
+				seen[key] = true
+			}
+			res, err := Evaluate(g, dp, bn)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, res)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].L() != cands[j].L() {
+			return cands[i].L() < cands[j].L()
+		}
+		return cands[i].Moves() < cands[j].Moves()
+	})
+	if len(cands) > keep {
+		cands = cands[:keep]
+	}
+	return cands, nil
+}

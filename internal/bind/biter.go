@@ -1,0 +1,288 @@
+package bind
+
+import (
+	"fmt"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/sched"
+)
+
+// Quality is a lexicographic binding-quality vector (Section 3.2): smaller
+// is better, element by element. QualityU prepends the schedule latency to
+// the completion profile (L, U_0, U_1, …); QualityM is (L, N_MV).
+type Quality []int
+
+// Less compares two quality vectors lexicographically; a missing element
+// compares as zero, so a strictly shorter prefix ties with zeros.
+func (q Quality) Less(o Quality) bool {
+	n := len(q)
+	if len(o) > n {
+		n = len(o)
+	}
+	at := func(v Quality, i int) int {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		a, b := at(q, i), at(o, i)
+		if a != b {
+			return a < b
+		}
+	}
+	return false
+}
+
+// Equal reports element-wise equality under the same zero-extension rule.
+func (q Quality) Equal(o Quality) bool { return !q.Less(o) && !o.Less(q) }
+
+// QualityU builds the paper's Q_U vector from a schedule: latency followed
+// by the number of regular operations completing at L, L−1, … (Figure 6).
+// Minimizing it first shortens the schedule, then thins out the last
+// cycles, which is what gives later perturbations room to shorten L.
+func QualityU(s *sched.Schedule) Quality {
+	u := s.CompletionProfile(0)
+	q := make(Quality, 0, len(u)+1)
+	q = append(q, s.L)
+	return append(q, u...)
+}
+
+// QualityM builds the paper's Q_M vector: (L, number of moves). It is used
+// by the second improvement pass to trim data transfers at equal latency.
+func QualityM(s *sched.Schedule) Quality {
+	return Quality{s.L, s.NumMoves()}
+}
+
+// boundaryOps lists the operations with at least one producer or consumer
+// bound to a different cluster — the perturbation sites of Section 3.2.
+func boundaryOps(g *dfg.Graph, bn []int) []*dfg.Node {
+	var out []*dfg.Node
+	for _, v := range g.Nodes() {
+		c := bn[v.ID()]
+		found := false
+		for _, u := range v.Preds() {
+			if bn[u.ID()] != c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, u := range v.Succs() {
+				if bn[u.ID()] != c {
+					found = true
+					break
+				}
+			}
+		}
+		if found {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// neighborClusters returns the clusters, other than v's own, where v's
+// operands or results currently reside, filtered to v's target set.
+func neighborClusters(dp *machine.Datapath, v *dfg.Node, bn []int) []int {
+	c := bn[v.ID()]
+	seen := map[int]bool{c: true}
+	var out []int
+	consider := func(u *dfg.Node) {
+		d := bn[u.ID()]
+		if !seen[d] && dp.Supports(d, v.Op()) {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, u := range v.Preds() {
+		consider(u)
+	}
+	for _, u := range v.Succs() {
+		consider(u)
+	}
+	return out
+}
+
+// candidate is one perturbed binding awaiting evaluation.
+type candidate struct {
+	ids      []int // perturbed node IDs
+	clusters []int // their new clusters
+}
+
+// perturbations enumerates the boundary perturbations of the current
+// binding: each boundary operation re-bound to each cluster holding one of
+// its operands/results, and (unless disabled) pairs of adjacent boundary
+// operations re-bound together. Pairs are restricted to operations linked
+// by an edge or a common consumer, which is where single moves get stuck:
+// moving either op alone adds a transfer, moving both together does not.
+func perturbations(g *dfg.Graph, dp *machine.Datapath, bn []int, opts Options) []candidate {
+	bops := boundaryOps(g, bn)
+	isBoundary := make(map[int]bool, len(bops))
+	for _, v := range bops {
+		isBoundary[v.ID()] = true
+	}
+	var cands []candidate
+	if len(bops) == 0 {
+		// A move-free binding has no boundaries to perturb (possible when
+		// every connected component sits wholly inside one cluster). Fall
+		// back to plain single-op re-bindings so phase two can still
+		// trade a few transfers for parallelism.
+		for _, v := range g.Nodes() {
+			for _, d := range dp.TargetSet(v.Op()) {
+				if d != bn[v.ID()] {
+					cands = append(cands, candidate{ids: []int{v.ID()}, clusters: []int{d}})
+				}
+			}
+		}
+		return cands
+	}
+	neigh := make(map[int][]int, len(bops))
+	for _, v := range bops {
+		nc := neighborClusters(dp, v, bn)
+		neigh[v.ID()] = nc
+		for _, d := range nc {
+			cands = append(cands, candidate{ids: []int{v.ID()}, clusters: []int{d}})
+		}
+	}
+	if opts.NoPairs {
+		return cands
+	}
+	addPair := func(v, w *dfg.Node) {
+		if v.ID() >= w.ID() || !isBoundary[v.ID()] || !isBoundary[w.ID()] {
+			return
+		}
+		for _, dv := range neigh[v.ID()] {
+			for _, dw := range neigh[w.ID()] {
+				if dv == bn[v.ID()] && dw == bn[w.ID()] {
+					continue
+				}
+				cands = append(cands, candidate{ids: []int{v.ID(), w.ID()}, clusters: []int{dv, dw}})
+			}
+		}
+	}
+	for _, v := range bops {
+		for _, w := range v.Succs() {
+			addPair(v, w)
+			addPair(w, v)
+		}
+		// Common-consumer pairs: v and w feed the same operation.
+		for _, u := range v.Succs() {
+			for _, w := range u.Preds() {
+				if w != v {
+					addPair(v, w)
+					addPair(w, v)
+				}
+			}
+		}
+	}
+	return cands
+}
+
+// bindingKey serializes a binding for plateau-cycle detection.
+func bindingKey(bn []int) string {
+	buf := make([]byte, len(bn))
+	for i, c := range bn {
+		buf[i] = byte(c)
+	}
+	return string(buf)
+}
+
+// improveWith runs the iterative boundary-perturbation loop under one
+// quality function. When sideways > 0, up to that many consecutive
+// equal-quality steps are accepted (never revisiting a binding), which is
+// the stronger variant mentioned in the paper's footnote 4.
+func improveWith(cur *Result, quality func(*sched.Schedule) Quality, sideways int, opts Options) (*Result, error) {
+	g, dp := cur.Graph, cur.Datapath
+	curQ := quality(cur.Schedule)
+	seen := map[string]bool{bindingKey(cur.Binding): true}
+	plateau := 0
+	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		var best *Result
+		var bestQ Quality
+		for _, cand := range perturbations(g, dp, cur.Binding, opts) {
+			bn := append([]int(nil), cur.Binding...)
+			changed := false
+			for i, id := range cand.ids {
+				if bn[id] != cand.clusters[i] {
+					bn[id] = cand.clusters[i]
+					changed = true
+				}
+			}
+			if !changed || seen[bindingKey(bn)] {
+				continue
+			}
+			res, err := Evaluate(g, dp, bn)
+			if err != nil {
+				return nil, err
+			}
+			q := quality(res.Schedule)
+			if best == nil || q.Less(bestQ) ||
+				(q.Equal(bestQ) && res.Moves() < best.Moves()) {
+				best, bestQ = res, q
+			}
+		}
+		if best == nil {
+			break
+		}
+		switch {
+		case bestQ.Less(curQ):
+			plateau = 0
+		case bestQ.Equal(curQ) && plateau < sideways:
+			plateau++
+		default:
+			return cur, nil
+		}
+		cur, curQ = best, bestQ
+		seen[bindingKey(cur.Binding)] = true
+	}
+	return cur, nil
+}
+
+// Improve is phase two of the algorithm (B-ITER, Section 3.2): iterative
+// boundary perturbations, first driven by Q_U until latency stops
+// improving, then by Q_M to reduce the number of data transfers without
+// giving back latency.
+func Improve(res *Result, opts Options) (*Result, error) {
+	if res == nil {
+		return nil, fmt.Errorf("bind: Improve needs a phase-one result")
+	}
+	opts = opts.withDefaults()
+	cur, err := improveWith(res, QualityU, opts.Sideways, opts)
+	if err != nil {
+		return nil, err
+	}
+	cur, err = improveWith(cur, QualityM, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the better of (phase input, improved): Q_M can only have kept
+	// or reduced moves at equal or better latency, but guard anyway.
+	if cur.L() > res.L() || (cur.L() == res.L() && cur.Moves() > res.Moves()) {
+		return res, nil
+	}
+	return cur, nil
+}
+
+// Bind runs both phases: the swept greedy initial binding followed by
+// iterative improvement of the best few distinct phase-one candidates.
+// This is the paper's full B-ITER configuration.
+func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
+	cands, err := InitialCandidates(g, dp, opts)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	for _, c := range cands {
+		res, err := Improve(c, opts)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.L() < best.L() ||
+			(res.L() == best.L() && res.Moves() < best.Moves()) {
+			best = res
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,239 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/sched"
+	"vliwbind/internal/vliwsim"
+)
+
+// pressureGraph builds a block with many simultaneously live values: n
+// producers computed up front, all consumed by a final reduction much
+// later (forced by a long chain in between).
+func pressureGraph(n int) *dfg.Graph {
+	b := dfg.NewBuilder("pressure")
+	x, y := b.Input("x"), b.Input("y")
+	vals := make([]dfg.Value, n)
+	for i := range vals {
+		vals[i] = b.Add(x, y)
+	}
+	// Long chain to stretch the producers' live ranges.
+	chain := b.Sub(x, y)
+	for i := 0; i < n; i++ {
+		chain = b.Sub(chain, y)
+	}
+	acc := chain
+	for _, v := range vals {
+		acc = b.Add(acc, v)
+	}
+	b.Output(acc)
+	return b.Graph()
+}
+
+func TestSpillRebindFitsTightFile(t *testing.T) {
+	g := pressureGraph(10)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	bn := make([]int, g.NumNodes())
+	// Unbounded demand first, to know the spill is actually needed.
+	base, err := bind.Evaluate(g, dp, bn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, err := Allocate(base.Schedule, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxRegs = 6
+	if a0.NumRegs[0] <= maxRegs {
+		t.Fatalf("test graph not pressured enough: %d registers", a0.NumRegs[0])
+	}
+	sr, err := SpillRebind(g, dp, bn, maxRegs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Spills == 0 {
+		t.Fatal("no spills inserted despite over-pressure")
+	}
+	for c, nregs := range sr.Alloc.NumRegs {
+		if nregs > maxRegs {
+			t.Errorf("cluster %d still needs %d registers", c, nregs)
+		}
+	}
+	if err := CheckAlloc(sr.Result.Schedule, sr.Alloc); err != nil {
+		t.Errorf("spilled allocation fails check: %v", err)
+	}
+	if err := sched.Check(sr.Result.Schedule); err != nil {
+		t.Errorf("spilled schedule illegal: %v", err)
+	}
+	// Spill code must not explode latency: the paper's assumption is
+	// that selected spills are cheap.
+	if sr.Result.L() > sr.BaseL+sr.Spills+3 {
+		t.Errorf("spilling cost too much: L %d -> %d with %d spills", sr.BaseL, sr.Result.L(), sr.Spills)
+	}
+}
+
+func TestSpilledGraphStillComputesCorrectly(t *testing.T) {
+	g := pressureGraph(8)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	bn := make([]int, g.NumNodes())
+	sr, err := SpillRebind(g, dp, bn, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{3, 2}
+	want, err := dfg.EvalOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := vliwsim.Execute(sr.Result.Schedule, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] {
+		t.Errorf("spilled execution = %v, want %v", got[0], want[0])
+	}
+}
+
+func TestSpillNoOpWhenFits(t *testing.T) {
+	g := kernels.ARF()
+	dp := machine.MustParse("[2,1|2,1]", machine.Config{})
+	res, err := bind.Bind(g, dp, bind.Options{Seeds: 1, MaxStretch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := SpillRebind(g, dp, res.Binding, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Spills != 0 {
+		t.Errorf("unnecessary spills: %d", sr.Spills)
+	}
+	if sr.Result.L() != sr.BaseL {
+		t.Errorf("latency changed without spills: %d vs %d", sr.Result.L(), sr.BaseL)
+	}
+}
+
+func TestSpillPaperAssumptionOnKernels(t *testing.T) {
+	// The §2 claim, measured: with register files one entry below each
+	// kernel's unbounded demand, binding still succeeds with few spills
+	// and a small latency penalty. Kernels whose demand is purely
+	// structural (live-out coefficients occupying the file to the end)
+	// legitimately report a floor instead; the spiller must say so
+	// rather than loop.
+	dp := machine.MustParse("[2,1|2,1]", machine.Config{})
+	spilledSomewhere := false
+	for _, k := range kernels.All() {
+		g := k.Build()
+		res, err := bind.Initial(g, dp, bind.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		a0, err := Allocate(res.Schedule, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		demand := 0
+		for _, n := range a0.NumRegs {
+			if n > demand {
+				demand = n
+			}
+		}
+		maxRegs := demand - 1
+		if maxRegs < 2 {
+			continue // nothing to squeeze
+		}
+		sr, err := SpillRebind(g, dp, res.Binding, maxRegs)
+		if err != nil {
+			if strings.Contains(err.Error(), "live") || strings.Contains(err.Error(), "no spillable") {
+				continue // structural floor, reported cleanly
+			}
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		spilledSomewhere = spilledSomewhere || sr.Spills > 0
+		if sr.Spills > 6 {
+			t.Errorf("%s: %d spills under a %d-entry file; 'rare' assumption violated", k.Name, sr.Spills, maxRegs)
+		}
+		if sr.Result.L() > sr.BaseL+4 {
+			t.Errorf("%s: spill latency cost %d cycles; 'cheap' assumption violated", k.Name, sr.Result.L()-sr.BaseL)
+		}
+		if err := CheckAlloc(sr.Result.Schedule, sr.Alloc); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+	if !spilledSomewhere {
+		t.Error("no kernel exercised the spiller; the sweep is vacuous")
+	}
+}
+
+func TestSpillStallDetected(t *testing.T) {
+	// A block whose live-out count exceeds the register file can never
+	// fit; the spiller must report the structural floor rather than
+	// loop.
+	b := dfg.NewBuilder("outs")
+	x, y := b.Input("x"), b.Input("y")
+	for i := 0; i < 8; i++ {
+		b.Output(b.Add(x, y))
+	}
+	g := b.Graph()
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	_, err := SpillRebind(g, dp, make([]int, g.NumNodes()), 3)
+	if err == nil {
+		t.Fatal("infeasible register file accepted")
+	}
+	if !strings.Contains(err.Error(), "live") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestSpillEmitsMemoryOps(t *testing.T) {
+	g := pressureGraph(8)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	sr, err := SpillRebind(g, dp, make([]int, g.NumNodes()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := Emit(sr.Result.Schedule, sr.Alloc)
+	if !strings.Contains(asm, "ST m") || !strings.Contains(asm, "LD c0.r") {
+		t.Errorf("assembly missing spill code:\n%s", asm)
+	}
+}
+
+func TestSpillErrors(t *testing.T) {
+	g := pressureGraph(4)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	if _, err := SpillRebind(g, dp, make([]int, g.NumNodes()), 1); err == nil {
+		t.Error("1-register file accepted")
+	}
+	if _, _, err := insertSpill(g, make([]int, g.NumNodes()), "nope", nil); err == nil {
+		t.Error("unknown victim accepted")
+	}
+}
+
+func TestSpillLoadScheduledLate(t *testing.T) {
+	// The reload must sit near its consumer, not right after the store —
+	// otherwise spilling cannot reduce pressure.
+	g := pressureGraph(8)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	sr, err := SpillRebind(g, dp, make([]int, g.NumNodes()), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sr.Result.Schedule
+	for _, n := range s.Graph.Nodes() {
+		if n.Op() != dfg.OpLoad {
+			continue
+		}
+		st := n.Preds()[0]
+		consumer := n.Succs()[0]
+		gapToStore := s.Start[n.ID()] - s.Finish(st)
+		gapToUse := s.Start[consumer.ID()] - s.Finish(n)
+		if gapToUse > gapToStore {
+			t.Errorf("reload %s eager: %d cycles after store, %d before use", n.Name(), gapToStore, gapToUse)
+		}
+	}
+}

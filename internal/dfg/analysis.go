@@ -1,0 +1,189 @@
+package dfg
+
+import "fmt"
+
+// Times holds ASAP/ALAP start cycles for every node of a graph, computed
+// for a given latency model and target latency. Mobility (the paper's μ) is
+// ALAP−ASAP. Cycles are 0-based: a node starting at cycle s with latency l
+// produces its result at the start of cycle s+l.
+type Times struct {
+	ASAP []int // by node ID
+	ALAP []int // by node ID
+	L    int   // the latency the ALAP values were computed against
+}
+
+// Mobility returns alap(v) − asap(v) for node v.
+func (t *Times) Mobility(v *Node) int { return t.ALAP[v.id] - t.ASAP[v.id] }
+
+// Analyze computes ASAP and ALAP times for g under lat. target is the
+// latency L against which ALAP is computed; if target is less than the
+// critical path it is raised to the critical path, so mobilities are never
+// negative. Pass target 0 to analyze at exactly the critical path.
+func Analyze(g *Graph, lat LatencyFn, target int) *Times {
+	order := TopoOrder(g)
+	asap := make([]int, len(g.nodes))
+	cp := 0
+	for _, n := range order {
+		s := 0
+		for _, p := range n.preds {
+			if t := asap[p.id] + lat(p.op); t > s {
+				s = t
+			}
+		}
+		asap[n.id] = s
+		if e := s + lat(n.op); e > cp {
+			cp = e
+		}
+	}
+	if target < cp {
+		target = cp
+	}
+	alap := make([]int, len(g.nodes))
+	for i := range alap {
+		alap[i] = -1
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		e := target
+		for _, s := range n.succs {
+			if t := alap[s.id]; t < e {
+				e = t
+			}
+		}
+		alap[n.id] = e - lat(n.op)
+	}
+	return &Times{ASAP: asap, ALAP: alap, L: target}
+}
+
+// CriticalPath returns L_CP: the minimum latency of g ignoring all resource
+// constraints, i.e. the longest dependence chain weighted by lat.
+func CriticalPath(g *Graph, lat LatencyFn) int {
+	cp := 0
+	asap := make([]int, len(g.nodes))
+	for _, n := range TopoOrder(g) {
+		s := 0
+		for _, p := range n.preds {
+			if t := asap[p.id] + lat(p.op); t > s {
+				s = t
+			}
+		}
+		asap[n.id] = s
+		if e := s + lat(n.op); e > cp {
+			cp = e
+		}
+	}
+	return cp
+}
+
+// TopoOrder returns the nodes of g in a topological order. Builder-made
+// graphs are already topologically ordered by construction; this verifies
+// and falls back to Kahn's algorithm for graphs from other sources.
+func TopoOrder(g *Graph) []*Node {
+	ok := true
+	for _, n := range g.nodes {
+		for _, p := range n.preds {
+			if p.id >= n.id {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		return g.nodes
+	}
+	indeg := make([]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n.id] = len(n.preds)
+	}
+	queue := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if indeg[n.id] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	order := make([]*Node, 0, len(g.nodes))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, s := range n.succs {
+			indeg[s.id]--
+			if indeg[s.id] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		panic(fmt.Sprintf("dfg: graph %q contains a cycle", g.name))
+	}
+	return order
+}
+
+// Components partitions the nodes into weakly connected components (the
+// paper's N_CC counts them). Components are returned in order of their
+// lowest-ID member; members are in ID order.
+func Components(g *Graph) [][]*Node {
+	parent := make([]int, len(g.nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, n := range g.nodes {
+		for _, p := range n.preds {
+			union(p.id, n.id)
+		}
+	}
+	groups := make(map[int][]*Node)
+	var roots []int
+	for _, n := range g.nodes {
+		r := find(n.id)
+		if _, seen := groups[r]; !seen {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], n)
+	}
+	out := make([][]*Node, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// Sources returns the nodes with no node predecessors (they read only
+// external inputs), in ID order.
+func Sources(g *Graph) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if len(n.preds) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns the nodes with no consumers, in ID order.
+func Sinks(g *Graph) []*Node {
+	var out []*Node
+	for _, n := range g.nodes {
+		if len(n.succs) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}

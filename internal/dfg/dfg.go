@@ -1,0 +1,340 @@
+// Package dfg implements the dataflow model of Lapinskii et al. (DAC 2001),
+// Section 2: a basic block is a directed acyclic graph whose vertices are
+// operations and whose edges are data dependencies. A graph can be in its
+// original form or in bound form, where explicit data-transfer (move)
+// operations have been inserted between clusters.
+//
+// The package is self-contained: it knows operation types and the functional
+// unit types they execute on, but nothing about a concrete datapath. Latency
+// information is supplied by callers through a LatencyFn so the same graph
+// can be analyzed under different machine models.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpType identifies the operation performed by a node. Each operation type
+// maps to exactly one functional-unit type (FUType); this partitions the
+// operation types, as required by the paper's datapath model.
+type OpType uint8
+
+const (
+	// OpInvalid is the zero OpType; it never appears in a valid graph.
+	OpInvalid OpType = iota
+	// OpAdd is a two-operand addition (ALU).
+	OpAdd
+	// OpSub is a two-operand subtraction (ALU).
+	OpSub
+	// OpNeg is a single-operand negation (ALU).
+	OpNeg
+	// OpMul is a two-operand multiplication (MUL).
+	OpMul
+	// OpMulImm multiplies its single operand by the node's immediate
+	// coefficient (MUL). DSP kernels use it for twiddle/filter constants.
+	OpMulImm
+	// OpMove is an inter-cluster data transfer (BUS). Moves never appear
+	// in an original graph; binding inserts them.
+	OpMove
+	// OpStore spills its operand to the cluster's local memory (MEM),
+	// producing a memory-slot value consumable only by OpLoad. Spill
+	// code never appears in an original graph; the spiller inserts it.
+	OpStore
+	// OpLoad reloads a spilled value (its single operand is the OpStore
+	// that produced the slot) back into the register file (MEM).
+	OpLoad
+
+	numOpTypes
+)
+
+var opTypeNames = [numOpTypes]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpNeg:     "neg",
+	OpMul:     "mul",
+	OpMulImm:  "muli",
+	OpMove:    "move",
+	OpStore:   "st",
+	OpLoad:    "ld",
+}
+
+// String returns the mnemonic used by the .dfg text format.
+func (t OpType) String() string {
+	if int(t) < len(opTypeNames) {
+		return opTypeNames[t]
+	}
+	return fmt.Sprintf("optype(%d)", int(t))
+}
+
+// ParseOpType converts a mnemonic back to an OpType.
+func ParseOpType(s string) (OpType, error) {
+	for i, n := range opTypeNames {
+		if n == s && OpType(i) != OpInvalid {
+			return OpType(i), nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("dfg: unknown operation type %q", s)
+}
+
+// NumOperands reports how many operands nodes of this type take.
+func (t OpType) NumOperands() int {
+	switch t {
+	case OpAdd, OpSub, OpMul:
+		return 2
+	case OpNeg, OpMulImm, OpMove, OpStore, OpLoad:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// HasImm reports whether nodes of this type carry an immediate coefficient.
+func (t OpType) HasImm() bool { return t == OpMulImm }
+
+// FUType identifies a class of functional units. The bus is modeled as a
+// resource type like any other, per Section 2 of the paper.
+type FUType uint8
+
+const (
+	// FUInvalid is the zero FUType.
+	FUInvalid FUType = iota
+	// FUALU executes add, sub and neg.
+	FUALU
+	// FUMul executes mul and muli.
+	FUMul
+	// FUBus executes move operations (inter-cluster transfers).
+	FUBus
+	// FUMem is a cluster's local memory port, executing spill stores
+	// and reloads.
+	FUMem
+
+	numFUTypes
+)
+
+// NumFUTypes is the number of valid functional-unit types (excluding
+// FUInvalid); useful for sizing dense per-type tables.
+const NumFUTypes = int(numFUTypes)
+
+var fuTypeNames = [numFUTypes]string{
+	FUInvalid: "invalid",
+	FUALU:     "alu",
+	FUMul:     "mul",
+	FUBus:     "bus",
+	FUMem:     "mem",
+}
+
+// String returns the mnemonic name of the FU type.
+func (t FUType) String() string {
+	if int(t) < len(fuTypeNames) {
+		return fuTypeNames[t]
+	}
+	return fmt.Sprintf("futype(%d)", int(t))
+}
+
+// FUTypeOf maps an operation type to the functional-unit type that executes
+// it (futype in the paper).
+func FUTypeOf(t OpType) FUType {
+	switch t {
+	case OpAdd, OpSub, OpNeg:
+		return FUALU
+	case OpMul, OpMulImm:
+		return FUMul
+	case OpMove:
+		return FUBus
+	case OpStore, OpLoad:
+		return FUMem
+	default:
+		return FUInvalid
+	}
+}
+
+// ComputeFUTypes lists the FU types that execute operations inside a
+// cluster (everything except the shared bus).
+func ComputeFUTypes() []FUType { return []FUType{FUALU, FUMul, FUMem} }
+
+// LatencyFn supplies the latency, in clock cycles, of an operation type.
+type LatencyFn func(OpType) int
+
+// UnitLatency assigns one cycle to every operation type. Table 1 of the
+// paper uses this model ("all operations take one cycle").
+func UnitLatency(OpType) int { return 1 }
+
+// Value is a dataflow value: either the result of a node or an external
+// graph input. The zero Value is invalid.
+type Value struct {
+	node  *Node
+	input int // valid when node == nil; -1 marks the invalid Value
+}
+
+// ValueOf returns the Value produced by node n.
+func ValueOf(n *Node) Value { return Value{node: n, input: -1} }
+
+// InputValue returns the Value of external input index i.
+func InputValue(i int) Value { return Value{node: nil, input: i} }
+
+// IsInput reports whether v is an external graph input.
+func (v Value) IsInput() bool { return v.node == nil && v.input >= 0 }
+
+// IsNode reports whether v is produced by a node.
+func (v Value) IsNode() bool { return v.node != nil }
+
+// Node returns the producing node, or nil for external inputs.
+func (v Value) Node() *Node { return v.node }
+
+// Input returns the external input index; it panics if v is not an input.
+func (v Value) Input() int {
+	if !v.IsInput() {
+		panic("dfg: Value.Input on non-input value")
+	}
+	return v.input
+}
+
+// Node is one operation in a dataflow graph.
+type Node struct {
+	id       int
+	name     string
+	op       OpType
+	imm      float64
+	operands []Value
+	preds    []*Node // distinct producing nodes, in first-use order
+	succs    []*Node // distinct consuming nodes, in creation order
+	output   bool
+
+	// xferFor is set on OpMove nodes inserted by binding: the original
+	// producer whose value this move transports. Nil on regular nodes.
+	xferFor *Node
+}
+
+// ID is the node's dense index within its graph (0..NumNodes-1).
+func (n *Node) ID() int { return n.id }
+
+// Name is the node's unique label.
+func (n *Node) Name() string { return n.name }
+
+// Op is the node's operation type.
+func (n *Node) Op() OpType { return n.op }
+
+// FUType is the functional-unit type executing this node.
+func (n *Node) FUType() FUType { return FUTypeOf(n.op) }
+
+// Imm is the immediate coefficient (meaningful only when Op().HasImm()).
+func (n *Node) Imm() float64 { return n.imm }
+
+// Operands returns the node's ordered operand list. Callers must not
+// modify the returned slice.
+func (n *Node) Operands() []Value { return n.operands }
+
+// Preds returns the distinct producer nodes this node depends on.
+// External inputs do not appear. Callers must not modify the slice.
+func (n *Node) Preds() []*Node { return n.preds }
+
+// Succs returns the distinct consumer nodes of this node's result.
+// Callers must not modify the slice.
+func (n *Node) Succs() []*Node { return n.succs }
+
+// NumConsumers is the number of distinct consumers of the node's result,
+// counting a live-out (output) use as one extra consumer. It is the third
+// component of the paper's ranking function (Section 3.1.1).
+func (n *Node) NumConsumers() int {
+	c := len(n.succs)
+	if n.output {
+		c++
+	}
+	return c
+}
+
+// IsOutput reports whether the node's result is live-out of the block.
+func (n *Node) IsOutput() bool { return n.output }
+
+// IsMove reports whether the node is an inter-cluster data transfer.
+func (n *Node) IsMove() bool { return n.op == OpMove }
+
+// TransferFor returns, for a move node inserted by binding, the original
+// producer whose value the move transports; nil otherwise.
+func (n *Node) TransferFor() *Node { return n.xferFor }
+
+// Graph is a dataflow graph. Nodes are stored in creation order and have
+// dense IDs, so per-node attributes can live in plain slices indexed by ID.
+type Graph struct {
+	name     string
+	nodes    []*Node
+	inputs   []string // names of external inputs, by index
+	outputs  []*Node  // nodes marked live-out, in marking order
+	byName   map[string]*Node
+	numMoves int
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// Nodes returns all nodes in creation order. Callers must not modify the
+// returned slice.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// NumNodes is the total number of nodes, including moves in a bound graph.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumOps is the number of regular (non-move) operations; this is the
+// paper's N_V.
+func (g *Graph) NumOps() int { return len(g.nodes) - g.numMoves }
+
+// NumMoves is the number of data-transfer nodes (0 in an original graph).
+func (g *Graph) NumMoves() int { return g.numMoves }
+
+// NumInputs is the number of external inputs.
+func (g *Graph) NumInputs() int { return len(g.inputs) }
+
+// InputName returns the name of external input i.
+func (g *Graph) InputName(i int) string { return g.inputs[i] }
+
+// Outputs returns the live-out nodes in marking order. Callers must not
+// modify the returned slice.
+func (g *Graph) Outputs() []*Node { return g.outputs }
+
+// NodeByName looks a node up by label; nil if absent.
+func (g *Graph) NodeByName(name string) *Node { return g.byName[name] }
+
+// Node returns the node with the given dense ID.
+func (g *Graph) Node(id int) *Node { return g.nodes[id] }
+
+// Stats summarizes the structural features the paper reports per benchmark.
+type Stats struct {
+	NumOps        int // N_V
+	NumComponents int // N_CC
+	CriticalPath  int // L_CP under unit latencies
+	NumInputs     int
+	NumOutputs    int
+	ByFU          map[FUType]int // regular op count per FU type
+}
+
+// Stats computes the structural summary of g under unit latencies, matching
+// the sub-headers of Table 1 in the paper.
+func (g *Graph) Stats() Stats {
+	by := make(map[FUType]int)
+	for _, n := range g.nodes {
+		if !n.IsMove() {
+			by[n.FUType()]++
+		}
+	}
+	return Stats{
+		NumOps:        g.NumOps(),
+		NumComponents: len(Components(g)),
+		CriticalPath:  CriticalPath(g, UnitLatency),
+		NumInputs:     g.NumInputs(),
+		NumOutputs:    len(g.outputs),
+		ByFU:          by,
+	}
+}
+
+// sortedNames returns the node names in sorted order; used by tests and
+// debug output for deterministic listings.
+func (g *Graph) sortedNames() []string {
+	names := make([]string, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		names = append(names, n.name)
+	}
+	sort.Strings(names)
+	return names
+}

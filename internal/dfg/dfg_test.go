@@ -1,0 +1,572 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds the 4-node diamond used across tests:
+//
+//	   v0 (add)
+//	  /   \
+//	v1     v2 (muls)
+//	  \   /
+//	   v3 (add, output)
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("diamond")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Named("v0", OpAdd, 0, x, y)
+	v1 := b.Named("v1", OpMul, 0, v0, x)
+	v2 := b.Named("v2", OpMul, 0, v0, y)
+	v3 := b.Named("v3", OpAdd, 0, v1, v2)
+	b.Output(v3)
+	g := b.Graph()
+	if err := Validate(g); err != nil {
+		t.Fatalf("diamond does not validate: %v", err)
+	}
+	return g
+}
+
+func TestOpTypeString(t *testing.T) {
+	cases := map[OpType]string{
+		OpAdd: "add", OpSub: "sub", OpNeg: "neg",
+		OpMul: "mul", OpMulImm: "muli", OpMove: "move",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(op), got, want)
+		}
+		back, err := ParseOpType(want)
+		if err != nil || back != op {
+			t.Errorf("ParseOpType(%q) = %v, %v; want %v", want, back, err, op)
+		}
+	}
+	if _, err := ParseOpType("bogus"); err == nil {
+		t.Error("ParseOpType(bogus) succeeded, want error")
+	}
+	if _, err := ParseOpType("invalid"); err == nil {
+		t.Error("ParseOpType(invalid) succeeded, want error")
+	}
+}
+
+func TestOpTypeOperandCounts(t *testing.T) {
+	two := []OpType{OpAdd, OpSub, OpMul}
+	one := []OpType{OpNeg, OpMulImm, OpMove}
+	for _, op := range two {
+		if op.NumOperands() != 2 {
+			t.Errorf("%s.NumOperands() = %d, want 2", op, op.NumOperands())
+		}
+	}
+	for _, op := range one {
+		if op.NumOperands() != 1 {
+			t.Errorf("%s.NumOperands() = %d, want 1", op, op.NumOperands())
+		}
+	}
+}
+
+func TestFUTypeOf(t *testing.T) {
+	cases := map[OpType]FUType{
+		OpAdd: FUALU, OpSub: FUALU, OpNeg: FUALU,
+		OpMul: FUMul, OpMulImm: FUMul, OpMove: FUBus,
+	}
+	for op, want := range cases {
+		if got := FUTypeOf(op); got != want {
+			t.Errorf("FUTypeOf(%s) = %s, want %s", op, got, want)
+		}
+	}
+	if FUTypeOf(OpInvalid) != FUInvalid {
+		t.Error("FUTypeOf(OpInvalid) != FUInvalid")
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := diamond(t)
+	if g.NumNodes() != 4 || g.NumOps() != 4 || g.NumMoves() != 0 {
+		t.Fatalf("NumNodes/NumOps/NumMoves = %d/%d/%d, want 4/4/0",
+			g.NumNodes(), g.NumOps(), g.NumMoves())
+	}
+	if g.NumInputs() != 2 || g.InputName(0) != "x" || g.InputName(1) != "y" {
+		t.Fatalf("inputs wrong: %d %q %q", g.NumInputs(), g.InputName(0), g.InputName(1))
+	}
+	if len(g.Outputs()) != 1 || g.Outputs()[0].Name() != "v3" {
+		t.Fatalf("outputs wrong: %v", g.Outputs())
+	}
+	v0 := g.NodeByName("v0")
+	if v0 == nil || v0.Op() != OpAdd || v0.ID() != 0 {
+		t.Fatalf("v0 lookup wrong: %+v", v0)
+	}
+	if len(v0.Succs()) != 2 {
+		t.Errorf("v0 has %d succs, want 2", len(v0.Succs()))
+	}
+	if v0.NumConsumers() != 2 {
+		t.Errorf("v0 NumConsumers = %d, want 2", v0.NumConsumers())
+	}
+	v3 := g.NodeByName("v3")
+	if !v3.IsOutput() || v3.NumConsumers() != 1 {
+		t.Errorf("v3 output handling wrong: output=%v consumers=%d", v3.IsOutput(), v3.NumConsumers())
+	}
+	if len(v3.Preds()) != 2 {
+		t.Errorf("v3 has %d preds, want 2", len(v3.Preds()))
+	}
+}
+
+func TestBuilderDuplicateOperand(t *testing.T) {
+	b := NewBuilder("dup")
+	x := b.Input("x")
+	v := b.Add(x, x)                  // x + x: input used twice
+	w := b.Named("w", OpAdd, 0, v, v) // v + v: node used twice
+	b.Output(w)
+	g := b.Graph()
+	if err := Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	wn := g.NodeByName("w")
+	if len(wn.Preds()) != 1 {
+		t.Errorf("w has %d preds, want 1 (duplicate operand dedup)", len(wn.Preds()))
+	}
+	vn := v.Node()
+	if len(vn.Succs()) != 1 {
+		t.Errorf("v has %d succs, want 1", len(vn.Succs()))
+	}
+	if len(wn.Operands()) != 2 {
+		t.Errorf("w has %d operands, want 2", len(wn.Operands()))
+	}
+}
+
+func TestBuilderAutoNames(t *testing.T) {
+	b := NewBuilder("auto")
+	x := b.Input("x")
+	// Claim "n0" explicitly; auto-naming must skip over it.
+	v := b.Named("n0", OpNeg, 0, x)
+	w := b.Neg(v)
+	g := b.Graph()
+	if w.Node().Name() == "n0" {
+		t.Fatal("auto-name collided with explicit name")
+	}
+	if err := Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("wrong operand count", func() {
+		b := NewBuilder("p")
+		x := b.Input("x")
+		b.Named("v", OpAdd, 0, x)
+	})
+	expectPanic("duplicate name", func() {
+		b := NewBuilder("p")
+		x := b.Input("x")
+		b.Named("v", OpNeg, 0, x)
+		b.Named("v", OpNeg, 0, x)
+	})
+	expectPanic("zero value operand", func() {
+		b := NewBuilder("p")
+		b.Named("v", OpNeg, 0, Value{input: -1})
+	})
+	expectPanic("input as output", func() {
+		b := NewBuilder("p")
+		x := b.Input("x")
+		b.Output(x)
+	})
+	expectPanic("use after Graph", func() {
+		b := NewBuilder("p")
+		x := b.Input("x")
+		b.Named("v", OpNeg, 0, x)
+		b.Graph()
+		b.Input("y")
+	})
+}
+
+func TestBuilderInputs(t *testing.T) {
+	b := NewBuilder("ins")
+	vs := b.Inputs("x", 3)
+	if len(vs) != 3 {
+		t.Fatalf("Inputs returned %d values", len(vs))
+	}
+	v := b.Add(vs[0], vs[2])
+	b.Output(v)
+	g := b.Graph()
+	if g.NumInputs() != 3 || g.InputName(2) != "x2" {
+		t.Fatalf("inputs: n=%d name2=%q", g.NumInputs(), g.InputName(2))
+	}
+}
+
+func TestOutputIdempotent(t *testing.T) {
+	b := NewBuilder("out")
+	x := b.Input("x")
+	v := b.Neg(x)
+	b.Output(v)
+	b.Output(v)
+	g := b.Graph()
+	if len(g.Outputs()) != 1 {
+		t.Fatalf("double Output produced %d outputs", len(g.Outputs()))
+	}
+}
+
+func TestAnalyzeDiamond(t *testing.T) {
+	g := diamond(t)
+	tm := Analyze(g, UnitLatency, 0)
+	if tm.L != 3 {
+		t.Fatalf("L = %d, want 3", tm.L)
+	}
+	wantASAP := map[string]int{"v0": 0, "v1": 1, "v2": 1, "v3": 2}
+	wantALAP := map[string]int{"v0": 0, "v1": 1, "v2": 1, "v3": 2}
+	for name, want := range wantASAP {
+		if got := tm.ASAP[g.NodeByName(name).ID()]; got != want {
+			t.Errorf("ASAP(%s) = %d, want %d", name, got, want)
+		}
+	}
+	for name, want := range wantALAP {
+		if got := tm.ALAP[g.NodeByName(name).ID()]; got != want {
+			t.Errorf("ALAP(%s) = %d, want %d", name, got, want)
+		}
+		if m := tm.Mobility(g.NodeByName(name)); m != 0 {
+			t.Errorf("Mobility(%s) = %d, want 0 (all on critical path)", name, m)
+		}
+	}
+}
+
+func TestAnalyzeStretchedTarget(t *testing.T) {
+	g := diamond(t)
+	tm := Analyze(g, UnitLatency, 5)
+	if tm.L != 5 {
+		t.Fatalf("L = %d, want 5", tm.L)
+	}
+	for _, n := range g.Nodes() {
+		if m := tm.Mobility(n); m != 2 {
+			t.Errorf("Mobility(%s) = %d, want 2 under stretched target", n.Name(), m)
+		}
+	}
+}
+
+func TestAnalyzeTargetBelowCP(t *testing.T) {
+	g := diamond(t)
+	tm := Analyze(g, UnitLatency, 1)
+	if tm.L != 3 {
+		t.Fatalf("target below critical path not raised: L = %d, want 3", tm.L)
+	}
+	for _, n := range g.Nodes() {
+		if tm.Mobility(n) < 0 {
+			t.Errorf("negative mobility for %s", n.Name())
+		}
+	}
+}
+
+func TestAnalyzeNonUnitLatency(t *testing.T) {
+	lat := func(op OpType) int {
+		if FUTypeOf(op) == FUMul {
+			return 2
+		}
+		return 1
+	}
+	g := diamond(t)
+	tm := Analyze(g, lat, 0)
+	// v0(1) -> v1(2) -> v3(1): critical path 4.
+	if tm.L != 4 {
+		t.Fatalf("L = %d, want 4", tm.L)
+	}
+	if got := tm.ASAP[g.NodeByName("v3").ID()]; got != 3 {
+		t.Errorf("ASAP(v3) = %d, want 3", got)
+	}
+	if CriticalPath(g, lat) != 4 {
+		t.Errorf("CriticalPath = %d, want 4", CriticalPath(g, lat))
+	}
+}
+
+func TestAnalyzeMobilityChain(t *testing.T) {
+	// v0 -> v1 -> v3 is length 3; v2 alone feeding v3 has mobility 1.
+	b := NewBuilder("chain")
+	x := b.Input("x")
+	v0 := b.Named("v0", OpNeg, 0, x)
+	v1 := b.Named("v1", OpNeg, 0, v0)
+	v2 := b.Named("v2", OpNeg, 0, x)
+	v3 := b.Named("v3", OpAdd, 0, v1, v2)
+	b.Output(v3)
+	g := b.Graph()
+	tm := Analyze(g, UnitLatency, 0)
+	if m := tm.Mobility(g.NodeByName("v2")); m != 1 {
+		t.Errorf("Mobility(v2) = %d, want 1", m)
+	}
+	if m := tm.Mobility(g.NodeByName("v1")); m != 0 {
+		t.Errorf("Mobility(v1) = %d, want 0", m)
+	}
+}
+
+func TestTopoOrderBuilderGraphs(t *testing.T) {
+	g := diamond(t)
+	order := TopoOrder(g)
+	pos := make(map[*Node]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, p := range n.Preds() {
+			if pos[p] >= pos[n] {
+				t.Errorf("topo violation: %s before %s", n.Name(), p.Name())
+			}
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder("cc")
+	x, y := b.Input("x"), b.Input("y")
+	a1 := b.Named("a1", OpNeg, 0, x)
+	a2 := b.Named("a2", OpNeg, 0, a1)
+	c1 := b.Named("c1", OpNeg, 0, y)
+	b.Output(a2)
+	b.Output(c1)
+	g := b.Graph()
+	comps := Components(g)
+	if len(comps) != 2 {
+		t.Fatalf("Components = %d, want 2", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1])}
+	if sizes[0]+sizes[1] != 3 {
+		t.Errorf("component sizes %v do not cover the graph", sizes)
+	}
+	// The diamond is a single component.
+	if n := len(Components(diamond(t))); n != 1 {
+		t.Errorf("diamond has %d components, want 1", n)
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	src := Sources(g)
+	if len(src) != 1 || src[0].Name() != "v0" {
+		t.Errorf("Sources = %v, want [v0]", src)
+	}
+	snk := Sinks(g)
+	if len(snk) != 1 || snk[0].Name() != "v3" {
+		t.Errorf("Sinks = %v, want [v3]", snk)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := diamond(t)
+	s := g.Stats()
+	if s.NumOps != 4 || s.NumComponents != 1 || s.CriticalPath != 3 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.ByFU[FUALU] != 2 || s.ByFU[FUMul] != 2 {
+		t.Errorf("ByFU = %v, want 2 ALU / 2 MUL", s.ByFU)
+	}
+	if s.NumInputs != 2 || s.NumOutputs != 1 {
+		t.Errorf("in/out = %d/%d, want 2/1", s.NumInputs, s.NumOutputs)
+	}
+}
+
+func TestEvalDiamond(t *testing.T) {
+	g := diamond(t)
+	// v0 = x+y; v1 = v0*x; v2 = v0*y; v3 = v1+v2 = (x+y)^2
+	out, err := EvalOutputs(g, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 49 {
+		t.Fatalf("EvalOutputs = %v, want [49]", out)
+	}
+}
+
+func TestEvalAllOps(t *testing.T) {
+	b := NewBuilder("ops")
+	x, y := b.Input("x"), b.Input("y")
+	add := b.Add(x, y)
+	sub := b.Sub(x, y)
+	neg := b.Neg(x)
+	mul := b.Mul(x, y)
+	mi := b.MulImm(x, 2.5)
+	mv := b.Move(add)
+	for _, v := range []Value{add, sub, neg, mul, mi, mv} {
+		b.Output(v)
+	}
+	g := b.Graph()
+	out, err := EvalOutputs(g, []float64{6, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 4, -6, 12, 15, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("output %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestEvalBadInputCount(t *testing.T) {
+	g := diamond(t)
+	if _, err := Eval(g, []float64{1}); err == nil {
+		t.Fatal("Eval with wrong input count succeeded")
+	}
+}
+
+func TestMoveBookkeeping(t *testing.T) {
+	b := NewBuilder("mv")
+	x := b.Input("x")
+	v := b.Neg(x)
+	m := b.Move(v)
+	w := b.Neg(m)
+	b.Output(w)
+	g := b.Graph()
+	if g.NumMoves() != 1 || g.NumOps() != 2 || g.NumNodes() != 3 {
+		t.Fatalf("moves/ops/nodes = %d/%d/%d, want 1/2/3", g.NumMoves(), g.NumOps(), g.NumNodes())
+	}
+	mn := m.Node()
+	if !mn.IsMove() || mn.TransferFor() != v.Node() {
+		t.Errorf("move metadata wrong: IsMove=%v TransferFor=%v", mn.IsMove(), mn.TransferFor())
+	}
+	if v.Node().TransferFor() != nil {
+		t.Error("regular node has TransferFor set")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	corrupt := []struct {
+		name string
+		mut  func(g *Graph)
+	}{
+		{"bad id", func(g *Graph) { g.nodes[1].id = 7 }},
+		{"name index", func(g *Graph) { delete(g.byName, "v1") }},
+		{"move count", func(g *Graph) { g.numMoves = 3 }},
+		{"transferFor on regular", func(g *Graph) { g.nodes[0].xferFor = g.nodes[1] }},
+		{"dup pred", func(g *Graph) {
+			n := g.NodeByName("v3")
+			n.preds = append(n.preds, n.preds[0])
+		}},
+		{"output unmarked", func(g *Graph) { g.outputs[0].output = false }},
+		{"cycle", func(g *Graph) {
+			v0, v3 := g.NodeByName("v0"), g.NodeByName("v3")
+			v0.operands = []Value{ValueOf(v3), ValueOf(v3)}
+			v0.preds = []*Node{v3}
+			v3.succs = append(v3.succs, v0)
+		}},
+	}
+	for _, tc := range corrupt {
+		g := diamond(t)
+		tc.mut(g)
+		if err := Validate(g); err == nil {
+			t.Errorf("Validate missed corruption %q", tc.name)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	g := diamond(t)
+	d := Dot(g, nil)
+	for _, want := range []string{"digraph", "v0", "v3", "->", "peripheries=2"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+	// With a binding, subgraph clusters appear.
+	bind := []int{0, 0, 1, 1}
+	d = Dot(g, bind)
+	if !strings.Contains(d, "subgraph cluster_0") || !strings.Contains(d, "subgraph cluster_1") {
+		t.Errorf("clustered Dot output missing subgraphs:\n%s", d)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	g := diamond(t)
+	names := g.sortedNames()
+	if len(names) != 4 || names[0] != "v0" || names[3] != "v3" {
+		t.Errorf("sortedNames = %v", names)
+	}
+}
+
+func TestTopoOrderKahnFallback(t *testing.T) {
+	// Builder graphs are ID-ordered; exercise the Kahn fallback by
+	// reordering the node slice (white box: IDs must stay dense, so the
+	// fast-path check sees a pred with a larger ID).
+	g := diamond(t)
+	// Swap v0 (id 0) and v3 (id 3) in storage and renumber.
+	n := g.nodes
+	n[0], n[3] = n[3], n[0]
+	n[0].id, n[3].id = 0, 3
+	order := TopoOrder(g)
+	if len(order) != 4 {
+		t.Fatalf("fallback order has %d nodes", len(order))
+	}
+	pos := make(map[*Node]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, v := range g.Nodes() {
+		for _, p := range v.Preds() {
+			if pos[p] >= pos[v] {
+				t.Errorf("fallback order violates edge %s -> %s", p.Name(), v.Name())
+			}
+		}
+	}
+	// Analysis still works on the reordered graph.
+	if cp := CriticalPath(g, UnitLatency); cp != 3 {
+		t.Errorf("critical path after reorder = %d, want 3", cp)
+	}
+}
+
+func TestTopoOrderPanicsOnCycle(t *testing.T) {
+	g := diamond(t)
+	// Introduce a cycle v3 -> v0 behind the builder's back.
+	v0, v3 := g.NodeByName("v0"), g.NodeByName("v3")
+	v0.preds = append(v0.preds, v3)
+	v3.succs = append(v3.succs, v0)
+	v0.operands = []Value{ValueOf(v3), ValueOf(v3)}
+	defer func() {
+		if recover() == nil {
+			t.Error("TopoOrder did not panic on a cyclic graph")
+		}
+	}()
+	TopoOrder(g)
+}
+
+func TestValueAccessors(t *testing.T) {
+	in := InputValue(2)
+	if !in.IsInput() || in.IsNode() || in.Input() != 2 || in.Node() != nil {
+		t.Error("input Value accessors wrong")
+	}
+	g := diamond(t)
+	v := ValueOf(g.NodeByName("v1"))
+	if v.IsInput() || !v.IsNode() || v.Node().Name() != "v1" {
+		t.Error("node Value accessors wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Input() on node value did not panic")
+		}
+	}()
+	v.Input()
+}
+
+func TestComputeFUTypesAndStrings(t *testing.T) {
+	fts := ComputeFUTypes()
+	if len(fts) != 3 || fts[0] != FUALU || fts[1] != FUMul || fts[2] != FUMem {
+		t.Errorf("ComputeFUTypes = %v", fts)
+	}
+	if FUBus.String() != "bus" || FUALU.String() != "alu" {
+		t.Error("FUType strings wrong")
+	}
+	if FUType(99).String() == "" || OpType(99).String() == "" {
+		t.Error("out-of-range type String empty")
+	}
+}
+
+func TestBuilderHasNode(t *testing.T) {
+	b := NewBuilder("h")
+	x := b.Input("x")
+	b.Named("v", OpNeg, 0, x)
+	if !b.HasNode("v") || b.HasNode("w") {
+		t.Error("HasNode wrong")
+	}
+}

@@ -1,0 +1,72 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz DOT form. Regular operations are boxes
+// labeled with their mnemonic, moves are gray ellipses, external inputs are
+// plaintext nodes, and live-out nodes get a double border. bind is optional:
+// when non-nil it supplies a cluster index per node ID and nodes are grouped
+// into DOT subgraph clusters accordingly.
+func Dot(g *Graph, bind []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.name)
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	for i := range g.inputs {
+		fmt.Fprintf(&b, "  in_%d [label=%q, shape=plaintext];\n", i, g.inputs[i])
+	}
+	emit := func(n *Node) {
+		label := fmt.Sprintf("%s\\n%s", n.name, n.op)
+		if n.op.HasImm() {
+			label = fmt.Sprintf("%s\\n%s %.4g", n.name, n.op, n.imm)
+		}
+		shape, extra := "box", ""
+		if n.IsMove() {
+			shape, extra = "ellipse", ", style=filled, fillcolor=lightgray"
+		}
+		if n.IsOutput() {
+			extra += ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  n_%d [label=%q, shape=%s%s];\n", n.id, label, shape, extra)
+	}
+	if bind == nil {
+		for _, n := range g.nodes {
+			emit(n)
+		}
+	} else {
+		byCluster := make(map[int][]*Node)
+		maxC := 0
+		for _, n := range g.nodes {
+			c := bind[n.id]
+			byCluster[c] = append(byCluster[c], n)
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for c := 0; c <= maxC; c++ {
+			nodes := byCluster[c]
+			if len(nodes) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"cluster %d\";\n", c, c)
+			for _, n := range nodes {
+				b.WriteString("  ")
+				emit(n)
+			}
+			b.WriteString("  }\n")
+		}
+	}
+	for _, n := range g.nodes {
+		for _, v := range n.operands {
+			if v.IsInput() {
+				fmt.Fprintf(&b, "  in_%d -> n_%d;\n", v.input, n.id)
+			} else {
+				fmt.Fprintf(&b, "  n_%d -> n_%d;\n", v.node.id, n.id)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

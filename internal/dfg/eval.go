@@ -1,0 +1,53 @@
+package dfg
+
+import "fmt"
+
+// Eval computes the value of every node given concrete external inputs, in
+// dependence order. It is the reference semantics against which the
+// cycle-accurate simulator (internal/vliwsim) is checked: a bound and
+// scheduled graph must produce exactly these values.
+func Eval(g *Graph, inputs []float64) ([]float64, error) {
+	if len(inputs) != len(g.inputs) {
+		return nil, fmt.Errorf("dfg: graph %q has %d inputs, got %d values", g.name, len(g.inputs), len(inputs))
+	}
+	vals := make([]float64, len(g.nodes))
+	arg := func(v Value) float64 {
+		if v.IsInput() {
+			return inputs[v.input]
+		}
+		return vals[v.node.id]
+	}
+	for _, n := range TopoOrder(g) {
+		switch n.op {
+		case OpAdd:
+			vals[n.id] = arg(n.operands[0]) + arg(n.operands[1])
+		case OpSub:
+			vals[n.id] = arg(n.operands[0]) - arg(n.operands[1])
+		case OpNeg:
+			vals[n.id] = -arg(n.operands[0])
+		case OpMul:
+			vals[n.id] = arg(n.operands[0]) * arg(n.operands[1])
+		case OpMulImm:
+			vals[n.id] = n.imm * arg(n.operands[0])
+		case OpMove, OpStore, OpLoad:
+			vals[n.id] = arg(n.operands[0])
+		default:
+			return nil, fmt.Errorf("dfg: node %q has unevaluable op %s", n.name, n.op)
+		}
+	}
+	return vals, nil
+}
+
+// EvalOutputs evaluates g and returns only the live-out values, in output
+// order.
+func EvalOutputs(g *Graph, inputs []float64) ([]float64, error) {
+	vals, err := Eval(g, inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(g.outputs))
+	for i, n := range g.outputs {
+		out[i] = vals[n.id]
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package dfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// propertyGraph derives a deterministic pseudo-random graph from quick's
+// fuzzed parameters. It mirrors kernels.Random but lives here to keep the
+// package dependency-free.
+func propertyGraph(seed uint32, ops uint8) *Graph {
+	n := int(ops%40) + 2
+	rng := seed
+	next := func(mod int) int {
+		// xorshift32: cheap deterministic stream.
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return int(rng % uint32(mod))
+	}
+	b := NewBuilder("prop")
+	pool := []Value{b.Input("x"), b.Input("y"), b.Input("z")}
+	consumed := make(map[Value]bool)
+	for i := 0; i < n; i++ {
+		a := pool[next(len(pool))]
+		c := pool[next(len(pool))]
+		var v Value
+		switch next(5) {
+		case 0:
+			v = b.Add(a, c)
+		case 1:
+			v = b.Sub(a, c)
+		case 2:
+			v = b.Mul(a, c)
+		case 3:
+			v = b.MulImm(a, float64(next(9)+1)/4)
+		default:
+			v = b.Neg(a)
+		}
+		consumed[a], consumed[c] = true, true
+		pool = append(pool, v)
+	}
+	for _, v := range pool {
+		if v.IsNode() && !consumed[v] {
+			b.Output(v)
+		}
+	}
+	return b.Graph()
+}
+
+func TestQuickGraphsValidate(t *testing.T) {
+	f := func(seed uint32, ops uint8) bool {
+		return Validate(propertyGraph(seed, ops)) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAnalyzeInvariants(t *testing.T) {
+	// For every random graph and stretch: asap <= alap, mobility >= 0,
+	// every node fits in [0, L], and predecessors finish before their
+	// consumers' ALAP deadlines allow.
+	f := func(seed uint32, ops uint8, stretch uint8) bool {
+		g := propertyGraph(seed, ops)
+		target := CriticalPath(g, UnitLatency) + int(stretch%10)
+		tm := Analyze(g, UnitLatency, target)
+		if tm.L != target {
+			return false
+		}
+		for _, n := range g.Nodes() {
+			if tm.ASAP[n.ID()] > tm.ALAP[n.ID()] {
+				return false
+			}
+			if tm.ASAP[n.ID()] < 0 || tm.ALAP[n.ID()]+1 > tm.L {
+				return false
+			}
+			for _, p := range n.Preds() {
+				// A producer's earliest finish must not exceed the
+				// consumer's latest start.
+				if tm.ASAP[p.ID()]+1 > tm.ALAP[n.ID()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed uint32, ops uint8) bool {
+		g := propertyGraph(seed, ops)
+		seen := make(map[int]bool)
+		for _, comp := range Components(g) {
+			if len(comp) == 0 {
+				return false
+			}
+			for _, n := range comp {
+				if seen[n.ID()] {
+					return false
+				}
+				seen[n.ID()] = true
+			}
+		}
+		return len(seen) == g.NumNodes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed uint32, ops uint8) bool {
+		g := propertyGraph(seed, ops)
+		pos := make(map[*Node]int)
+		for i, n := range TopoOrder(g) {
+			pos[n] = i
+		}
+		for _, n := range g.Nodes() {
+			for _, p := range n.Preds() {
+				if pos[p] >= pos[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEvalDeterministic(t *testing.T) {
+	f := func(seed uint32, ops uint8, a, bIn, c int8) bool {
+		g := propertyGraph(seed, ops)
+		in := []float64{float64(a), float64(bIn), float64(c)}
+		v1, err1 := Eval(g, in)
+		v2, err2 := Eval(g, in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package dfg
+
+import "fmt"
+
+// transform.go holds whole-graph transformations. Unrolling is the one
+// the paper uses (DCT-DIT-2 is "an unrolled version of DCT-DIT"): a
+// data-parallel loop body replicated into one basic block exposes more
+// ILP for the binder at the cost of a wider problem.
+
+// Concat builds the disjoint union of several graphs under a new name.
+// Node and input names are prefixed with "g<i>." to stay unique. Outputs
+// are concatenated in argument order.
+func Concat(name string, graphs ...*Graph) (*Graph, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("dfg: Concat needs at least one graph")
+	}
+	b := NewBuilder(name)
+	for gi, g := range graphs {
+		if g.NumMoves() != 0 {
+			return nil, fmt.Errorf("dfg: Concat expects original graphs; %q has moves", g.Name())
+		}
+		prefix := fmt.Sprintf("g%d.", gi)
+		inputs := make([]Value, g.NumInputs())
+		for i := range inputs {
+			inputs[i] = b.Input(prefix + g.InputName(i))
+		}
+		mapped := make([]Value, g.NumNodes())
+		for _, n := range TopoOrder(g) {
+			operands := make([]Value, len(n.Operands()))
+			for i, o := range n.Operands() {
+				if o.IsInput() {
+					operands[i] = inputs[o.Input()]
+				} else {
+					operands[i] = mapped[o.Node().ID()]
+				}
+			}
+			mapped[n.ID()] = b.Named(prefix+n.Name(), n.Op(), n.Imm(), operands...)
+		}
+		for _, o := range g.Outputs() {
+			b.Output(mapped[o.ID()])
+		}
+	}
+	return b.Graph(), nil
+}
+
+// Unroll replicates a graph factor times into one block (disjoint
+// copies over independent inputs), the transformation behind the paper's
+// DCT-DIT-2 benchmark.
+func Unroll(g *Graph, factor int) (*Graph, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dfg: unroll factor %d", factor)
+	}
+	copies := make([]*Graph, factor)
+	for i := range copies {
+		copies[i] = g
+	}
+	return Concat(fmt.Sprintf("%s-x%d", g.Name(), factor), copies...)
+}

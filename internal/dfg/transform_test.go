@@ -1,0 +1,98 @@
+package dfg
+
+import "testing"
+
+func TestUnrollStats(t *testing.T) {
+	g := diamond(t)
+	u, err := Unroll(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(u); err != nil {
+		t.Fatal(err)
+	}
+	s, us := g.Stats(), u.Stats()
+	if us.NumOps != 3*s.NumOps {
+		t.Errorf("unrolled ops = %d, want %d", us.NumOps, 3*s.NumOps)
+	}
+	if us.NumComponents != 3*s.NumComponents {
+		t.Errorf("unrolled components = %d, want %d", us.NumComponents, 3*s.NumComponents)
+	}
+	if us.CriticalPath != s.CriticalPath {
+		t.Errorf("unrolled critical path = %d, want %d", us.CriticalPath, s.CriticalPath)
+	}
+	if us.NumInputs != 3*s.NumInputs || us.NumOutputs != 3*s.NumOutputs {
+		t.Errorf("unrolled io = %d/%d", us.NumInputs, us.NumOutputs)
+	}
+}
+
+func TestUnrollSemantics(t *testing.T) {
+	g := diamond(t)
+	u, err := Unroll(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copies compute independently: inputs (2,3) and (5,1).
+	out, err := EvalOutputs(u, []float64{2, 3, 5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// diamond computes (x+y)^2.
+	if len(out) != 2 || out[0] != 25 || out[1] != 36 {
+		t.Errorf("unrolled outputs = %v, want [25 36]", out)
+	}
+}
+
+func TestUnrollMatchesDITPattern(t *testing.T) {
+	// Unroll(x1) is an identity up to renaming.
+	g := diamond(t)
+	u, err := Unroll(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumOps() != g.NumOps() || len(Components(u)) != 1 {
+		t.Errorf("unroll x1 changed structure")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	if _, err := Concat("e"); err == nil {
+		t.Error("empty Concat accepted")
+	}
+	if _, err := Unroll(diamond(t), 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	b := NewBuilder("m")
+	x := b.Input("x")
+	v := b.Neg(x)
+	mv := b.Move(v)
+	b.Output(b.Neg(mv))
+	if _, err := Concat("e", b.Graph()); err == nil {
+		t.Error("bound graph accepted")
+	}
+}
+
+func TestConcatDistinctGraphs(t *testing.T) {
+	g1 := diamond(t)
+	b := NewBuilder("tiny")
+	x := b.Input("x")
+	b.Output(b.Neg(x))
+	g2 := b.Graph()
+	c, err := Concat("both", g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumOps() != g1.NumOps()+1 {
+		t.Errorf("concat ops = %d", c.NumOps())
+	}
+	if c.NodeByName("g0.v0") == nil || c.NodeByName("g1.n0") == nil {
+		t.Error("prefixed names missing")
+	}
+	out, err := EvalOutputs(c, []float64{1, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 9 || out[1] != -7 {
+		t.Errorf("concat outputs = %v, want [9 -7]", out)
+	}
+}

@@ -1,0 +1,180 @@
+package dfg
+
+import "fmt"
+
+// Validate checks the structural invariants of a graph:
+//
+//   - dense, consistent node IDs;
+//   - unique names consistent with the byName index;
+//   - operand counts matching each node's operation type;
+//   - operand references to declared inputs / in-graph nodes;
+//   - pred/succ adjacency mutually consistent and duplicate-free;
+//   - acyclicity;
+//   - move bookkeeping (NumMoves, TransferFor only on moves).
+//
+// Builder output always validates; Validate guards graphs arriving from
+// the text format or from hand-rolled test fixtures.
+func Validate(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("dfg: nil graph")
+	}
+	inGraph := make(map[*Node]bool, len(g.nodes))
+	for i, n := range g.nodes {
+		if n == nil {
+			return fmt.Errorf("dfg: nil node at index %d", i)
+		}
+		if n.id != i {
+			return fmt.Errorf("dfg: node %q has ID %d at index %d", n.name, n.id, i)
+		}
+		if g.byName[n.name] != n {
+			return fmt.Errorf("dfg: node %q not indexed by name", n.name)
+		}
+		inGraph[n] = true
+	}
+	if len(g.byName) != len(g.nodes) {
+		return fmt.Errorf("dfg: name index has %d entries for %d nodes", len(g.byName), len(g.nodes))
+	}
+	moves := 0
+	for _, n := range g.nodes {
+		if n.op == OpInvalid || n.op >= numOpTypes {
+			return fmt.Errorf("dfg: node %q has invalid op", n.name)
+		}
+		if got, want := len(n.operands), n.op.NumOperands(); got != want {
+			return fmt.Errorf("dfg: node %q (%s) has %d operands, want %d", n.name, n.op, got, want)
+		}
+		for _, v := range n.operands {
+			switch {
+			case v.IsInput():
+				if v.input >= len(g.inputs) {
+					return fmt.Errorf("dfg: node %q references undeclared input %d", n.name, v.input)
+				}
+			case v.IsNode():
+				if !inGraph[v.node] {
+					return fmt.Errorf("dfg: node %q references foreign node %q", n.name, v.node.name)
+				}
+			default:
+				return fmt.Errorf("dfg: node %q has a zero operand", n.name)
+			}
+		}
+		if n.op == OpMove {
+			moves++
+			if n.xferFor != nil && !inGraph[n.xferFor] {
+				return fmt.Errorf("dfg: move %q transfers for foreign node", n.name)
+			}
+		} else if n.xferFor != nil {
+			return fmt.Errorf("dfg: non-move node %q has TransferFor set", n.name)
+		}
+		if err := checkAdjacency(n, inGraph); err != nil {
+			return err
+		}
+	}
+	if moves != g.numMoves {
+		return fmt.Errorf("dfg: graph records %d moves but contains %d", g.numMoves, moves)
+	}
+	for _, o := range g.outputs {
+		if !inGraph[o] {
+			return fmt.Errorf("dfg: output node %q not in graph", o.name)
+		}
+		if !o.output {
+			return fmt.Errorf("dfg: output list contains unmarked node %q", o.name)
+		}
+	}
+	for _, n := range g.nodes {
+		if n.output {
+			found := false
+			for _, o := range g.outputs {
+				if o == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("dfg: node %q marked output but absent from output list", n.name)
+			}
+		}
+	}
+	// TopoOrder panics on cycles; a parsed graph may contain one, so probe
+	// via Kahn's algorithm directly.
+	if err := checkAcyclic(g); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkAdjacency(n *Node, inGraph map[*Node]bool) error {
+	seenP := make(map[*Node]bool, len(n.preds))
+	for _, p := range n.preds {
+		if !inGraph[p] {
+			return fmt.Errorf("dfg: node %q has foreign pred %q", n.name, p.name)
+		}
+		if seenP[p] {
+			return fmt.Errorf("dfg: node %q lists pred %q twice", n.name, p.name)
+		}
+		seenP[p] = true
+		found := false
+		for _, v := range n.operands {
+			if v.node == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("dfg: node %q lists pred %q that is not an operand", n.name, p.name)
+		}
+		found = false
+		for _, s := range p.succs {
+			if s == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("dfg: pred %q does not list %q as succ", p.name, n.name)
+		}
+	}
+	for _, v := range n.operands {
+		if v.IsNode() && !seenP[v.node] {
+			return fmt.Errorf("dfg: operand %q of node %q missing from preds", v.node.name, n.name)
+		}
+	}
+	seenS := make(map[*Node]bool, len(n.succs))
+	for _, s := range n.succs {
+		if !inGraph[s] {
+			return fmt.Errorf("dfg: node %q has foreign succ %q", n.name, s.name)
+		}
+		if seenS[s] {
+			return fmt.Errorf("dfg: node %q lists succ %q twice", n.name, s.name)
+		}
+		seenS[s] = true
+	}
+	return nil
+}
+
+func checkAcyclic(g *Graph) error {
+	indeg := make([]int, len(g.nodes))
+	for _, n := range g.nodes {
+		indeg[n.id] = len(n.preds)
+	}
+	queue := make([]int, 0, len(g.nodes))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		done++
+		for _, s := range g.nodes[id].succs {
+			indeg[s.id]--
+			if indeg[s.id] == 0 {
+				queue = append(queue, s.id)
+			}
+		}
+	}
+	if done != len(g.nodes) {
+		return fmt.Errorf("dfg: graph %q contains a dependence cycle", g.name)
+	}
+	return nil
+}

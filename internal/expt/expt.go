@@ -1,0 +1,275 @@
+// Package expt defines and runs the paper's experiments: every row of
+// Table 1 (seven benchmarks across two- to four-cluster datapaths with
+// N_B = 2 and lat(move) = 1) and Table 2 (the FFT kernel on a five-cluster
+// datapath sweeping bus count and transfer latency). Each row records the
+// paper's published (L, M) values for PCC, B-INIT and B-ITER next to the
+// measured ones, so paper-versus-measured comparisons and the EXPERIMENTS
+// log regenerate from one place.
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vliwbind/internal/anneal"
+	"vliwbind/internal/bind"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/mincut"
+	"vliwbind/internal/pcc"
+)
+
+// LM is a (schedule latency, data transfers) result pair, the unit in
+// which the paper reports every experiment.
+type LM struct {
+	L, M int
+}
+
+func (v LM) String() string { return fmt.Sprintf("%d/%d", v.L, v.M) }
+
+// IsZero reports whether the pair is unset.
+func (v LM) IsZero() bool { return v.L == 0 && v.M == 0 }
+
+// Row is one experiment: a benchmark on a datapath configuration, with
+// the paper's published results attached.
+type Row struct {
+	// Table is 1 or 2 (which paper table the row belongs to).
+	Table int
+	// Kernel is the benchmark name (see internal/kernels).
+	Kernel string
+	// Clusters is the datapath in the paper's [a,m|a,m|…] notation.
+	Clusters string
+	// NumBuses and MoveLat give N_B and lat(move); Table 1 fixes them at
+	// 2 and 1, Table 2 sweeps them.
+	NumBuses, MoveLat int
+	// PaperPCC, PaperInit, PaperIter are the paper's published (L, M)
+	// values for the three algorithms on this row.
+	PaperPCC, PaperInit, PaperIter LM
+}
+
+// Datapath builds the machine model for the row.
+func (r Row) Datapath() (*machine.Datapath, error) {
+	return machine.Parse(r.Clusters, machine.Config{NumBuses: r.NumBuses, MoveLat: r.MoveLat})
+}
+
+// Name identifies the row in logs and test output.
+func (r Row) Name() string {
+	if r.Table == 2 {
+		return fmt.Sprintf("FFT %s NB=%d lat=%d", r.Clusters, r.NumBuses, r.MoveLat)
+	}
+	return fmt.Sprintf("%s %s", r.Kernel, r.Clusters)
+}
+
+// Measurement is the outcome of running all three algorithms on a row.
+type Measurement struct {
+	Row
+	PCC, Init, Iter             LM
+	PCCTime, InitTime, IterTime time.Duration
+}
+
+// DeltaInit is the paper's ΔL% for B-INIT versus PCC (positive when
+// B-INIT is faster). The paper normalizes by its own latency, not PCC's:
+// ΔL% = (L_PCC − L)/L — that is how Table 1's "25" for 10→8 and the
+// abstract's "29%" for 9→7 arise.
+func (m Measurement) DeltaInit() float64 { return delta(m.PCC.L, m.Init.L) }
+
+// DeltaIter is ΔL% for B-ITER versus PCC, under the same normalization
+// as DeltaInit.
+func (m Measurement) DeltaIter() float64 { return delta(m.PCC.L, m.Iter.L) }
+
+func delta(pccL, v int) float64 {
+	if v == 0 {
+		return 0
+	}
+	return 100 * float64(pccL-v) / float64(v)
+}
+
+// Run executes PCC, B-INIT and B-ITER on the row with the default
+// (paper-published) algorithm settings and returns the measurements.
+func Run(r Row) (Measurement, error) {
+	k, err := kernels.ByName(r.Kernel)
+	if err != nil {
+		return Measurement{}, err
+	}
+	g := k.Build()
+	dp, err := r.Datapath()
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{Row: r}
+
+	t0 := time.Now()
+	pres, err := pcc.Bind(g, dp, pcc.Options{})
+	if err != nil {
+		return Measurement{}, fmt.Errorf("expt %s: pcc: %w", r.Name(), err)
+	}
+	m.PCCTime = time.Since(t0)
+	m.PCC = LM{pres.L(), pres.Moves()}
+
+	t0 = time.Now()
+	ini, err := bind.Initial(g, dp, bind.Options{})
+	if err != nil {
+		return Measurement{}, fmt.Errorf("expt %s: b-init: %w", r.Name(), err)
+	}
+	m.InitTime = time.Since(t0)
+	m.Init = LM{ini.L(), ini.Moves()}
+
+	t0 = time.Now()
+	imp, err := bind.Bind(g, dp, bind.Options{})
+	if err != nil {
+		return Measurement{}, fmt.Errorf("expt %s: b-iter: %w", r.Name(), err)
+	}
+	m.IterTime = time.Since(t0)
+	m.Iter = LM{imp.L(), imp.Moves()}
+	return m, nil
+}
+
+// RunAll measures a set of rows in order.
+func RunAll(rows []Row) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(rows))
+	for _, r := range rows {
+		m, err := Run(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Format renders measurements in the paper's table layout, one row per
+// experiment with measured (L/M, ΔL%, time) triples and the paper's
+// published values alongside.
+func Format(ms []Measurement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s | %-14s | %-22s | %-22s | %s\n",
+		"EXPERIMENT", "PCC L/M (ms)", "B-INIT L/M dL% (ms)", "B-ITER L/M dL% (s)", "PAPER pcc init iter")
+	b.WriteString(strings.Repeat("-", 120) + "\n")
+	kernel := ""
+	for _, m := range ms {
+		if m.Table == 1 && m.Kernel != kernel {
+			kernel = m.Kernel
+			k, err := kernels.ByName(kernel)
+			if err == nil {
+				fmt.Fprintf(&b, "%s: N_V=%d N_CC=%d L_CP=%d\n", kernel, k.NumOps, k.NumComponents, k.CriticalPath)
+			}
+		}
+		paper := "-"
+		if !m.PaperPCC.IsZero() {
+			paper = fmt.Sprintf("%s %s %s", m.PaperPCC, m.PaperInit, m.PaperIter)
+		}
+		fmt.Fprintf(&b, "%-28s | %6s %7.1f | %6s %+5.1f%% %7.1f | %6s %+5.1f%% %7.2f | %s\n",
+			m.Name(),
+			m.PCC, msec(m.PCCTime),
+			m.Init, m.DeltaInit(), msec(m.InitTime),
+			m.Iter, m.DeltaIter(), m.IterTime.Seconds(),
+			paper)
+	}
+	return b.String()
+}
+
+func msec(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// FormatMarkdown renders measurements as the Markdown table used in
+// EXPERIMENTS.md, paper values beside measured ones.
+func FormatMarkdown(ms []Measurement) string {
+	var b strings.Builder
+	b.WriteString("| Row | paper PCC | paper B-INIT | paper B-ITER | meas. PCC (ms) | meas. B-INIT (ms) | meas. B-ITER (s) |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, m := range ms {
+		name := strings.ReplaceAll(m.Name(), "|", "\\|")
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s (%.1f) | %s (%.1f) | %s (%.2f) |\n",
+			name, m.PaperPCC, m.PaperInit, m.PaperIter,
+			m.PCC, msec(m.PCCTime),
+			m.Init, msec(m.InitTime),
+			m.Iter, m.IterTime.Seconds())
+	}
+	return b.String()
+}
+
+// BaselineMeasurement is the outcome of running all five binders on one
+// row — the two related-work baselines of Section 4 next to the paper's
+// algorithms.
+type BaselineMeasurement struct {
+	Row
+	Iter, PCC, Anneal, MinCut             LM
+	IterCut, PCCCut, AnnealCut, MinCutCut int
+}
+
+// BaselineRows returns the homogeneous-machine subset used for the
+// five-way comparison (min-cut partitioning requires homogeneous
+// clusters).
+func BaselineRows() []Row {
+	keep := map[string]bool{
+		"ARF [1,1|1,1]":         true,
+		"FFT [2,1|2,1]":         true,
+		"EWF [2,1|2,1]":         true,
+		"DCT-DIT [1,1|1,1|1,1]": true,
+		"DCT-LEE [1,1|1,1]":     true,
+	}
+	var rows []Row
+	for _, r := range Table1() {
+		if keep[r.Name()] {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// RunBaselines measures B-ITER, PCC, simulated annealing and min-cut on
+// one row, recording latency, moves, and the cut size each solution
+// implies (the objective min-cut optimizes).
+func RunBaselines(r Row) (BaselineMeasurement, error) {
+	k, err := kernels.ByName(r.Kernel)
+	if err != nil {
+		return BaselineMeasurement{}, err
+	}
+	g := k.Build()
+	dp, err := r.Datapath()
+	if err != nil {
+		return BaselineMeasurement{}, err
+	}
+	m := BaselineMeasurement{Row: r}
+
+	bi, err := bind.Bind(g, dp, bind.Options{})
+	if err != nil {
+		return m, err
+	}
+	m.Iter, m.IterCut = LM{bi.L(), bi.Moves()}, mincut.CutSize(g, bi.Binding)
+
+	p, err := pcc.Bind(g, dp, pcc.Options{})
+	if err != nil {
+		return m, err
+	}
+	m.PCC, m.PCCCut = LM{p.L(), p.Moves()}, mincut.CutSize(g, p.Binding)
+
+	sa, err := anneal.Bind(g, dp, anneal.Options{Seed: 1})
+	if err != nil {
+		return m, err
+	}
+	m.Anneal, m.AnnealCut = LM{sa.L(), sa.Moves()}, mincut.CutSize(g, sa.Binding)
+
+	mc, err := mincut.Bind(g, dp, mincut.Options{})
+	if err != nil {
+		return m, err
+	}
+	m.MinCut, m.MinCutCut = LM{mc.L(), mc.Moves()}, mincut.CutSize(g, mc.Binding)
+	return m, nil
+}
+
+// FormatBaselines renders the five-way comparison; "cut" columns show the
+// inter-cluster edge count each binding implies.
+func FormatBaselines(ms []BaselineMeasurement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s | %-14s | %-14s | %-16s | %s\n",
+		"EXPERIMENT", "B-ITER L/M cut", "PCC L/M cut", "ANNEAL L/M cut", "MINCUT L/M cut")
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%-24s | %6s %4d | %6s %4d | %6s %4d | %6s %4d\n",
+			m.Name(),
+			m.Iter, m.IterCut, m.PCC, m.PCCCut,
+			m.Anneal, m.AnnealCut, m.MinCut, m.MinCutCut)
+	}
+	return b.String()
+}

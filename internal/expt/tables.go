@@ -1,0 +1,83 @@
+package expt
+
+// tables.go transcribes the paper's Table 1 and Table 2: every row's
+// datapath configuration and the published "L/M" values for PCC, B-INIT
+// and B-ITER. These constants are the reference data EXPERIMENTS.md and
+// the regression tests compare against.
+
+func t1(kernel, clusters string, pcc, init, iter LM) Row {
+	return Row{
+		Table: 1, Kernel: kernel, Clusters: clusters,
+		NumBuses: 2, MoveLat: 1,
+		PaperPCC: pcc, PaperInit: init, PaperIter: iter,
+	}
+}
+
+// Table1 returns all 33 rows of the paper's Table 1 (N_B = 2,
+// lat(move) = 1) with the published results.
+func Table1() []Row {
+	return []Row{
+		// DCT-DIF: N_V=41, N_CC=2, L_CP=7.
+		t1("DCT-DIF", "[1,1|1,1]", LM{16, 15}, LM{15, 2}, LM{15, 2}),
+		t1("DCT-DIF", "[2,1|2,1]", LM{11, 0}, LM{11, 10}, LM{10, 6}),
+		t1("DCT-DIF", "[2,1|1,1]", LM{11, 12}, LM{11, 6}, LM{10, 6}),
+		t1("DCT-DIF", "[1,1|1,1|1,1]", LM{12, 8}, LM{12, 9}, LM{11, 8}),
+		// DCT-LEE: N_V=49, N_CC=2, L_CP=9.
+		t1("DCT-LEE", "[1,1|1,1]", LM{16, 11}, LM{16, 7}, LM{16, 6}),
+		t1("DCT-LEE", "[2,1|2,1]", LM{12, 8}, LM{12, 2}, LM{12, 2}),
+		t1("DCT-LEE", "[2,1|1,1]", LM{13, 9}, LM{13, 5}, LM{13, 3}),
+		t1("DCT-LEE", "[2,2|2,1]", LM{11, 0}, LM{10, 2}, LM{10, 1}),
+		t1("DCT-LEE", "[1,1|1,1|1,1]", LM{14, 8}, LM{12, 14}, LM{12, 10}),
+		// DCT-DIT: N_V=48, N_CC=1, L_CP=7.
+		t1("DCT-DIT", "[1,1|1,1]", LM{19, 18}, LM{19, 7}, LM{19, 7}),
+		t1("DCT-DIT", "[2,1|2,1]", LM{13, 18}, LM{13, 7}, LM{12, 7}),
+		t1("DCT-DIT", "[1,1|1,1|1,1]", LM{15, 18}, LM{15, 19}, LM{13, 15}),
+		t1("DCT-DIT", "[2,1|2,1|1,1]", LM{12, 6}, LM{11, 13}, LM{11, 9}),
+		t1("DCT-DIT", "[3,1|2,2|1,3]", LM{11, 12}, LM{11, 12}, LM{9, 9}),
+		t1("DCT-DIT", "[1,1|1,1|1,1|1,1]", LM{14, 17}, LM{13, 17}, LM{11, 14}),
+		// DCT-DIT-2: N_V=96, N_CC=2, L_CP=7.
+		t1("DCT-DIT-2", "[1,1|1,1]", LM{37, 32}, LM{37, 14}, LM{37, 13}),
+		t1("DCT-DIT-2", "[2,1|2,1]", LM{23, 28}, LM{23, 17}, LM{22, 23}),
+		t1("DCT-DIT-2", "[1,1|1,1|1,1]", LM{25, 28}, LM{27, 15}, LM{25, 13}),
+		t1("DCT-DIT-2", "[3,1|2,2|1,3]", LM{17, 18}, LM{17, 20}, LM{14, 20}),
+		t1("DCT-DIT-2", "[1,1|1,1|1,1|1,1]", LM{22, 30}, LM{20, 21}, LM{19, 18}),
+		// FFT (RASTA kernel): N_V=38, N_CC=1.
+		t1("FFT", "[1,1|1,1]", LM{14, 6}, LM{14, 4}, LM{14, 4}),
+		t1("FFT", "[2,1|2,1]", LM{10, 6}, LM{10, 4}, LM{10, 4}),
+		t1("FFT", "[1,1|1,1|1,1]", LM{12, 8}, LM{10, 12}, LM{10, 9}),
+		t1("FFT", "[2,1|2,1|1,2]", LM{10, 4}, LM{8, 10}, LM{8, 5}),
+		t1("FFT", "[3,2|3,1|1,3]", LM{7, 4}, LM{7, 6}, LM{6, 5}),
+		t1("FFT", "[1,1|1,1|1,1|1,1]", LM{11, 10}, LM{10, 12}, LM{9, 6}),
+		// EWF: N_V=34, N_CC=1, L_CP=14.
+		t1("EWF", "[1,1|1,1]", LM{18, 5}, LM{17, 3}, LM{17, 3}),
+		t1("EWF", "[2,1|2,1]", LM{15, 2}, LM{16, 3}, LM{15, 1}),
+		t1("EWF", "[2,1|1,1]", LM{15, 2}, LM{16, 5}, LM{15, 3}),
+		t1("EWF", "[1,1|1,1|1,1]", LM{18, 5}, LM{17, 7}, LM{16, 5}),
+		t1("EWF", "[2,2|2,1|1,1]", LM{15, 2}, LM{15, 5}, LM{14, 5}),
+		// ARF: N_V=28, N_CC=1, L_CP=8.
+		t1("ARF", "[1,1|1,1]", LM{13, 5}, LM{11, 4}, LM{11, 4}),
+		t1("ARF", "[1,2|1,2]", LM{10, 5}, LM{10, 5}, LM{10, 4}),
+	}
+}
+
+// Table2Datapath is the five-cluster configuration of the paper's
+// Table 2.
+const Table2Datapath = "[2,2|2,1|2,2|3,1|1,1]"
+
+// Table2 returns the paper's Table 2: FFT on the five-cluster datapath,
+// sweeping the number of buses and the transfer latency.
+func Table2() []Row {
+	row := func(nb, lat int, pcc, init, iter LM) Row {
+		return Row{
+			Table: 2, Kernel: "FFT", Clusters: Table2Datapath,
+			NumBuses: nb, MoveLat: lat,
+			PaperPCC: pcc, PaperInit: init, PaperIter: iter,
+		}
+	}
+	return []Row{
+		row(1, 1, LM{9, 5}, LM{8, 4}, LM{7, 4}),
+		row(2, 1, LM{8, 4}, LM{8, 4}, LM{7, 5}),
+		row(1, 2, LM{10, 5}, LM{8, 4}, LM{8, 2}),
+		row(2, 2, LM{8, 4}, LM{8, 4}, LM{7, 4}),
+	}
+}

@@ -1,0 +1,61 @@
+package kernels
+
+import "vliwbind/internal/dfg"
+
+// ARF reconstructs the auto-regression filter benchmark: a
+// multiplier-dominated coefficient lattice (16 multiplications against 12
+// additions) that repeatedly scales partial sums, matching the paper's
+// statistics exactly: 28 operations, one connected component, critical
+// path 8 (the alternating multiply/add recursion).
+func ARF() *dfg.Graph {
+	b := dfg.NewBuilder("ARF")
+	x := b.Inputs("x", 8)
+	coef := []float64{
+		0.0625, 0.125, 0.1875, 0.25, 0.3125, 0.375, 0.4375, 0.5,
+		0.5625, 0.625, 0.6875, 0.75, 0.8125, 0.875, 0.9375, 1.0,
+	}
+	nc := 0
+	mul := func(v dfg.Value) dfg.Value {
+		m := b.MulImm(v, coef[nc])
+		nc++
+		return m
+	}
+
+	// Rank 1: scale every sample.                       8 muls, depth 1
+	m := make([]dfg.Value, 8)
+	for i := range m {
+		m[i] = mul(x[i])
+	}
+	// Rank 2: pairwise sums.                            4 adds, depth 2
+	a := make([]dfg.Value, 4)
+	for i := range a {
+		a[i] = b.Add(m[2*i], m[2*i+1])
+	}
+	// Rank 3: scale the partial sums.                   4 muls, depth 3
+	am := make([]dfg.Value, 4)
+	for i := range am {
+		am[i] = mul(a[i])
+	}
+	// Rank 4: combine.                                  2 adds, depth 4
+	s0 := b.Add(am[0], am[1])
+	s1 := b.Add(am[2], am[3])
+	// Rank 5: scale.                                    2 muls, depth 5
+	sm0, sm1 := mul(s0), mul(s1)
+	// Rank 6: combine.                                  1 add, depth 6
+	t := b.Add(sm0, sm1)
+	// Rank 7: the AR recursion taps the result twice.   2 muls, depth 7
+	tm0, tm1 := mul(t), mul(t)
+	// Rank 8: final accumulation.                       1 add, depth 8
+	y := b.Add(tm0, tm1)
+
+	// State-update side sums.                           4 adds
+	u0 := b.Add(a[0], a[1]) // depth 3
+	u1 := b.Add(a[2], a[3]) // depth 3
+	u2 := b.Add(u0, u1)     // depth 4
+	u3 := b.Add(s0, s1)     // depth 5
+
+	b.Output(y)
+	b.Output(u2)
+	b.Output(u3)
+	return b.Graph()
+}

@@ -1,0 +1,143 @@
+package kernels
+
+import "vliwbind/internal/dfg"
+
+// DCTDIT reconstructs the 8-point decimation-in-time DCT flowgraph
+// (Ifeachor & Jervis): a full-width butterfly network with two cosine
+// scaling ranks and a narrowing recombination tail.
+//
+// Structure (48 ops, 1 component, L_CP 7):
+//
+//	rank 1: full butterfly, span 4        8 add/sub
+//	rank 2: full butterfly, span 2        8 add/sub
+//	rank 3: cosine scaling, all lanes     8 muli
+//	rank 4: full butterfly, span 1        8 add/sub
+//	rank 5: cosine scaling, all lanes     8 muli
+//	rank 6: half rank, even lanes, span 2 4 add/sub
+//	rank 7: half rank, even lanes, span 4 4 add/sub
+func DCTDIT() *dfg.Graph {
+	b := dfg.NewBuilder("DCT-DIT")
+	buildDIT(b, b.Inputs("x", 8))
+	return b.Graph()
+}
+
+// DCTDIT2 is the 2x-unrolled DCT-DIT of the paper: two independent
+// iterations over distinct sample windows in a single basic block
+// (96 ops, 2 components, L_CP 7).
+func DCTDIT2() *dfg.Graph {
+	b := dfg.NewBuilder("DCT-DIT-2")
+	buildDIT(b, b.Inputs("x", 8))
+	buildDIT(b, b.Inputs("y", 8))
+	return b.Graph()
+}
+
+func buildDIT(b *dfg.Builder, lanes []dfg.Value) {
+	lanes = butterfly(b, lanes, 4)
+	lanes = butterfly(b, lanes, 2)
+	lanes = scale(b, lanes, seq(8), cosCoef)
+	lanes = butterfly(b, lanes, 1)
+	lanes = scale(b, lanes, seq(8), cosCoef)
+	lanes = halfButterfly(b, lanes, 2, []int{0, 2, 4, 6})
+	lanes = halfButterfly(b, lanes, 4, []int{0, 2, 4, 6})
+	for _, v := range lanes {
+		b.Output(v)
+	}
+}
+
+// DCTDIF reconstructs the 8-point decimation-in-frequency DCT: after the
+// input stage the even- and odd-coefficient halves proceed independently,
+// which is why the paper reports two connected components for it.
+//
+// Structure (41 ops, 2 components, L_CP 7):
+//
+//	even half (20 ops): input adds(4), butterfly span 2 (4),
+//	  scaling (4 muli), butterfly span 1 (4), scaling lanes 1,3 (2 muli),
+//	  recombine (1), recombine (1)
+//	odd half (21 ops): input subs(4), scaling (4 muli),
+//	  butterfly span 1 (4), scaling (4 muli), partial butterfly (3),
+//	  recombine (1), recombine (1)
+func DCTDIF() *dfg.Graph {
+	b := dfg.NewBuilder("DCT-DIF")
+	x := b.Inputs("x", 8)
+
+	// Even half: sums of mirrored samples.
+	ev := make([]dfg.Value, 4)
+	for i := 0; i < 4; i++ {
+		ev[i] = b.Add(x[i], x[7-i])
+	}
+	ev = butterfly(b, ev, 2)
+	ev = scale(b, ev, seq(4), cosCoef)
+	ev = butterfly(b, ev, 1)
+	ev = scale(b, ev, []int{1, 3}, cosCoef)
+	ev = halfButterfly(b, ev, 2, []int{1}) // lane1 += lane3
+	ev = halfButterfly(b, ev, 1, []int{0}) // lane0 += lane1
+	for _, v := range ev {
+		b.Output(v)
+	}
+
+	// Odd half: differences of mirrored samples.
+	od := make([]dfg.Value, 4)
+	for i := 0; i < 4; i++ {
+		od[i] = b.Sub(x[i], x[7-i])
+	}
+	od = scale(b, od, seq(4), cosCoef)
+	od = butterfly(b, od, 1)
+	od = scale(b, od, seq(4), cosCoef)
+	od = halfButterfly(b, od, 1, []int{0, 1, 2})
+	od = halfButterfly(b, od, 2, []int{1})
+	od = halfButterfly(b, od, 1, []int{0})
+	for _, v := range od {
+		b.Output(v)
+	}
+	return b.Graph()
+}
+
+// DCTLEE reconstructs Lee's recursive 8-point fast DCT, the deepest of
+// the DCT variants: its 1/(2cos) scalings interleave with every butterfly
+// rank, lengthening the critical path to 9. Like DIF it splits into two
+// independent halves.
+//
+// Structure (49 ops, 2 components, L_CP 9):
+//
+//	half A (24 ops): 4+4m+4+3m+3+2m+2+1m+1
+//	half B (25 ops): 4+4m+4+3m+3+3m+2+1m+1   (m = muli ranks)
+func DCTLEE() *dfg.Graph {
+	b := dfg.NewBuilder("DCT-LEE")
+	x := b.Inputs("x", 8)
+
+	// Half A.
+	la := make([]dfg.Value, 4)
+	for i := 0; i < 4; i++ {
+		la[i] = b.Add(x[i], x[7-i])
+	}
+	la = scale(b, la, seq(4), cosCoef)
+	la = butterfly(b, la, 1)
+	la = scale(b, la, []int{0, 1, 2}, cosCoef)
+	la = halfButterfly(b, la, 1, []int{0, 1, 2})
+	la = scale(b, la, []int{0, 1}, cosCoef)
+	la = halfButterfly(b, la, 2, []int{0, 1})
+	la = scale(b, la, []int{0}, cosCoef)
+	la = halfButterfly(b, la, 1, []int{1})
+	for _, v := range la {
+		b.Output(v)
+	}
+
+	// Half B: one extra scaling rank (the odd coefficients of Lee's
+	// recursion need the additional 1/(2cos) correction).
+	lb := make([]dfg.Value, 4)
+	for i := 0; i < 4; i++ {
+		lb[i] = b.Sub(x[i], x[7-i])
+	}
+	lb = scale(b, lb, seq(4), cosCoef)
+	lb = butterfly(b, lb, 1)
+	lb = scale(b, lb, []int{0, 1, 2}, cosCoef)
+	lb = halfButterfly(b, lb, 1, []int{0, 1, 2})
+	lb = scale(b, lb, []int{0, 1, 2}, cosCoef)
+	lb = halfButterfly(b, lb, 2, []int{0, 1})
+	lb = scale(b, lb, []int{0}, cosCoef)
+	lb = halfButterfly(b, lb, 1, []int{1})
+	for _, v := range lb {
+		b.Output(v)
+	}
+	return b.Graph()
+}

@@ -1,0 +1,70 @@
+package kernels
+
+import (
+	"fmt"
+
+	"vliwbind/internal/dfg"
+)
+
+// EWF reconstructs the fifth-order elliptic wave filter, the classic
+// narrow-and-deep HLS benchmark: a long serial adder spine fed by
+// coefficient-multiplier side branches from the filter's state registers,
+// plus state-update taps. The paper's structural statistics are matched
+// exactly: 34 operations (26 additions, 8 multiplications), one connected
+// component, critical path 14.
+//
+// Layout: a 14-add spine v1..v14 pins the critical path; eight side
+// branches (add of a spine value with a state input, then a coefficient
+// multiplication) leave the spine at positions 1,2,4,5,7,8,10,11 and
+// rejoin three levels later; four tap additions model the filter's state
+// writes.
+func EWF() *dfg.Graph {
+	b := dfg.NewBuilder("EWF")
+	x := b.Input("x")
+	state := b.Inputs("s", 11)
+
+	// branchFrom[i] = spine position whose branch rejoins at i+3.
+	branchSrc := map[int]bool{1: true, 2: true, 4: true, 5: true, 7: true, 8: true, 10: true, 11: true}
+	// Filter-section coefficients (wave digital filter adaptor values).
+	coef := []float64{0.9921875, -0.4296875, 0.4609375, -0.2421875,
+		0.3203125, -0.3515625, 0.1171875, -0.0703125}
+
+	spine := make([]dfg.Value, 15) // spine[1..14]
+	branch := make(map[int]dfg.Value)
+	nextState := 0
+	takeState := func() dfg.Value {
+		// The wave filter reads some state registers more than once, so
+		// the 14 state reads wrap over the 11 state inputs.
+		v := state[nextState%len(state)]
+		nextState++
+		return v
+	}
+	nextCoef := 0
+	spine[1] = b.Named("v1", dfg.OpAdd, 0, x, takeState())
+	mkBranch := func(i int) {
+		ba := b.Named(fmt.Sprintf("b%da", i), dfg.OpAdd, 0, spine[i], takeState())
+		branch[i+3] = b.Named(fmt.Sprintf("b%dm", i), dfg.OpMulImm, coef[nextCoef], ba)
+		nextCoef++
+	}
+	for i := 2; i <= 14; i++ {
+		if br, ok := branch[i]; ok {
+			spine[i] = b.Named(fmt.Sprintf("v%d", i), dfg.OpAdd, 0, spine[i-1], br)
+		} else {
+			spine[i] = b.Named(fmt.Sprintf("v%d", i), dfg.OpAdd, 0, spine[i-1], takeState())
+		}
+		if branchSrc[i-1] {
+			mkBranch(i - 1)
+		}
+	}
+	// State-update taps; depths 6, 7, 10, 13 — all inside the spine's 14.
+	t1 := b.Named("u1", dfg.OpAdd, 0, spine[2], spine[5])
+	t2 := b.Named("u2", dfg.OpAdd, 0, spine[3], spine[6])
+	t3 := b.Named("u3", dfg.OpAdd, 0, spine[6], spine[9])
+	t4 := b.Named("u4", dfg.OpAdd, 0, spine[9], spine[12])
+
+	b.Output(spine[14])
+	for _, t := range []dfg.Value{t1, t2, t3, t4} {
+		b.Output(t)
+	}
+	return b.Graph()
+}

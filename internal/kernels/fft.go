@@ -1,0 +1,35 @@
+package kernels
+
+import "vliwbind/internal/dfg"
+
+// FFT reconstructs the FFT kernel of the RASTA benchmark (MediaBench)
+// used in the paper: an 8-lane radix-2 decimation network with twiddle
+// scalings between butterfly ranks.
+//
+// Structure (38 ops, 1 component, L_CP 6):
+//
+//	rank 1: full butterfly, span 4      8 add/sub
+//	rank 2: twiddle scaling, 6 lanes    6 muli
+//	rank 3: full butterfly, span 2      8 add/sub
+//	rank 4: twiddle scaling, 4 lanes    4 muli
+//	rank 5: full butterfly, span 1      8 add/sub
+//	rank 6: final half rank, span 4     4 add/sub
+func FFT() *dfg.Graph {
+	b := dfg.NewBuilder("FFT")
+	lanes := b.Inputs("x", 8)
+
+	lanes = butterfly(b, lanes, 4)
+	lanes = scale(b, lanes, []int{1, 2, 3, 5, 6, 7}, twiddleCoef)
+	lanes = butterfly(b, lanes, 2)
+	lanes = scale(b, lanes, []int{1, 3, 5, 7}, twiddleCoef)
+	lanes = butterfly(b, lanes, 1)
+	// The final recombination spans the halves (span 4): the first rank
+	// consumed raw inputs, so this is what makes the kernel a single
+	// connected component.
+	lanes = halfButterfly(b, lanes, 4, []int{1, 3, 5, 7})
+
+	for _, v := range lanes {
+		b.Output(v)
+	}
+	return b.Graph()
+}

@@ -1,0 +1,63 @@
+package kernels
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vliwbind/internal/textio"
+)
+
+// TestGoldenNetlists pins the exact benchmark netlists: the paper-matching
+// statistics (and the measured Table 1/2 results in EXPERIMENTS.md) depend
+// on them, so any change must be deliberate. Regenerate with
+// `go run ./cmd/gengolden` after an intentional kernel change.
+func TestGoldenNetlists(t *testing.T) {
+	for _, k := range All() {
+		name := strings.ToLower(strings.ReplaceAll(k.Name, "-", "_")) + ".dfg"
+		path := filepath.Join("testdata", name)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run `go run ./cmd/gengolden`): %v", k.Name, err)
+		}
+		got := textio.PrintString(k.Build())
+		if got != string(want) {
+			t.Errorf("%s: netlist drifted from %s; if intentional, regenerate goldens and re-measure EXPERIMENTS.md", k.Name, path)
+		}
+	}
+}
+
+// TestGoldenFilesParse double-checks the golden exports load back as
+// valid graphs with the paper statistics.
+func TestGoldenFilesParse(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(All()) {
+		t.Errorf("testdata has %d files for %d kernels", len(entries), len(All()))
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := textio.ParseString(string(data))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		k, err := ByName(g.Name())
+		if err != nil {
+			t.Errorf("%s: graph name %q not a known kernel", e.Name(), g.Name())
+			continue
+		}
+		s := g.Stats()
+		if s.NumOps != k.NumOps || s.NumComponents != k.NumComponents || s.CriticalPath != k.CriticalPath {
+			t.Errorf("%s: golden stats %d/%d/%d diverge from paper %d/%d/%d",
+				e.Name(), s.NumOps, s.NumComponents, s.CriticalPath,
+				k.NumOps, k.NumComponents, k.CriticalPath)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"vliwbind/internal/dfg"
+)
+
+// TestPaperStatistics is the load-bearing test of this package: every
+// benchmark must reproduce the exact N_V / N_CC / L_CP values printed in
+// the paper's Table 1 sub-headers (FFT's L_CP is this reconstruction's
+// documented value).
+func TestPaperStatistics(t *testing.T) {
+	for _, k := range All() {
+		g := k.Build()
+		if err := dfg.Validate(g); err != nil {
+			t.Errorf("%s: invalid graph: %v", k.Name, err)
+			continue
+		}
+		s := g.Stats()
+		if s.NumOps != k.NumOps {
+			t.Errorf("%s: N_V = %d, want %d", k.Name, s.NumOps, k.NumOps)
+		}
+		if s.NumComponents != k.NumComponents {
+			t.Errorf("%s: N_CC = %d, want %d", k.Name, s.NumComponents, k.NumComponents)
+		}
+		if s.CriticalPath != k.CriticalPath {
+			t.Errorf("%s: L_CP = %d, want %d", k.Name, s.CriticalPath, k.CriticalPath)
+		}
+	}
+}
+
+func TestOpMixes(t *testing.T) {
+	// The published op mixes that pin the resource bounds: EWF is 26
+	// adds + 8 muls; ARF is 12 adds + 16 muls.
+	cases := []struct {
+		name      string
+		build     func() *dfg.Graph
+		alu, muls int
+	}{
+		{"EWF", EWF, 26, 8},
+		{"ARF", ARF, 12, 16},
+		{"DCT-DIT", DCTDIT, 32, 16},
+		{"FFT", FFT, 28, 10},
+	}
+	for _, tc := range cases {
+		s := tc.build().Stats()
+		if s.ByFU[dfg.FUALU] != tc.alu || s.ByFU[dfg.FUMul] != tc.muls {
+			t.Errorf("%s: op mix %d ALU / %d MUL, want %d / %d",
+				tc.name, s.ByFU[dfg.FUALU], s.ByFU[dfg.FUMul], tc.alu, tc.muls)
+		}
+	}
+}
+
+func TestAllSinksAreOutputs(t *testing.T) {
+	for _, k := range All() {
+		g := k.Build()
+		for _, n := range dfg.Sinks(g) {
+			if !n.IsOutput() {
+				t.Errorf("%s: sink %s not marked as output (dead code)", k.Name, n.Name())
+			}
+		}
+	}
+}
+
+func TestBuildersAreIndependent(t *testing.T) {
+	g1 := EWF()
+	g2 := EWF()
+	if g1 == g2 {
+		t.Fatal("Build returned a shared instance")
+	}
+	if g1.NumNodes() != g2.NumNodes() {
+		t.Fatal("repeated builds differ")
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("EWF")
+	if err != nil || k.Name != "EWF" {
+		t.Fatalf("ByName(EWF) = %v, %v", k.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+}
+
+func TestKernelsAreEvaluable(t *testing.T) {
+	// Every kernel computes finite values on a generic input vector —
+	// they are real arithmetic flowgraphs, not just shapes.
+	for _, k := range All() {
+		g := k.Build()
+		in := make([]float64, g.NumInputs())
+		for i := range in {
+			in[i] = float64(i%7) - 2.5
+		}
+		out, err := dfg.EvalOutputs(g, in)
+		if err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: no outputs", k.Name)
+		}
+		for i, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: output %d is %v", k.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestDITHalvesIdenticalStructure(t *testing.T) {
+	// DCT-DIT-2 is exactly two disjoint copies of DCT-DIT.
+	one := DCTDIT().Stats()
+	two := DCTDIT2().Stats()
+	if two.NumOps != 2*one.NumOps {
+		t.Errorf("DIT-2 ops = %d, want %d", two.NumOps, 2*one.NumOps)
+	}
+	if two.CriticalPath != one.CriticalPath {
+		t.Errorf("DIT-2 L_CP = %d, want %d", two.CriticalPath, one.CriticalPath)
+	}
+	if two.NumComponents != 2 {
+		t.Errorf("DIT-2 components = %d, want 2", two.NumComponents)
+	}
+}
+
+func TestDCTDIFMirrorsRealTransformShape(t *testing.T) {
+	// The even half consumes mirrored-sum inputs, the odd half
+	// mirrored differences: evaluating on a constant signal must drive
+	// the odd half to zero everywhere (all differences vanish).
+	g := DCTDIF()
+	in := make([]float64, 8)
+	for i := range in {
+		in[i] = 3.0
+	}
+	vals, err := dfg.Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes() {
+		if n.Op() == dfg.OpSub && len(n.Preds()) == 0 {
+			if vals[n.ID()] != 0 {
+				t.Errorf("odd-half input %s = %v on constant signal, want 0", n.Name(), vals[n.ID()])
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := RandomConfig{Ops: 40, Seed: 7}
+	g1, g2 := Random(cfg), Random(cfg)
+	if g1.NumNodes() != g2.NumNodes() {
+		t.Fatal("random generator nondeterministic in size")
+	}
+	for i, n := range g1.Nodes() {
+		m := g2.Nodes()[i]
+		if n.Op() != m.Op() || len(n.Preds()) != len(m.Preds()) {
+			t.Fatalf("random generator nondeterministic at node %d", i)
+		}
+	}
+}
+
+func TestRandomValidAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, loc := range []float64{0.1, 0.5, 1.0} {
+			g := Random(RandomConfig{Ops: 30, Seed: seed, Locality: loc})
+			if err := dfg.Validate(g); err != nil {
+				t.Errorf("seed %d loc %v: %v", seed, loc, err)
+			}
+			if g.NumOps() != 30 {
+				t.Errorf("seed %d: ops = %d, want 30", seed, g.NumOps())
+			}
+			for _, n := range dfg.Sinks(g) {
+				if !n.IsOutput() {
+					t.Errorf("seed %d: unmarked sink", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomLocalityShapesDepth(t *testing.T) {
+	deep := Random(RandomConfig{Ops: 60, Seed: 3, Locality: 0.05})
+	wide := Random(RandomConfig{Ops: 60, Seed: 3, Locality: 1.0})
+	dcp := dfg.CriticalPath(deep, dfg.UnitLatency)
+	wcp := dfg.CriticalPath(wide, dfg.UnitLatency)
+	if dcp <= wcp {
+		t.Errorf("locality ineffective: deep L_CP %d <= wide L_CP %d", dcp, wcp)
+	}
+}
+
+func TestRandomDefaults(t *testing.T) {
+	g := Random(RandomConfig{Ops: 0})
+	if g.NumOps() != 1 {
+		t.Errorf("zero-op config produced %d ops", g.NumOps())
+	}
+	if g.NumInputs() != 4 {
+		t.Errorf("default inputs = %d, want 4", g.NumInputs())
+	}
+}
+
+func TestUnrolledMatchesDIT2Shape(t *testing.T) {
+	// Unrolling DCT-DIT by 2 must reproduce DCT-DIT-2's paper
+	// statistics exactly (that is how the paper built the benchmark).
+	u, err := Unrolled("DCT-DIT", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, ref := u.Stats(), DCTDIT2().Stats()
+	if us.NumOps != ref.NumOps || us.NumComponents != ref.NumComponents || us.CriticalPath != ref.CriticalPath {
+		t.Errorf("Unrolled(DCT-DIT,2) stats %d/%d/%d, DCT-DIT-2 has %d/%d/%d",
+			us.NumOps, us.NumComponents, us.CriticalPath,
+			ref.NumOps, ref.NumComponents, ref.CriticalPath)
+	}
+}
+
+func TestUnrolledErrors(t *testing.T) {
+	if _, err := Unrolled("nope", 2); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := Unrolled("ARF", 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+}
+
+func TestUnrolledEWFScalesWork(t *testing.T) {
+	u, err := Unrolled("EWF", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := u.Stats()
+	if s.NumOps != 4*34 || s.NumComponents != 4 || s.CriticalPath != 14 {
+		t.Errorf("EWF x4 stats = %+v", s)
+	}
+}

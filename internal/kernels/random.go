@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vliwbind/internal/dfg"
+)
+
+// RandomConfig parameterizes the synthetic DFG generator used by property
+// tests and stress benchmarks.
+type RandomConfig struct {
+	// Ops is the number of operations to generate (>= 1).
+	Ops int
+	// Inputs is the number of external inputs (defaults to 4).
+	Inputs int
+	// MulRatio in [0,1] is the fraction of multiply operations
+	// (defaults to 0.3).
+	MulRatio float64
+	// Locality in (0,1] shrinks the window of recent values an operation
+	// draws its operands from; small values produce deep, chain-like
+	// graphs, 1.0 produces wide, shallow ones (defaults to 0.5).
+	Locality float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Random generates a pseudo-random connected-ish DAG under cfg. The same
+// configuration always yields the same graph.
+func Random(cfg RandomConfig) *dfg.Graph {
+	if cfg.Ops < 1 {
+		cfg.Ops = 1
+	}
+	if cfg.Inputs <= 0 {
+		cfg.Inputs = 4
+	}
+	if cfg.MulRatio <= 0 {
+		cfg.MulRatio = 0.3
+	}
+	if cfg.Locality <= 0 || cfg.Locality > 1 {
+		cfg.Locality = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := dfg.NewBuilder(fmt.Sprintf("random-%d-%d", cfg.Ops, cfg.Seed))
+	pool := b.Inputs("x", cfg.Inputs)
+
+	pick := func() dfg.Value {
+		// Bias toward recent values: draw from the tail window.
+		w := int(float64(len(pool))*cfg.Locality) + 1
+		if w > len(pool) {
+			w = len(pool)
+		}
+		return pool[len(pool)-1-rng.Intn(w)]
+	}
+	consumed := make(map[dfg.Value]bool)
+	for i := 0; i < cfg.Ops; i++ {
+		var v dfg.Value
+		r := rng.Float64()
+		switch {
+		case r < cfg.MulRatio/2:
+			a := pick()
+			consumed[a] = true
+			v = b.MulImm(a, 0.5+rng.Float64())
+		case r < cfg.MulRatio:
+			a, c := pick(), pick()
+			consumed[a], consumed[c] = true, true
+			v = b.Mul(a, c)
+		case r < cfg.MulRatio+(1-cfg.MulRatio)/2:
+			a, c := pick(), pick()
+			consumed[a], consumed[c] = true, true
+			v = b.Add(a, c)
+		default:
+			a, c := pick(), pick()
+			consumed[a], consumed[c] = true, true
+			v = b.Sub(a, c)
+		}
+		pool = append(pool, v)
+	}
+	// Every unconsumed op value is a live-out.
+	for _, v := range pool {
+		if v.IsNode() && !consumed[v] {
+			b.Output(v)
+		}
+	}
+	return b.Graph()
+}

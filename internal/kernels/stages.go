@@ -1,0 +1,76 @@
+package kernels
+
+import (
+	"math"
+
+	"vliwbind/internal/dfg"
+)
+
+// stages.go holds the small wiring helpers shared by the butterfly-style
+// kernels (FFT and the DCT variants): each network is a sequence of
+// stages, where a binary stage combines lane i with lane i^span (the
+// classic butterfly exchange, which is what makes the networks connected
+// across lanes) and a unary stage scales each lane by a twiddle/cosine
+// coefficient.
+
+// butterfly appends one binary stage over the previous lanes: lane i
+// becomes op(prev[i], prev[i XOR span]). Adds and subs alternate per
+// butterfly pair, as in a real decimation network. len(prev) must be a
+// power of two and span a smaller power of two.
+func butterfly(b *dfg.Builder, prev []dfg.Value, span int) []dfg.Value {
+	out := make([]dfg.Value, len(prev))
+	for i := range prev {
+		j := i ^ span
+		if i < j {
+			out[i] = b.Add(prev[i], prev[j])
+		} else {
+			out[i] = b.Sub(prev[j], prev[i])
+		}
+	}
+	return out
+}
+
+// halfButterfly appends a binary stage over a subset of lanes given by
+// idx; other lanes pass through untouched. Used where a real flowgraph
+// only exchanges part of the lanes at a stage.
+func halfButterfly(b *dfg.Builder, prev []dfg.Value, span int, idx []int) []dfg.Value {
+	out := append([]dfg.Value(nil), prev...)
+	for _, i := range idx {
+		j := i ^ span
+		if i < j {
+			out[i] = b.Add(prev[i], prev[j])
+		} else {
+			out[i] = b.Sub(prev[j], prev[i])
+		}
+	}
+	return out
+}
+
+// scale appends a unary coefficient stage on the lanes in idx: lane i
+// becomes prev[i] * coef(k) for the k-th scaled lane. Other lanes pass
+// through.
+func scale(b *dfg.Builder, prev []dfg.Value, idx []int, coef func(k int) float64) []dfg.Value {
+	out := append([]dfg.Value(nil), prev...)
+	for k, i := range idx {
+		out[i] = b.MulImm(prev[i], coef(k))
+	}
+	return out
+}
+
+// cosCoef returns the standard DCT-II cosine constant cos((2k+1)π/16)
+// family used by the 8-point kernels; any nonzero constant would do for
+// binding purposes, but real coefficients keep the graphs evaluable as
+// genuine transforms.
+func cosCoef(k int) float64 { return math.Cos(float64(2*k+1) * math.Pi / 16) }
+
+// twiddleCoef returns cos(kπ/8) twiddle magnitudes for the FFT stages.
+func twiddleCoef(k int) float64 { return math.Cos(float64(k+1) * math.Pi / 8) }
+
+// seq returns [0, 1, …, n-1]; tiny helper for stage index lists.
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

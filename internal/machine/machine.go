@@ -1,0 +1,289 @@
+// Package machine implements the clustered VLIW datapath model of
+// Lapinskii et al. (DAC 2001), Section 2: a collection of clusters, each
+// with a local register file and functional units, connected by a bus that
+// can perform N_B simultaneous inter-cluster transfers. Functional units
+// and the bus may be pipelined; each resource type has a latency lat() and
+// a data-introduction interval dii().
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vliwbind/internal/dfg"
+)
+
+// Cluster describes one datapath cluster: how many functional units of
+// each type it contains. Register files are unbounded, per the paper's
+// abstraction (spills are assumed rare and handled later).
+type Cluster struct {
+	// NumFU maps an FU type to the number of units of that type in this
+	// cluster. Indexed by dfg.FUType; FUBus entries are ignored (the bus
+	// is a shared resource, not a per-cluster one).
+	NumFU [dfg.NumFUTypes]int
+}
+
+// ResourceSpec describes the timing of one resource type.
+type ResourceSpec struct {
+	// Lat is the operation latency in clock cycles (result available
+	// lat cycles after issue). Must be >= 1.
+	Lat int
+	// DII is the data-introduction interval: cycles between successive
+	// issues on the same unit. 1 means fully pipelined; for an
+	// unpipelined resource DII == Lat. Must satisfy 1 <= DII <= Lat.
+	DII int
+}
+
+// Datapath is a complete clustered VLIW datapath.
+type Datapath struct {
+	clusters []Cluster
+	numBuses int
+	memPorts int // per-cluster memory ports (spill stores/loads)
+	spec     [dfg.NumFUTypes]ResourceSpec
+	total    [dfg.NumFUTypes]int // N(t): total FU count per type
+}
+
+// Config carries the tunable parameters of New. The zero value of each
+// field selects the paper's Table 1 defaults.
+type Config struct {
+	// NumBuses is N_B, the number of simultaneous inter-cluster
+	// transfers. Defaults to 2 (the paper's Table 1 setting).
+	NumBuses int
+	// MoveLat is lat(move), the bus transfer latency. Defaults to 1.
+	MoveLat int
+	// MoveDII is dii(move). Defaults to 1 (fully pipelined bus).
+	MoveDII int
+	// ALU and Mul override the ALU / multiplier timing. A zero-valued
+	// spec defaults to {Lat: 1, DII: 1}.
+	ALU ResourceSpec
+	Mul ResourceSpec
+	// Mem overrides the spill store/load timing (defaults to
+	// {Lat: 1, DII: 1}) and MemPorts the per-cluster memory port count
+	// (defaults to 1). Memory ports only matter for graphs containing
+	// spill code; the paper's experiments never exercise them.
+	Mem      ResourceSpec
+	MemPorts int
+}
+
+func (s ResourceSpec) orDefault() ResourceSpec {
+	if s.Lat == 0 && s.DII == 0 {
+		return ResourceSpec{Lat: 1, DII: 1}
+	}
+	if s.DII == 0 {
+		s.DII = s.Lat // unpipelined by default
+	}
+	return s
+}
+
+// New builds a datapath from per-cluster FU counts and a configuration.
+func New(clusters []Cluster, cfg Config) (*Datapath, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("machine: datapath needs at least one cluster")
+	}
+	if cfg.NumBuses == 0 {
+		cfg.NumBuses = 2
+	}
+	if cfg.NumBuses < 0 {
+		return nil, fmt.Errorf("machine: invalid bus count %d", cfg.NumBuses)
+	}
+	if cfg.MoveLat == 0 {
+		cfg.MoveLat = 1
+	}
+	if cfg.MoveDII == 0 {
+		cfg.MoveDII = 1
+	}
+	if cfg.MemPorts == 0 {
+		cfg.MemPorts = 1
+	}
+	if cfg.MemPorts < 0 {
+		return nil, fmt.Errorf("machine: invalid memory port count %d", cfg.MemPorts)
+	}
+	d := &Datapath{
+		clusters: append([]Cluster(nil), clusters...),
+		numBuses: cfg.NumBuses,
+		memPorts: cfg.MemPorts,
+	}
+	d.spec[dfg.FUALU] = cfg.ALU.orDefault()
+	d.spec[dfg.FUMul] = cfg.Mul.orDefault()
+	d.spec[dfg.FUMem] = cfg.Mem.orDefault()
+	d.spec[dfg.FUBus] = ResourceSpec{Lat: cfg.MoveLat, DII: cfg.MoveDII}
+	for t := 1; t < dfg.NumFUTypes; t++ {
+		s := d.spec[t]
+		if s.Lat < 1 || s.DII < 1 || s.DII > s.Lat {
+			return nil, fmt.Errorf("machine: invalid spec for %s: lat=%d dii=%d", dfg.FUType(t), s.Lat, s.DII)
+		}
+	}
+	for ci, c := range clusters {
+		any := false
+		for t := range c.NumFU {
+			if c.NumFU[t] < 0 {
+				return nil, fmt.Errorf("machine: cluster %d has negative FU count", ci)
+			}
+			if dfg.FUType(t) == dfg.FUALU || dfg.FUType(t) == dfg.FUMul {
+				if c.NumFU[t] > 0 {
+					any = true
+				}
+				d.total[t] += c.NumFU[t]
+			}
+		}
+		if !any {
+			return nil, fmt.Errorf("machine: cluster %d has no functional units", ci)
+		}
+	}
+	d.total[dfg.FUMem] = d.memPorts * len(clusters)
+	return d, nil
+}
+
+// NumClusters is the number of clusters in the datapath.
+func (d *Datapath) NumClusters() int { return len(d.clusters) }
+
+// NumBuses is N_B: the number of simultaneous inter-cluster transfers.
+func (d *Datapath) NumBuses() int { return d.numBuses }
+
+// NumFU returns N(c,t): the number of FUs of type t in cluster c. For
+// t == FUBus it returns NumBuses regardless of c, so the bus can be
+// treated uniformly as a resource type; FUMem reports the uniform
+// per-cluster memory port count.
+func (d *Datapath) NumFU(c int, t dfg.FUType) int {
+	switch t {
+	case dfg.FUBus:
+		return d.numBuses
+	case dfg.FUMem:
+		return d.memPorts
+	default:
+		return d.clusters[c].NumFU[t]
+	}
+}
+
+// TotalFU returns N(t): the datapath-wide number of FUs of type t. For
+// t == FUBus it returns NumBuses.
+func (d *Datapath) TotalFU(t dfg.FUType) int {
+	if t == dfg.FUBus {
+		return d.numBuses
+	}
+	return d.total[t]
+}
+
+// WithBuses returns a copy of the datapath with a different bus count;
+// timing and cluster structure are shared. Used to build the relaxed
+// (bus-contention-free) machine the PCC baseline's approximate scheduler
+// evaluates against.
+func (d *Datapath) WithBuses(n int) *Datapath {
+	if n < 1 {
+		n = 1
+	}
+	nd := *d
+	nd.numBuses = n
+	return &nd
+}
+
+// Spec returns the timing of resource type t.
+func (d *Datapath) Spec(t dfg.FUType) ResourceSpec { return d.spec[t] }
+
+// Latency returns lat(op) for an operation type; it satisfies dfg.LatencyFn.
+func (d *Datapath) Latency(op dfg.OpType) int { return d.spec[dfg.FUTypeOf(op)].Lat }
+
+// DII returns dii(op) for an operation type.
+func (d *Datapath) DII(op dfg.OpType) int { return d.spec[dfg.FUTypeOf(op)].DII }
+
+// MoveLat is lat(move): the bus transfer latency.
+func (d *Datapath) MoveLat() int { return d.spec[dfg.FUBus].Lat }
+
+// MoveDII is dii(move).
+func (d *Datapath) MoveDII() int { return d.spec[dfg.FUBus].DII }
+
+// Supports reports whether cluster c can execute operations of type op,
+// i.e. N(c, futype(op)) > 0.
+func (d *Datapath) Supports(c int, op dfg.OpType) bool {
+	return d.NumFU(c, dfg.FUTypeOf(op)) > 0
+}
+
+// TargetSet returns TS(v) for an operation type: the clusters that have at
+// least one FU able to execute it, in cluster order.
+func (d *Datapath) TargetSet(op dfg.OpType) []int {
+	var ts []int
+	for c := range d.clusters {
+		if d.Supports(c, op) {
+			ts = append(ts, c)
+		}
+	}
+	return ts
+}
+
+// CanRun reports whether every operation of g has a non-empty target set
+// on this datapath, returning a descriptive error otherwise.
+func (d *Datapath) CanRun(g *dfg.Graph) error {
+	for _, n := range g.Nodes() {
+		if n.IsMove() {
+			if d.numBuses == 0 {
+				return fmt.Errorf("machine: graph has moves but datapath has no buses")
+			}
+			continue
+		}
+		if d.TotalFU(n.FUType()) == 0 {
+			return fmt.Errorf("machine: no %s units for op %s", n.FUType(), n.Name())
+		}
+	}
+	return nil
+}
+
+// String renders the cluster structure in the paper's notation, e.g.
+// "[2,1|1,1]" for a two-cluster machine with 2 ALUs + 1 multiplier in the
+// first cluster and 1 + 1 in the second.
+func (d *Datapath) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range d.clusters {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d,%d", c.NumFU[dfg.FUALU], c.NumFU[dfg.FUMul])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Parse builds a datapath from the paper's cluster notation: a list of
+// clusters separated by '|', each "a,m" giving ALU and multiplier counts,
+// optionally wrapped in brackets. Examples: "[2,1|1,1]", "1,1|1,1|1,1".
+// The configuration supplies bus count and timing.
+func Parse(s string, cfg Config) (*Datapath, error) {
+	trimmed := strings.TrimSpace(s)
+	trimmed = strings.TrimPrefix(trimmed, "[")
+	trimmed = strings.TrimSuffix(trimmed, "]")
+	if trimmed == "" {
+		return nil, fmt.Errorf("machine: empty datapath spec %q", s)
+	}
+	var clusters []Cluster
+	for _, part := range strings.Split(trimmed, "|") {
+		part = strings.TrimSpace(part)
+		fields := strings.Split(part, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("machine: bad cluster spec %q in %q (want \"alus,muls\")", part, s)
+		}
+		a, err1 := strconv.Atoi(strings.TrimSpace(fields[0]))
+		m, err2 := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("machine: bad cluster spec %q in %q", part, s)
+		}
+		if a < 0 || m < 0 {
+			return nil, fmt.Errorf("machine: negative FU count in %q", s)
+		}
+		var c Cluster
+		c.NumFU[dfg.FUALU] = a
+		c.NumFU[dfg.FUMul] = m
+		clusters = append(clusters, c)
+	}
+	return New(clusters, cfg)
+}
+
+// MustParse is Parse that panics on error; for tests and table-driven
+// experiment definitions where the spec is a literal.
+func MustParse(s string, cfg Config) *Datapath {
+	d, err := Parse(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

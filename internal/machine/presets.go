@@ -1,0 +1,52 @@
+package machine
+
+import "fmt"
+
+// presets.go provides ready-made datapath models for machines that appear
+// in the clustered-VLIW literature the paper builds on: the two-cluster
+// TI TMS320C6201 that Leupers' annealing binder targeted, the HP/ST Lx
+// (ST200) platform of Faraboschi et al., and the paper's own Table 1 and
+// Table 2 configurations.
+
+// Preset names accepted by NewPreset.
+const (
+	// PresetTIC6201 models the TI TMS320C6201: two clusters (register
+	// files A and B), each with two ALU-class units and one multiplier
+	// visible to this model, one cross path per side (2 buses), and a
+	// single-cycle cross-path move.
+	PresetTIC6201 = "ti-c6201"
+	// PresetLx models one Lx/ST200 cluster pair: 4-issue clusters with
+	// three ALUs and one pipelined 2-cycle multiplier each.
+	PresetLx = "lx-2x"
+	// PresetPaperSmall is the paper's Table 1 baseline [1,1|1,1] with
+	// two buses and unit latencies.
+	PresetPaperSmall = "paper-2x11"
+	// PresetPaperTable2 is the five-cluster Table 2 machine
+	// [2,2|2,1|2,2|3,1|1,1] with two buses.
+	PresetPaperTable2 = "paper-table2"
+)
+
+// Presets lists the available preset names.
+func Presets() []string {
+	return []string{PresetTIC6201, PresetLx, PresetPaperSmall, PresetPaperTable2}
+}
+
+// NewPreset builds one of the predefined datapaths.
+func NewPreset(name string) (*Datapath, error) {
+	switch name {
+	case PresetTIC6201:
+		return Parse("[2,1|2,1]", Config{NumBuses: 2, MoveLat: 1})
+	case PresetLx:
+		return Parse("[3,1|3,1]", Config{
+			NumBuses: 2,
+			MoveLat:  1,
+			Mul:      ResourceSpec{Lat: 2, DII: 1},
+		})
+	case PresetPaperSmall:
+		return Parse("[1,1|1,1]", Config{NumBuses: 2, MoveLat: 1})
+	case PresetPaperTable2:
+		return Parse("[2,2|2,1|2,2|3,1|1,1]", Config{NumBuses: 2, MoveLat: 1})
+	default:
+		return nil, fmt.Errorf("machine: unknown preset %q (have %v)", name, Presets())
+	}
+}

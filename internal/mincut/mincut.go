@@ -1,0 +1,191 @@
+// Package mincut implements the third baseline discussed in Section 4 of
+// the paper: binding by classical network partitioning, after Capitanio,
+// Dutt and Nicolau, "Partitioned register files for VLIWs" (MICRO-25,
+// 1992). The dataflow graph is split into as many balanced parts as there
+// are clusters while minimizing the cut-set (number of inter-cluster
+// edges), using a Fiduccia–Mattheyses-style pass structure.
+//
+// The paper's critique of this approach is structural and reproduces
+// here: minimizing communication with enforced load balance does not
+// minimize schedule latency (the optimal binding sometimes runs only a
+// few operations in some clusters), and the method requires homogeneous
+// clusters — Bind returns an error for heterogeneous datapaths, exactly
+// the limitation Section 4 points out.
+package mincut
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// Options tunes the partitioner.
+type Options struct {
+	// BalanceSlack is how many nodes a part may exceed the perfect
+	// N/k balance by. Zero defaults to max(2, N/(8k)).
+	BalanceSlack int
+	// MaxPasses caps FM improvement passes. Zero defaults to 8.
+	MaxPasses int
+}
+
+// Bind partitions g across the clusters of dp and evaluates the result
+// with the shared list scheduler. dp must have homogeneous clusters.
+func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
+	if err := dp.CanRun(g); err != nil {
+		return nil, err
+	}
+	if err := requireHomogeneous(dp); err != nil {
+		return nil, err
+	}
+	k := dp.NumClusters()
+	n := g.NumNodes()
+	if opts.BalanceSlack == 0 {
+		opts.BalanceSlack = max2(2, n/(8*k))
+	}
+	if opts.MaxPasses == 0 {
+		opts.MaxPasses = 8
+	}
+	capacity := (n+k-1)/k + opts.BalanceSlack
+
+	// Initial balanced partition: breadth-first over components, filling
+	// clusters round-robin so connected regions start out together.
+	bn := initialPartition(g, k, capacity)
+
+	size := make([]int, k)
+	for _, c := range bn {
+		size[c]++
+	}
+
+	// FM-style passes: repeatedly apply the best-gain single move that
+	// respects capacity, locking each node once per pass.
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		locked := make([]bool, n)
+		improvedAny := false
+		for {
+			bestID, bestDst, bestGain := -1, -1, 0
+			for _, v := range g.Nodes() {
+				if locked[v.ID()] {
+					continue
+				}
+				home := bn[v.ID()]
+				for dst := 0; dst < k; dst++ {
+					if dst == home || size[dst] >= capacity {
+						continue
+					}
+					gain := cutGain(v, bn, dst)
+					if gain > bestGain {
+						bestID, bestDst, bestGain = v.ID(), dst, gain
+					}
+				}
+			}
+			if bestID < 0 || bestGain <= 0 {
+				break
+			}
+			size[bn[bestID]]--
+			size[bestDst]++
+			bn[bestID] = bestDst
+			locked[bestID] = true
+			improvedAny = true
+		}
+		if !improvedAny {
+			break
+		}
+	}
+	return bind.Evaluate(g, dp, bn)
+}
+
+// CutSize counts the inter-cluster data dependence edges of a binding —
+// the objective this baseline actually minimizes.
+func CutSize(g *dfg.Graph, bn []int) int {
+	cut := 0
+	for _, v := range g.Nodes() {
+		for _, p := range v.Preds() {
+			if bn[p.ID()] != bn[v.ID()] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+func cutGain(v *dfg.Node, bn []int, dst int) int {
+	home := bn[v.ID()]
+	gain := 0
+	count := func(u *dfg.Node) {
+		switch bn[u.ID()] {
+		case home:
+			gain-- // edge becomes cut
+		case dst:
+			gain++ // edge stops being cut
+		}
+	}
+	for _, p := range v.Preds() {
+		count(p)
+	}
+	for _, s := range v.Succs() {
+		count(s)
+	}
+	return gain
+}
+
+func initialPartition(g *dfg.Graph, k, capacity int) []int {
+	bn := make([]int, g.NumNodes())
+	for i := range bn {
+		bn[i] = -1
+	}
+	size := make([]int, k)
+	next := 0
+	place := func(id int) {
+		for size[next] >= capacity {
+			next = (next + 1) % k
+		}
+		bn[id] = next
+		size[next]++
+	}
+	// BFS per component keeps neighborhoods together; components are
+	// visited largest-first so big regions claim clusters early.
+	comps := dfg.Components(g)
+	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	for _, comp := range comps {
+		queue := []*dfg.Node{comp[0]}
+		seen := map[int]bool{comp[0].ID(): true}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			place(v.ID())
+			for _, u := range append(append([]*dfg.Node(nil), v.Succs()...), v.Preds()...) {
+				if !seen[u.ID()] {
+					seen[u.ID()] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		next = (next + 1) % k // start the next component in a fresh cluster
+	}
+	return bn
+}
+
+func requireHomogeneous(dp *machine.Datapath) error {
+	for c := 1; c < dp.NumClusters(); c++ {
+		for t := 1; t < dfg.NumFUTypes; t++ {
+			ft := dfg.FUType(t)
+			if ft == dfg.FUBus {
+				continue
+			}
+			if dp.NumFU(c, ft) != dp.NumFU(0, ft) {
+				return fmt.Errorf("mincut: network partitioning requires homogeneous clusters; cluster %d differs from cluster 0 in %s count (the limitation Section 4 of the paper notes)", c, ft)
+			}
+		}
+	}
+	return nil
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package mincut
+
+import (
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/sched"
+)
+
+func TestRequiresHomogeneousClusters(t *testing.T) {
+	g := kernels.Random(kernels.RandomConfig{Ops: 10, Seed: 1})
+	hetero := machine.MustParse("[2,1|1,1]", machine.Config{})
+	if _, err := Bind(g, hetero, Options{}); err == nil {
+		t.Error("heterogeneous datapath accepted (paper says this method cannot handle it)")
+	}
+	homo := machine.MustParse("[2,1|2,1]", machine.Config{})
+	if _, err := Bind(g, homo, Options{}); err != nil {
+		t.Errorf("homogeneous datapath rejected: %v", err)
+	}
+}
+
+func TestProducesLegalBalancedSolutions(t *testing.T) {
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	for _, name := range []string{"ARF", "DCT-DIT", "EWF"} {
+		k, _ := kernels.ByName(name)
+		g := k.Build()
+		res, err := Bind(g, dp, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := dfg.Validate(res.Bound); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := sched.Check(res.Schedule); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Balance: neither cluster may hold nearly everything.
+		count := []int{0, 0}
+		for _, c := range res.Binding {
+			count[c]++
+		}
+		slack := Options{}.BalanceSlack
+		_ = slack
+		limit := (g.NumNodes()+1)/2 + max2(2, g.NumNodes()/16)
+		if count[0] > limit || count[1] > limit {
+			t.Errorf("%s: unbalanced partition %v (limit %d)", name, count, limit)
+		}
+	}
+}
+
+func TestCutSize(t *testing.T) {
+	b := dfg.NewBuilder("c")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Add(x, y)
+	v1 := b.Add(v0, y)
+	v2 := b.Add(v0, x)
+	b.Output(v1)
+	b.Output(v2)
+	g := b.Graph()
+	if cut := CutSize(g, []int{0, 0, 0}); cut != 0 {
+		t.Errorf("uniform cut = %d, want 0", cut)
+	}
+	if cut := CutSize(g, []int{0, 1, 1}); cut != 2 {
+		t.Errorf("split cut = %d, want 2", cut)
+	}
+	if cut := CutSize(g, []int{0, 1, 0}); cut != 1 {
+		t.Errorf("single-edge cut = %d, want 1", cut)
+	}
+}
+
+func TestFMReducesCut(t *testing.T) {
+	// The partitioner's own objective must not be worse than the naive
+	// initial split.
+	g := kernels.DCTDIT()
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	res, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CutSize(g, res.Binding)
+	naive := make([]int, g.NumNodes())
+	for i := range naive {
+		naive[i] = i & 1 // alternating: pathological cut
+	}
+	if got >= CutSize(g, naive) {
+		t.Errorf("FM cut %d not better than alternating cut %d", got, CutSize(g, naive))
+	}
+}
+
+// TestPaperCritiqueCutVersusLatency reproduces the observation in
+// Section 4: the min-cut binding communicates less but schedules worse
+// than B-ITER somewhere in the suite, because balanced cut minimization
+// does not model serialization.
+func TestPaperCritiqueCutVersusLatency(t *testing.T) {
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	worseSomewhere := false
+	for _, k := range kernels.All() {
+		g := k.Build()
+		mc, err := Bind(g, dp, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		bi, err := bind.Bind(g, dp, bind.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if mc.L() > bi.L() {
+			worseSomewhere = true
+		}
+		if mc.L()+4 < bi.L() {
+			t.Errorf("%s: min-cut (L=%d) dramatically beats B-ITER (L=%d)?", k.Name, mc.L(), bi.L())
+		}
+	}
+	if !worseSomewhere {
+		t.Error("min-cut matched B-ITER latency everywhere; the paper's critique scenario never materialized")
+	}
+}
+
+func TestBindDeterministic(t *testing.T) {
+	g := kernels.FFT()
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	r1, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Binding {
+		if r1.Binding[i] != r2.Binding[i] {
+			t.Fatal("nondeterministic partitioning")
+		}
+	}
+}
+
+func TestThreeClusters(t *testing.T) {
+	g := kernels.DCTDIT()
+	dp := machine.MustParse("[1,1|1,1|1,1]", machine.Config{})
+	res, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, c := range res.Binding {
+		used[c] = true
+	}
+	if len(used) != 3 {
+		t.Errorf("balanced 3-way partition uses %d clusters", len(used))
+	}
+}

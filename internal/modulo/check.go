@@ -1,0 +1,129 @@
+package modulo
+
+import (
+	"fmt"
+
+	"vliwbind/internal/dfg"
+)
+
+// Check expands the pipelined schedule over the given number of concrete
+// iterations (iteration i issues at offset i·II) and verifies, cycle by
+// absolute cycle, that
+//
+//   - every dependence — intra-iteration and loop-carried, including the
+//     extra transfer latency on cross-cluster edges — is satisfied;
+//   - every cross-cluster edge is covered by a steady-state move that
+//     fits between its producer's finish and its consumer's start;
+//   - no functional unit, and no bus channel, ever exceeds its capacity.
+//
+// Three iterations suffice to exercise every modulo wrap of an II-periodic
+// schedule, but callers may expand more.
+func Check(ps *PipelinedSchedule, iterations int) error {
+	l, dp, ii := ps.Loop, ps.Datapath, ps.II
+	body := l.Body
+	if ii < 1 {
+		return fmt.Errorf("modulo: invalid II=%d", ii)
+	}
+	// Capacity violations only surface where iterations fully overlap;
+	// expand at least deep enough for every modulo slot to reach its
+	// steady-state occupancy.
+	if min := ps.ScheduleLength()/ii + 2; iterations < min {
+		iterations = min
+	}
+	for _, v := range body.Nodes() {
+		if ps.Start[v.ID()] < 0 {
+			return fmt.Errorf("modulo: %s never scheduled", v.Name())
+		}
+		c := ps.Cluster[v.ID()]
+		if c < 0 || c >= dp.NumClusters() || !dp.Supports(c, v.Op()) {
+			return fmt.Errorf("modulo: %s bound to unsupporting cluster %d", v.Name(), c)
+		}
+	}
+
+	// Index steady-state moves per (producer, destination cluster); a
+	// cross edge may be served by any move of that value to that cluster
+	// whose cycle fits the edge's window.
+	movesFor := make(map[[2]int][]int)
+	for _, m := range ps.Moves {
+		key := [2]int{m.Prod.ID(), m.Dest}
+		movesFor[key] = append(movesFor[key], m.Cycle)
+	}
+
+	// Dependence and transfer checks on the unrolled timeline.
+	moveLat := dp.MoveLat()
+	for _, e := range l.edges() {
+		u, v := e.from, e.to
+		su, sv := ps.Start[u.ID()], ps.Start[v.ID()]
+		cu, cv := ps.Cluster[u.ID()], ps.Cluster[v.ID()]
+		// Constraint in iteration-0 base: consumer instance i+dist.
+		prodFinish := su + dp.Latency(u.Op())
+		consStart := sv + ii*e.dist
+		if cu == cv {
+			if prodFinish > consStart {
+				return fmt.Errorf("modulo: edge %s->%s (dist %d) violated: finish %d > start %d",
+					u.Name(), v.Name(), e.dist, prodFinish, consStart)
+			}
+			continue
+		}
+		ok := false
+		for _, mc := range movesFor[[2]int{u.ID(), cv}] {
+			if mc >= prodFinish && mc+moveLat <= consStart {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("modulo: cross-cluster edge %s(c%d)->%s(c%d) dist %d has no move fitting [%d, %d]",
+				u.Name(), cu, v.Name(), cv, e.dist, prodFinish, consStart-moveLat)
+		}
+	}
+
+	// Resource capacities on the expanded timeline.
+	type slotKey struct {
+		cluster int
+		fu      dfg.FUType
+		cycle   int
+	}
+	use := make(map[slotKey]int)
+	busUse := make(map[int]int)
+	for iter := 0; iter < iterations; iter++ {
+		off := iter * ii
+		for _, v := range body.Nodes() {
+			c := ps.Cluster[v.ID()]
+			for d := 0; d < dp.DII(v.Op()); d++ {
+				k := slotKey{c, v.FUType(), off + ps.Start[v.ID()] + d}
+				use[k]++
+				if use[k] > dp.NumFU(c, v.FUType()) {
+					return fmt.Errorf("modulo: cluster %d %s over capacity at cycle %d",
+						c, v.FUType(), k.cycle)
+				}
+			}
+		}
+		for _, m := range ps.Moves {
+			for d := 0; d < dp.MoveDII(); d++ {
+				cyc := off + m.Cycle + d
+				busUse[cyc]++
+				if busUse[cyc] > dp.NumBuses() {
+					return fmt.Errorf("modulo: bus over capacity at cycle %d", cyc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MovesPerIteration is the steady-state transfer count (the throughput
+// analogue of the paper's M).
+func (ps *PipelinedSchedule) MovesPerIteration() int { return len(ps.Moves) }
+
+// ScheduleLength is the span of one iteration's operations (the prologue
+// depth of the software pipeline).
+func (ps *PipelinedSchedule) ScheduleLength() int {
+	maxFin := 0
+	for _, v := range ps.Loop.Body.Nodes() {
+		if f := ps.Start[v.ID()] + ps.Datapath.Latency(v.Op()); f > maxFin {
+			maxFin = f
+		}
+	}
+	return maxFin
+}

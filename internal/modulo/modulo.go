@@ -1,0 +1,409 @@
+// Package modulo implements cluster-aware modulo scheduling (software
+// pipelining) for loop bodies on clustered VLIW datapaths — the problem
+// setting of the related work the paper discusses in Section 4 (Nystrom &
+// Eichenberger, MICRO-31; Sánchez & González, ISSS-13; Fernandes et al.,
+// HPCA-5). A loop is an acyclic body graph plus loop-carried dependences
+// with iteration distances; the scheduler overlaps iterations at a fixed
+// initiation interval II, choosing a cluster for every operation and a
+// bus slot for every inter-cluster transfer against per-cluster modulo
+// reservation tables.
+//
+// The algorithm is a greedy height-ordered variant of Rau's iterative
+// modulo scheduling: starting at the lower bound MII = max(ResMII,
+// RecMII), it attempts a cluster-and-slot assignment and raises II on
+// failure. Check expands a pipelined schedule over several concrete
+// iterations and re-verifies every dependence and resource constraint,
+// so the kernel's steady state is validated the same way the acyclic
+// schedules in this repository are.
+package modulo
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// CarriedDep is a loop-carried dependence: the value From produces in
+// iteration i is consumed by To in iteration i+Distance.
+type CarriedDep struct {
+	From, To *dfg.Node
+	Distance int // >= 1
+}
+
+// Loop is a loop body with its carried dependences.
+type Loop struct {
+	Body    *dfg.Graph
+	Carried []CarriedDep
+}
+
+// Validate checks that the loop is well formed.
+func (l *Loop) Validate() error {
+	if l.Body == nil {
+		return fmt.Errorf("modulo: loop has no body")
+	}
+	if err := dfg.Validate(l.Body); err != nil {
+		return err
+	}
+	if l.Body.NumMoves() != 0 {
+		return fmt.Errorf("modulo: loop body must be an original graph (no moves)")
+	}
+	for _, cd := range l.Carried {
+		if cd.Distance < 1 {
+			return fmt.Errorf("modulo: carried dependence %s->%s has distance %d (want >= 1)",
+				cd.From.Name(), cd.To.Name(), cd.Distance)
+		}
+		if l.Body.Node(cd.From.ID()) != cd.From || l.Body.Node(cd.To.ID()) != cd.To {
+			return fmt.Errorf("modulo: carried dependence references nodes outside the body")
+		}
+	}
+	return nil
+}
+
+// edge is the unified dependence form used internally.
+type edge struct {
+	from, to *dfg.Node
+	dist     int
+}
+
+func (l *Loop) edges() []edge {
+	var es []edge
+	for _, n := range l.Body.Nodes() {
+		for _, p := range n.Preds() {
+			es = append(es, edge{p, n, 0})
+		}
+	}
+	for _, cd := range l.Carried {
+		es = append(es, edge{cd.From, cd.To, cd.Distance})
+	}
+	return es
+}
+
+// ResMII is the resource-constrained lower bound on II: for each FU type,
+// the dii-weighted work per iteration divided by the number of units
+// datapath-wide (binding cannot beat the aggregate capacity).
+func ResMII(l *Loop, dp *machine.Datapath) int {
+	var work [dfg.NumFUTypes]int
+	for _, n := range l.Body.Nodes() {
+		work[n.FUType()] += dp.DII(n.Op())
+	}
+	mii := 1
+	for t := 1; t < dfg.NumFUTypes; t++ {
+		ft := dfg.FUType(t)
+		if ft == dfg.FUBus {
+			continue
+		}
+		n := dp.TotalFU(ft)
+		if n == 0 || work[t] == 0 {
+			continue
+		}
+		if v := (work[t] + n - 1) / n; v > mii {
+			mii = v
+		}
+	}
+	return mii
+}
+
+// RecMII is the recurrence-constrained lower bound: the smallest II for
+// which no dependence cycle demands more latency than II×distance
+// provides. Computed by testing feasibility (no positive-weight cycle
+// under weights lat(u) − II·dist) with Bellman–Ford.
+func RecMII(l *Loop, dp *machine.Datapath) int {
+	if len(l.Carried) == 0 {
+		return 1
+	}
+	es := l.edges()
+	n := l.Body.NumNodes()
+	feasible := func(ii int) bool {
+		dist := make([]int, n)
+		// Longest-path relaxation; a positive cycle keeps relaxing.
+		for i := 0; i < n; i++ {
+			changed := false
+			for _, e := range es {
+				w := dp.Latency(e.from.Op()) - ii*e.dist
+				if d := dist[e.from.ID()] + w; d > dist[e.to.ID()] {
+					dist[e.to.ID()] = d
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		// One more pass: any further relaxation proves a positive cycle.
+		for _, e := range es {
+			w := dp.Latency(e.from.Op()) - ii*e.dist
+			if dist[e.from.ID()]+w > dist[e.to.ID()] {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi := 1, 1
+	for _, e := range es {
+		hi += dp.Latency(e.from.Op())
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// MII is the overall lower bound max(ResMII, RecMII).
+func MII(l *Loop, dp *machine.Datapath) int {
+	r, c := ResMII(l, dp), RecMII(l, dp)
+	if c > r {
+		return c
+	}
+	return r
+}
+
+// MoveSlot is one steady-state inter-cluster transfer: the value of Prod
+// is placed on the bus at Cycle (within iteration 0's time base) bound
+// for cluster Dest.
+type MoveSlot struct {
+	Prod  *dfg.Node
+	Dest  int
+	Cycle int
+}
+
+// PipelinedSchedule is a modulo schedule: every operation has an issue
+// cycle in iteration 0's time base and a cluster; iterations repeat every
+// II cycles. Moves lists the steady-state bus transfers.
+type PipelinedSchedule struct {
+	Loop     *Loop
+	Datapath *machine.Datapath
+	II       int
+	Start    []int // by node ID
+	Cluster  []int // by node ID
+	Moves    []MoveSlot
+}
+
+// Options tunes Pipeline.
+type Options struct {
+	// MaxII caps the initiation intervals tried. Zero defaults to
+	// MII + body size (every loop schedules well before that).
+	MaxII int
+}
+
+// Pipeline modulo-schedules the loop on the datapath, returning the
+// first feasible schedule found scanning II upward from MII.
+func Pipeline(l *Loop, dp *machine.Datapath, opts Options) (*PipelinedSchedule, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dp.CanRun(l.Body); err != nil {
+		return nil, err
+	}
+	mii := MII(l, dp)
+	maxII := opts.MaxII
+	if maxII == 0 {
+		maxII = mii + l.Body.NumNodes() + 8
+	}
+	for ii := mii; ii <= maxII; ii++ {
+		if ps := tryII(l, dp, ii); ps != nil {
+			return ps, nil
+		}
+	}
+	return nil, fmt.Errorf("modulo: no schedule found up to II=%d (MII=%d)", maxII, mii)
+}
+
+// tryII attempts one greedy height-ordered modulo schedule at a fixed II.
+func tryII(l *Loop, dp *machine.Datapath, ii int) *PipelinedSchedule {
+	body := l.Body
+	n := body.NumNodes()
+	es := l.edges()
+
+	// height: longest intra-iteration path to any sink (carried edges
+	// do not extend height; they bound placement instead).
+	height := make([]int, n)
+	order := dfg.TopoOrder(body)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		h := dp.Latency(v.Op())
+		for _, s := range v.Succs() {
+			if hh := height[s.ID()] + dp.Latency(v.Op()); hh > h {
+				h = hh
+			}
+		}
+		height[v.ID()] = h
+	}
+	nodes := append([]*dfg.Node(nil), body.Nodes()...)
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if height[nodes[i].ID()] != height[nodes[j].ID()] {
+			return height[nodes[i].ID()] > height[nodes[j].ID()]
+		}
+		return nodes[i].ID() < nodes[j].ID()
+	})
+
+	start := make([]int, n)
+	cluster := make([]int, n)
+	for i := range start {
+		start[i] = -1
+		cluster[i] = -1
+	}
+	// Modulo reservation tables: mrt[c][fu][slot] and bus[slot].
+	mrt := make([][][]int, dp.NumClusters())
+	for c := range mrt {
+		mrt[c] = make([][]int, dfg.NumFUTypes)
+		for t := 1; t < dfg.NumFUTypes; t++ {
+			mrt[c][t] = make([]int, ii)
+		}
+	}
+	bus := make([]int, ii)
+
+	inEdges := make([][]edge, n)
+	outEdges := make([][]edge, n)
+	for _, e := range es {
+		inEdges[e.to.ID()] = append(inEdges[e.to.ID()], e)
+		outEdges[e.from.ID()] = append(outEdges[e.from.ID()], e)
+	}
+	moveLat := dp.MoveLat()
+
+	type pendingMove struct {
+		prod  *dfg.Node
+		dest  int
+		cycle int
+	}
+	// committedMoves[v] holds the bus reservations made when v was
+	// placed (one per cross-cluster edge whose other endpoint was
+	// already scheduled).
+	committedMoves := make(map[int][]pendingMove, n)
+
+	for _, v := range nodes {
+		placed := false
+		var lastMoves []pendingMove
+		for _, c := range dp.TargetSet(v.Op()) {
+			// Earliest start from scheduled producers; latest start from
+			// scheduled consumers.
+			est, lst := 0, 1<<30
+			for _, e := range inEdges[v.ID()] {
+				u := e.from
+				if start[u.ID()] < 0 {
+					continue
+				}
+				t := start[u.ID()] + dp.Latency(u.Op()) - ii*e.dist
+				if cluster[u.ID()] != c {
+					t += moveLat
+				}
+				if t > est {
+					est = t
+				}
+			}
+			for _, e := range outEdges[v.ID()] {
+				w := e.to
+				if start[w.ID()] < 0 {
+					continue
+				}
+				t := start[w.ID()] + ii*e.dist - dp.Latency(v.Op())
+				if cluster[w.ID()] != c {
+					t -= moveLat
+				}
+				if t < lst {
+					lst = t
+				}
+			}
+			if est < 0 {
+				est = 0
+			}
+			hi := est + ii - 1
+			if hi > lst {
+				hi = lst
+			}
+			if hi < est {
+				continue
+			}
+		timeLoop:
+			for t := est; t <= hi; t++ {
+				// FU slot (dii consecutive modulo slots).
+				for d := 0; d < dp.DII(v.Op()); d++ {
+					if mrt[c][v.FUType()][mod(t+d, ii)] >= dp.NumFU(c, v.FUType()) {
+						continue timeLoop
+					}
+				}
+				// Bus slots for every cross-cluster scheduled producer,
+				// and for cross-cluster scheduled consumers of v.
+				var moves []pendingMove
+				busUsed := make(map[int]int)
+				reserve := func(lo, hiW int, prod *dfg.Node, dest int) bool {
+					for tt := lo; tt <= hiW; tt++ {
+						slot := mod(tt, ii)
+						if bus[slot]+busUsed[slot] < dp.NumBuses() {
+							busUsed[slot]++
+							moves = append(moves, pendingMove{prod, dest, tt})
+							return true
+						}
+					}
+					return false
+				}
+				for _, e := range inEdges[v.ID()] {
+					u := e.from
+					if start[u.ID()] < 0 || cluster[u.ID()] == c {
+						continue
+					}
+					lo := start[u.ID()] + dp.Latency(u.Op())
+					hiW := t + ii*e.dist - moveLat
+					if hiW < lo || !reserve(lo, hiW, u, c) {
+						continue timeLoop
+					}
+				}
+				for _, e := range outEdges[v.ID()] {
+					w := e.to
+					if start[w.ID()] < 0 || cluster[w.ID()] == c {
+						continue
+					}
+					lo := t + dp.Latency(v.Op())
+					hiW := start[w.ID()] + ii*e.dist - moveLat
+					if hiW < lo || !reserve(lo, hiW, v, cluster[w.ID()]) {
+						continue timeLoop
+					}
+				}
+				// Commit.
+				start[v.ID()] = t
+				cluster[v.ID()] = c
+				for d := 0; d < dp.DII(v.Op()); d++ {
+					mrt[c][v.FUType()][mod(t+d, ii)]++
+				}
+				for _, m := range moves {
+					bus[mod(m.cycle, ii)]++
+				}
+				lastMoves = moves
+				placed = true
+				break
+			}
+			if placed {
+				break
+			}
+		}
+		if !placed {
+			return nil
+		}
+		committedMoves[v.ID()] = lastMoves
+	}
+
+	ps := &PipelinedSchedule{
+		Loop: l, Datapath: dp, II: ii,
+		Start: start, Cluster: cluster,
+	}
+	// Emit moves in body-node order for determinism.
+	for _, v := range body.Nodes() {
+		for _, m := range committedMoves[v.ID()] {
+			ps.Moves = append(ps.Moves, MoveSlot{m.prod, m.dest, m.cycle})
+		}
+	}
+	return ps
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

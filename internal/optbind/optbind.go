@@ -1,0 +1,142 @@
+// Package optbind finds provably optimal bindings for small dataflow
+// graphs by branch-and-bound over the full assignment space. The paper
+// notes that the authors "were able to verify that the generated solutions
+// were optimal (at our level of abstraction)" for some cases; this package
+// is the repository's instrument for the same spot checks. It is
+// exponential in the number of operations and guarded accordingly.
+package optbind
+
+import (
+	"fmt"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// DefaultMaxOps bounds the graphs Optimal accepts unless overridden.
+const DefaultMaxOps = 16
+
+// Optimal exhaustively searches all cluster assignments of g on dp (with
+// resource-bound pruning) and returns the solution minimizing schedule
+// latency first and data transfers second — the paper's figure of merit.
+// maxOps guards against accidental exponential blowups; pass 0 for
+// DefaultMaxOps.
+func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, error) {
+	if maxOps <= 0 {
+		maxOps = DefaultMaxOps
+	}
+	if g.NumNodes() > maxOps {
+		return nil, fmt.Errorf("optbind: graph has %d ops, limit %d (exhaustive search)", g.NumNodes(), maxOps)
+	}
+	if g.NumMoves() != 0 {
+		return nil, fmt.Errorf("optbind: expects an original graph without moves")
+	}
+	if err := dp.CanRun(g); err != nil {
+		return nil, err
+	}
+
+	nodes := dfg.TopoOrder(g)
+	lcp := dfg.CriticalPath(g, dp.Latency)
+	binding := make([]int, g.NumNodes())
+	for i := range binding {
+		binding[i] = -1
+	}
+	// load[c][t] accumulates dii-weighted work assigned to cluster c.
+	load := make([][]int, dp.NumClusters())
+	for c := range load {
+		load[c] = make([]int, dfg.NumFUTypes)
+	}
+
+	var best *bind.Result
+	bestL := int(^uint(0) >> 1) // max int
+
+	// resourceLB lower-bounds the latency of any completion of the
+	// current partial assignment: work already committed to a cluster
+	// cannot migrate, so its serialized length is unavoidable.
+	resourceLB := func() int {
+		lb := lcp
+		for c := range load {
+			for t := 1; t < dfg.NumFUTypes; t++ {
+				ft := dfg.FUType(t)
+				if ft == dfg.FUBus {
+					continue
+				}
+				n := dp.NumFU(c, ft)
+				if n == 0 {
+					continue
+				}
+				if v := (load[c][t] + n - 1) / n; v > lb {
+					lb = v
+				}
+			}
+		}
+		return lb
+	}
+
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(nodes) {
+			res, err := bind.Evaluate(g, dp, binding)
+			if err != nil {
+				return err
+			}
+			if best == nil || res.L() < bestL ||
+				(res.L() == bestL && res.Moves() < best.Moves()) {
+				best, bestL = res, res.L()
+			}
+			return nil
+		}
+		v := nodes[i]
+		ts := dp.TargetSet(v.Op())
+		if len(ts) == 0 {
+			return fmt.Errorf("optbind: no cluster supports %s", v.Name())
+		}
+		for _, c := range ts {
+			binding[v.ID()] = c
+			load[c][v.FUType()] += dp.DII(v.Op())
+			// Prune branches that cannot beat the incumbent even with a
+			// perfect schedule of everything unassigned.
+			if best == nil || resourceLB() <= bestL {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			load[c][v.FUType()] -= dp.DII(v.Op())
+			binding[v.ID()] = -1
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// LowerBound returns a latency no schedule of g on dp can beat: the
+// maximum of the critical path and the per-FU-type datapath-wide resource
+// bounds. Useful for asserting optimality without a full search.
+func LowerBound(g *dfg.Graph, dp *machine.Datapath) int {
+	lb := dfg.CriticalPath(g, dp.Latency)
+	var work [dfg.NumFUTypes]int
+	for _, n := range g.Nodes() {
+		work[n.FUType()] += dp.DII(n.Op())
+	}
+	for t := 1; t < dfg.NumFUTypes; t++ {
+		ft := dfg.FUType(t)
+		if ft == dfg.FUBus {
+			continue
+		}
+		n := dp.TotalFU(ft)
+		if n == 0 {
+			continue
+		}
+		// The last op issued still needs its full latency; the bound
+		// below is issue-slots plus the final drain beyond one cycle.
+		drain := dp.Spec(ft).Lat - 1
+		if v := (work[t]+n-1)/n + drain; v > lb {
+			lb = v
+		}
+	}
+	return lb
+}

@@ -1,0 +1,174 @@
+package optbind
+
+import (
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/pcc"
+)
+
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	// Independent verification: enumerate without pruning and compare.
+	g := kernels.Random(kernels.RandomConfig{Ops: 7, Seed: 11})
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	opt, err := Optimal(g, dp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestL, bestM := 1<<30, 1<<30
+	n := g.NumNodes()
+	bn := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			bn[i] = (mask >> i) & 1
+		}
+		res, err := bind.Evaluate(g, dp, bn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.L() < bestL || (res.L() == bestL && res.Moves() < bestM) {
+			bestL, bestM = res.L(), res.Moves()
+		}
+	}
+	if opt.L() != bestL || opt.Moves() != bestM {
+		t.Errorf("Optimal = %d/%d, brute force = %d/%d", opt.L(), opt.Moves(), bestL, bestM)
+	}
+}
+
+func TestOptimalAcrossSeeds(t *testing.T) {
+	// B-ITER should match the exact optimum latency on most small
+	// graphs, and must never beat it (that would mean a bug in one of
+	// the two searches).
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	matched := 0
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		g := kernels.Random(kernels.RandomConfig{Ops: 9, Seed: seed})
+		opt, err := Optimal(g, dp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bind.Bind(g, dp, bind.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.L() < opt.L() {
+			t.Errorf("seed %d: B-ITER %d beats 'optimal' %d", seed, res.L(), opt.L())
+		}
+		if res.L() == opt.L() {
+			matched++
+		}
+	}
+	if matched < trials-1 {
+		t.Errorf("B-ITER matched the optimum on only %d/%d small graphs", matched, trials)
+	}
+}
+
+func TestOptimalRespectsTargetSets(t *testing.T) {
+	b := dfg.NewBuilder("ts")
+	x, y := b.Input("x"), b.Input("y")
+	m := b.Mul(x, y)
+	a := b.Add(m, y)
+	b.Output(a)
+	g := b.Graph()
+	dp := machine.MustParse("[1,0|1,1]", machine.Config{})
+	opt, err := Optimal(g, dp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Binding[m.Node().ID()] != 1 {
+		t.Errorf("optimal put the mul in cluster %d", opt.Binding[m.Node().ID()])
+	}
+	// Keeping both in cluster 1 avoids the move: L=2, M=0.
+	if opt.L() != 2 || opt.Moves() != 0 {
+		t.Errorf("optimal = %d/%d, want 2/0", opt.L(), opt.Moves())
+	}
+}
+
+func TestOptimalGuards(t *testing.T) {
+	g := kernels.Random(kernels.RandomConfig{Ops: 30, Seed: 1})
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	if _, err := Optimal(g, dp, 0); err == nil {
+		t.Error("oversized graph accepted")
+	}
+	small := kernels.Random(kernels.RandomConfig{Ops: 5, Seed: 1})
+	if _, err := Optimal(small, dp, 4); err == nil {
+		t.Error("limit below graph size accepted")
+	}
+	if _, err := Optimal(small, dp, 5); err != nil {
+		t.Errorf("limit at graph size rejected: %v", err)
+	}
+	b := dfg.NewBuilder("mv")
+	x := b.Input("x")
+	v := b.Neg(x)
+	mv := b.Move(v)
+	b.Output(b.Neg(mv))
+	if _, err := Optimal(b.Graph(), dp, 0); err == nil {
+		t.Error("bound graph accepted")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	// 8 adds on one ALU: bound 8. On 4 ALUs: bound 2. Chain of 5: 5.
+	bld := dfg.NewBuilder("w")
+	x, y := bld.Input("x"), bld.Input("y")
+	for i := 0; i < 8; i++ {
+		bld.Output(bld.Add(x, y))
+	}
+	wide := bld.Graph()
+	if lb := LowerBound(wide, machine.MustParse("[1,0]", machine.Config{})); lb != 8 {
+		t.Errorf("LowerBound wide/1alu = %d, want 8", lb)
+	}
+	if lb := LowerBound(wide, machine.MustParse("[2,0|2,0]", machine.Config{})); lb != 2 {
+		t.Errorf("LowerBound wide/4alu = %d, want 2", lb)
+	}
+	b2 := dfg.NewBuilder("c")
+	x2 := b2.Input("x")
+	v := b2.Neg(x2)
+	for i := 0; i < 4; i++ {
+		v = b2.Neg(v)
+	}
+	b2.Output(v)
+	if lb := LowerBound(b2.Graph(), machine.MustParse("[4,4]", machine.Config{})); lb != 5 {
+		t.Errorf("LowerBound chain = %d, want 5", lb)
+	}
+}
+
+func TestLowerBoundWithLatency(t *testing.T) {
+	// Two independent pipelined 3-cycle muls on one unit: issue at 0 and
+	// 1, drain 2 more -> bound 4.
+	b := dfg.NewBuilder("m")
+	x, y := b.Input("x"), b.Input("y")
+	b.Output(b.Mul(x, y))
+	b.Output(b.Mul(y, x))
+	g := b.Graph()
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1, Mul: machine.ResourceSpec{Lat: 3, DII: 1}})
+	if lb := LowerBound(g, dp); lb != 4 {
+		t.Errorf("LowerBound = %d, want 4", lb)
+	}
+}
+
+func TestNoBinderBeatsLowerBound(t *testing.T) {
+	dp := machine.MustParse("[2,1|1,1]", machine.Config{})
+	for seed := int64(0); seed < 8; seed++ {
+		g := kernels.Random(kernels.RandomConfig{Ops: 25, Seed: seed})
+		lb := LowerBound(g, dp)
+		res, err := bind.Bind(g, dp, bind.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.L() < lb {
+			t.Errorf("seed %d: B-ITER latency %d below lower bound %d", seed, res.L(), lb)
+		}
+		pres, err := pcc.Bind(g, dp, pcc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pres.L() < lb {
+			t.Errorf("seed %d: PCC latency %d below lower bound %d", seed, pres.L(), lb)
+		}
+	}
+}

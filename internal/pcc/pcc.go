@@ -1,0 +1,284 @@
+// Package pcc implements the baseline binding algorithm the paper compares
+// against: Partial Component Clustering, after G. Desoli, "Instruction
+// assignment for clustered VLIW DSP compilers: a new approach", HP Labs
+// technical report HPL-98-13 (1998), as summarized in Section 4 of
+// Lapinskii et al. (DAC 2001).
+//
+// PCC has two phases. Phase one decomposes the DFG into partial
+// components with a bottom-up depth-first traversal (in the spirit of the
+// Bottom-Up Greedy algorithm), capped at a maximum component size; several
+// decompositions are produced by sweeping the cap. An initial assignment
+// then places whole components onto clusters, balancing estimated load and
+// minimizing inter-component cut edges. Phase two iteratively improves the
+// assignment with single-operation moves accepted under the lexicographic
+// (latency, moves) cost — the Q_M-style function whose propensity for
+// local minima Section 3.2 of the paper discusses.
+package pcc
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// Options tunes the PCC baseline.
+type Options struct {
+	// Caps is the sweep of maximum partial-component sizes. Empty
+	// defaults to {2, 4, 8, 16}.
+	Caps []int
+	// MaxIterations caps the phase-two improvement iterations per
+	// decomposition; zero means until no improving move exists.
+	MaxIterations int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Caps) == 0 {
+		o.Caps = []int{2, 4, 8, 16}
+	}
+	return o
+}
+
+// Bind runs the full PCC baseline and returns the best solution across
+// the component-size sweep.
+func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
+	opts = opts.withDefaults()
+	if err := dp.CanRun(g); err != nil {
+		return nil, err
+	}
+	var best *bind.Result
+	for _, cap := range opts.Caps {
+		if cap < 1 {
+			return nil, fmt.Errorf("pcc: invalid component cap %d", cap)
+		}
+		comps := PartialComponents(g, cap)
+		bn := assign(g, dp, comps)
+		res, err := improve(g, dp, comps, bn, opts.MaxIterations)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.L() < best.L() ||
+			(res.L() == best.L() && res.Moves() < best.Moves()) {
+			best = res
+		}
+		if cap >= g.NumNodes() {
+			break // larger caps yield the same single decomposition
+		}
+	}
+	return best, nil
+}
+
+// PartialComponents decomposes g into path-oriented components of at most
+// cap nodes each, via a bottom-up depth-first traversal from the sinks,
+// deepest chains first. Every node belongs to exactly one component.
+func PartialComponents(g *dfg.Graph, cap int) [][]*dfg.Node {
+	// depth[v] is the longest path from any source to v, used to follow
+	// critical chains first, as BUG does.
+	order := dfg.TopoOrder(g)
+	depth := make([]int, g.NumNodes())
+	for _, n := range order {
+		for _, p := range n.Preds() {
+			if depth[p.ID()]+1 > depth[n.ID()] {
+				depth[n.ID()] = depth[p.ID()] + 1
+			}
+		}
+	}
+	assigned := make([]bool, g.NumNodes())
+	var comps [][]*dfg.Node
+
+	// Bottom-up: seed components at the deepest unassigned nodes (sinks
+	// first) and grow each along its deepest predecessor chains.
+	seeds := append([]*dfg.Node(nil), order...)
+	sort.SliceStable(seeds, func(i, j int) bool {
+		if depth[seeds[i].ID()] != depth[seeds[j].ID()] {
+			return depth[seeds[i].ID()] > depth[seeds[j].ID()]
+		}
+		return seeds[i].ID() < seeds[j].ID()
+	})
+
+	var cur []*dfg.Node
+	var grow func(n *dfg.Node)
+	grow = func(n *dfg.Node) {
+		if assigned[n.ID()] || len(cur) >= cap {
+			return
+		}
+		assigned[n.ID()] = true
+		cur = append(cur, n)
+		preds := append([]*dfg.Node(nil), n.Preds()...)
+		sort.SliceStable(preds, func(i, j int) bool {
+			if depth[preds[i].ID()] != depth[preds[j].ID()] {
+				return depth[preds[i].ID()] > depth[preds[j].ID()]
+			}
+			return preds[i].ID() < preds[j].ID()
+		})
+		for _, p := range preds {
+			grow(p)
+		}
+	}
+	for _, s := range seeds {
+		if !assigned[s.ID()] {
+			cur = nil
+			grow(s)
+			comps = append(comps, cur)
+		}
+	}
+	return comps
+}
+
+// assign places components onto clusters: larger components first, each to
+// the feasible cluster minimizing cut edges plus a load-balance term. A
+// component whose ops no single cluster supports is split into per-node
+// assignments.
+func assign(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node) []int {
+	bn := make([]int, g.NumNodes())
+	for i := range bn {
+		bn[i] = -1
+	}
+	// load[c][t] counts ops of FU type t assigned to cluster c.
+	load := make([][]float64, dp.NumClusters())
+	for c := range load {
+		load[c] = make([]float64, dfg.NumFUTypes)
+	}
+	idx := make([]int, len(comps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if len(comps[idx[a]]) != len(comps[idx[b]]) {
+			return len(comps[idx[a]]) > len(comps[idx[b]])
+		}
+		return idx[a] < idx[b]
+	})
+	place := func(nodes []*dfg.Node, c int) {
+		for _, n := range nodes {
+			bn[n.ID()] = c
+			load[c][n.FUType()] += 1 / float64(max1(dp.NumFU(c, n.FUType())))
+		}
+	}
+	clusterCost := func(nodes []*dfg.Node, c int) (float64, bool) {
+		cut := 0
+		add := make([]float64, dfg.NumFUTypes)
+		for _, n := range nodes {
+			if !dp.Supports(c, n.Op()) {
+				return 0, false
+			}
+			add[n.FUType()] += 1 / float64(max1(dp.NumFU(c, n.FUType())))
+			for _, p := range n.Preds() {
+				if b := bn[p.ID()]; b >= 0 && b != c {
+					cut++
+				}
+			}
+			for _, s := range n.Succs() {
+				if b := bn[s.ID()]; b >= 0 && b != c {
+					cut++
+				}
+			}
+		}
+		worst := 0.0
+		for t := range add {
+			if l := load[c][t] + add[t]; l > worst {
+				worst = l
+			}
+		}
+		return float64(cut) + worst, true
+	}
+	for _, i := range idx {
+		nodes := comps[i]
+		bestC, bestCost := -1, 0.0
+		for c := 0; c < dp.NumClusters(); c++ {
+			cost, ok := clusterCost(nodes, c)
+			if !ok {
+				continue
+			}
+			if bestC < 0 || cost < bestCost {
+				bestC, bestCost = c, cost
+			}
+		}
+		if bestC >= 0 {
+			place(nodes, bestC)
+			continue
+		}
+		// Heterogeneous component on a datapath where no single cluster
+		// supports it: place node by node.
+		for _, n := range nodes {
+			nBestC, nBestCost := -1, 0.0
+			for _, c := range dp.TargetSet(n.Op()) {
+				cost, _ := clusterCost([]*dfg.Node{n}, c)
+				if nBestC < 0 || cost < nBestCost {
+					nBestC, nBestCost = c, cost
+				}
+			}
+			place([]*dfg.Node{n}, nBestC)
+		}
+	}
+	return bn
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// improve is PCC's phase two: first-improvement hill climbing that moves
+// whole partial components between clusters, accepted under the
+// lexicographic (L, moves) cost. Per Desoli's description the latency
+// driving the search comes from a fast approximate scheduler — here a
+// list schedule on a bus-relaxed copy of the datapath (transfers keep
+// their latency but never contend). Both the optimistic proxy and the
+// component granularity are what make this Q_M-style search prone to the
+// local minima Section 3.2 of the paper discusses. The returned result is
+// re-evaluated on the real datapath.
+func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, maxIter int) (*bind.Result, error) {
+	relaxed := dp.WithBuses(g.NumNodes())
+	cur, err := bind.Evaluate(g, relaxed, bn)
+	if err != nil {
+		return nil, err
+	}
+	if maxIter <= 0 {
+		maxIter = len(comps) * dp.NumClusters()
+	}
+	feasible := func(nodes []*dfg.Node, c int) bool {
+		for _, n := range nodes {
+			if !dp.Supports(c, n.Op()) {
+				return false
+			}
+		}
+		return true
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		for _, comp := range comps {
+			home := cur.Binding[comp[0].ID()]
+			for c := 0; c < dp.NumClusters(); c++ {
+				if c == home || !feasible(comp, c) {
+					continue
+				}
+				cand := append([]int(nil), cur.Binding...)
+				for _, n := range comp {
+					cand[n.ID()] = c
+				}
+				res, err := bind.Evaluate(g, relaxed, cand)
+				if err != nil {
+					return nil, err
+				}
+				if res.L() < cur.L() ||
+					(res.L() == cur.L() && res.Moves() < cur.Moves()) {
+					cur = res
+					improved = true
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return bind.Evaluate(g, dp, cur.Binding)
+}

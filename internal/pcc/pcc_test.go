@@ -1,0 +1,202 @@
+package pcc
+
+import (
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/sched"
+)
+
+// twoChains builds two independent chains of the given depths.
+func twoChains(d1, d2 int) *dfg.Graph {
+	b := dfg.NewBuilder("twochains")
+	x, y := b.Input("x"), b.Input("y")
+	v := b.Add(x, y)
+	for i := 1; i < d1; i++ {
+		v = b.Add(v, y)
+	}
+	w := b.Sub(x, y)
+	for i := 1; i < d2; i++ {
+		w = b.Sub(w, y)
+	}
+	b.Output(v)
+	b.Output(w)
+	return b.Graph()
+}
+
+func TestPartialComponentsCoverEveryNodeOnce(t *testing.T) {
+	g := twoChains(5, 5)
+	for _, cap := range []int{1, 2, 3, 5, 100} {
+		comps := PartialComponents(g, cap)
+		seen := make(map[int]int)
+		for _, comp := range comps {
+			if len(comp) == 0 {
+				t.Errorf("cap %d: empty component", cap)
+			}
+			if len(comp) > cap {
+				t.Errorf("cap %d: component of size %d", cap, len(comp))
+			}
+			for _, n := range comp {
+				seen[n.ID()]++
+			}
+		}
+		if len(seen) != g.NumNodes() {
+			t.Errorf("cap %d: %d nodes covered, want %d", cap, len(seen), g.NumNodes())
+		}
+		for id, k := range seen {
+			if k != 1 {
+				t.Errorf("cap %d: node %d in %d components", cap, id, k)
+			}
+		}
+	}
+}
+
+func TestPartialComponentsFollowChains(t *testing.T) {
+	// With a cap covering a whole chain, each chain is one component.
+	g := twoChains(4, 4)
+	comps := PartialComponents(g, 4)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	for _, comp := range comps {
+		op := comp[0].Op()
+		for _, n := range comp {
+			if n.Op() != op {
+				t.Errorf("component mixes chains: %s in %s-chain component", n.Name(), op)
+			}
+		}
+	}
+}
+
+func TestAssignSeparatesChains(t *testing.T) {
+	g := twoChains(4, 4)
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	comps := PartialComponents(g, 4)
+	bn := assign(g, dp, comps)
+	// Each chain entirely within one cluster, and the two chains apart
+	// (load balance pushes the second chain off the first's cluster).
+	res, err := bind.Evaluate(g, dp, bn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves() != 0 {
+		t.Errorf("assignment cut a chain: %d moves", res.Moves())
+	}
+	c0 := bn[g.Nodes()[0].ID()]
+	c1 := bn[g.Nodes()[4].ID()]
+	if c0 == c1 {
+		t.Errorf("both chains in cluster %d; want them separated", c0)
+	}
+}
+
+func TestAssignRespectsTargetSets(t *testing.T) {
+	b := dfg.NewBuilder("ts")
+	x, y := b.Input("x"), b.Input("y")
+	m := b.Mul(x, y)
+	a := b.Add(m, y)
+	b.Output(a)
+	g := b.Graph()
+	dp := machine.MustParse("[1,0|1,1]", machine.Config{})
+	for _, cap := range []int{1, 2} {
+		bn := assign(g, dp, PartialComponents(g, cap))
+		if bn[m.Node().ID()] != 1 {
+			t.Errorf("cap %d: mul assigned to cluster %d, want 1", cap, bn[m.Node().ID()])
+		}
+		if bn[a.Node().ID()] < 0 {
+			t.Errorf("cap %d: add left unassigned", cap)
+		}
+	}
+}
+
+func TestBindProducesLegalSolutions(t *testing.T) {
+	g := twoChains(6, 3)
+	dp := machine.MustParse("[2,1|1,1]", machine.Config{})
+	res, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dfg.Validate(res.Bound); err != nil {
+		t.Errorf("bound graph invalid: %v", err)
+	}
+	if err := sched.Check(res.Schedule); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+	if res.L() < 6 {
+		t.Errorf("L = %d below critical path 6", res.L())
+	}
+}
+
+func TestBindImprovementNeverHurts(t *testing.T) {
+	// The phase-two improvement must never return something worse than
+	// the plain initial assignment for the same cap.
+	g := twoChains(5, 5)
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	comps := PartialComponents(g, 4)
+	bn := assign(g, dp, comps)
+	init, err := bind.Evaluate(g, dp, bn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := improve(g, dp, comps, bn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L() > init.L() || (res.L() == init.L() && res.Moves() > init.Moves()) {
+		t.Errorf("improvement worsened (L,M): (%d,%d) -> (%d,%d)",
+			init.L(), init.Moves(), res.L(), res.Moves())
+	}
+}
+
+func TestBindCapSweepPicksBest(t *testing.T) {
+	g := twoChains(5, 5)
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	all, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []int{2, 4, 8, 16} {
+		one, err := Bind(g, dp, Options{Caps: []int{cap}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all.L() > one.L() {
+			t.Errorf("sweep (L=%d) worse than single cap %d (L=%d)", all.L(), cap, one.L())
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	g := twoChains(2, 2)
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	if _, err := Bind(g, dp, Options{Caps: []int{0}}); err == nil {
+		t.Error("cap 0 accepted")
+	}
+	b := dfg.NewBuilder("m")
+	x := b.Input("x")
+	b.Output(b.Mul(x, x))
+	mg := b.Graph()
+	aluOnly := machine.MustParse("[2,0]", machine.Config{})
+	if _, err := Bind(mg, aluOnly, Options{}); err == nil {
+		t.Error("unsupported op accepted")
+	}
+}
+
+func TestBindDeterministic(t *testing.T) {
+	g := twoChains(6, 4)
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	r1, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Binding {
+		if r1.Binding[i] != r2.Binding[i] {
+			t.Fatalf("nondeterministic binding at node %d", i)
+		}
+	}
+}

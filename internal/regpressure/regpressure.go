@@ -1,0 +1,104 @@
+// Package regpressure measures register-file demand per cluster for a
+// bound-and-scheduled graph. The paper's binding model assumes unbounded
+// register files on the grounds that clustering distributes operations
+// and keeps per-cluster register demand low (Section 2); this package
+// quantifies that demand so the assumption can be audited per solution —
+// e.g., EXPERIMENTS.md reports the worst per-cluster pressure across
+// Table 1 to show it stays within realistic register-file sizes.
+package regpressure
+
+import (
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/sched"
+)
+
+// Report summarizes the live-value analysis of one schedule.
+type Report struct {
+	// LiveAt[c][t] is the number of internally produced values resident
+	// in cluster c's register file during cycle t.
+	LiveAt [][]int
+	// MaxLive[c] is the peak of LiveAt[c].
+	MaxLive []int
+	// Peak is the maximum of MaxLive across clusters.
+	Peak int
+}
+
+// Analyze computes live ranges per cluster. A value occupies a register in
+// cluster c from the cycle it is written there (producer finish, or move
+// arrival for transferred copies) until its last in-cluster use issues —
+// or until the end of the schedule for live-out values, which the block
+// must still hold for its consumers. External inputs are not counted:
+// they are the enclosing scope's registers, identical across binding
+// solutions and thus irrelevant when comparing them.
+func Analyze(s *sched.Schedule) *Report {
+	g, dp := s.Graph, s.Datapath
+	nc := dp.NumClusters()
+
+	// For each (value, cluster) pair with a resident copy: write cycle
+	// and last-use cycle.
+	type key struct{ id, cluster int }
+	written := make(map[key]int)
+	lastUse := make(map[key]int)
+
+	use := func(id, cluster, cycle int) {
+		k := key{id, cluster}
+		if cur, ok := lastUse[k]; !ok || cycle > cur {
+			lastUse[k] = cycle
+		}
+	}
+	for _, n := range g.Nodes() {
+		c := s.Cluster[n.ID()]
+		fin := s.Finish(n)
+		if n.Op() != dfg.OpStore {
+			// Spill stores write memory, not a register.
+			written[key{n.ID(), c}] = fin
+		}
+		if n.IsMove() {
+			// The copy lands in the destination cluster; reading the
+			// source happens in the producer's cluster at issue time.
+			if src := n.TransferFor(); src != nil {
+				use(src.ID(), s.Cluster[src.ID()], s.Start[n.ID()])
+			}
+		} else {
+			for _, o := range n.Operands() {
+				// A reload's operand is a memory slot.
+				if o.IsNode() && o.Node().Op() != dfg.OpStore {
+					use(o.Node().ID(), c, s.Start[n.ID()])
+				}
+			}
+		}
+		if n.IsOutput() && n.Op() != dfg.OpStore {
+			use(n.ID(), c, s.L)
+		}
+	}
+
+	rep := &Report{
+		LiveAt:  make([][]int, nc),
+		MaxLive: make([]int, nc),
+	}
+	for c := range rep.LiveAt {
+		rep.LiveAt[c] = make([]int, s.L+1)
+	}
+	for k, w := range written {
+		end, used := lastUse[k]
+		if !used {
+			// Dead copy (possible only for values consumed nowhere in
+			// that cluster); it still occupies its write cycle.
+			end = w
+		}
+		for t := w; t <= end && t <= s.L; t++ {
+			rep.LiveAt[k.cluster][t]++
+		}
+	}
+	for c := range rep.LiveAt {
+		for _, v := range rep.LiveAt[c] {
+			if v > rep.MaxLive[c] {
+				rep.MaxLive[c] = v
+			}
+		}
+		if rep.MaxLive[c] > rep.Peak {
+			rep.Peak = rep.MaxLive[c]
+		}
+	}
+	return rep
+}

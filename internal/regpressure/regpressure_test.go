@@ -1,0 +1,142 @@
+package regpressure
+
+import (
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/sched"
+)
+
+func analyzeFor(t *testing.T, g *dfg.Graph, dp *machine.Datapath, binding []int) (*Report, *sched.Schedule) {
+	t.Helper()
+	res, err := bind.Evaluate(g, dp, binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(res.Schedule), res.Schedule
+}
+
+func TestChainPressureIsOne(t *testing.T) {
+	// A pure chain holds exactly one live internal value at a time
+	// (each result dies as the next op consumes it; the last is live-out).
+	b := dfg.NewBuilder("chain")
+	x, y := b.Input("x"), b.Input("y")
+	v := b.Add(x, y)
+	for i := 0; i < 4; i++ {
+		v = b.Add(v, y)
+	}
+	b.Output(v)
+	g := b.Graph()
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1})
+	rep, _ := analyzeFor(t, g, dp, make([]int, g.NumNodes()))
+	if rep.MaxLive[0] != 1 {
+		t.Errorf("chain MaxLive = %d, want 1", rep.MaxLive[0])
+	}
+	if rep.Peak != 1 {
+		t.Errorf("Peak = %d, want 1", rep.Peak)
+	}
+}
+
+func TestFanInAccumulatesPressure(t *testing.T) {
+	// Four parallel producers feeding a reduction tree: at the moment
+	// all four results exist, pressure is 4.
+	b := dfg.NewBuilder("fan")
+	x, y := b.Input("x"), b.Input("y")
+	p := make([]dfg.Value, 4)
+	for i := range p {
+		p[i] = b.Add(x, y)
+	}
+	s1 := b.Add(p[0], p[1])
+	s2 := b.Add(p[2], p[3])
+	b.Output(b.Add(s1, s2))
+	g := b.Graph()
+	dp := machine.MustParse("[4,1]", machine.Config{NumBuses: 1})
+	rep, _ := analyzeFor(t, g, dp, make([]int, g.NumNodes()))
+	if rep.MaxLive[0] != 4 {
+		t.Errorf("fan-in MaxLive = %d, want 4", rep.MaxLive[0])
+	}
+}
+
+func TestMovesCountInDestination(t *testing.T) {
+	// A transferred copy occupies a register in the destination cluster.
+	b := dfg.NewBuilder("mv")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Add(x, y)
+	v1 := b.Add(v0, y)
+	b.Output(v1)
+	g := b.Graph()
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{NumBuses: 1})
+	rep, s := analyzeFor(t, g, dp, []int{0, 1})
+	if s.Graph.NumMoves() != 1 {
+		t.Fatalf("expected one move, got %d", s.Graph.NumMoves())
+	}
+	if rep.MaxLive[1] < 1 {
+		t.Errorf("destination cluster shows no pressure: %v", rep.MaxLive)
+	}
+	if rep.MaxLive[0] < 1 {
+		t.Errorf("source cluster shows no pressure: %v", rep.MaxLive)
+	}
+}
+
+func TestOutputsLiveToEnd(t *testing.T) {
+	// An early-finishing live-out value stays resident until the end.
+	b := dfg.NewBuilder("out")
+	x, y := b.Input("x"), b.Input("y")
+	early := b.Add(x, y) // output, finishes at cycle 1
+	v := b.Add(x, y)
+	for i := 0; i < 3; i++ {
+		v = b.Add(v, y)
+	}
+	b.Output(early)
+	b.Output(v)
+	g := b.Graph()
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	rep, s := analyzeFor(t, g, dp, make([]int, g.NumNodes()))
+	for tt := s.Finish(early.Node()); tt <= s.L; tt++ {
+		if rep.LiveAt[0][tt] < 1 {
+			t.Errorf("live-out value not resident at cycle %d", tt)
+		}
+	}
+}
+
+func TestKernelPressureStaysRealistic(t *testing.T) {
+	// The paper's justification: clustered binding keeps per-cluster
+	// register demand modest. All benchmarks on a 2-cluster machine
+	// should stay well under a 32-entry register file.
+	dp := machine.MustParse("[2,1|2,1]", machine.Config{})
+	for _, k := range kernels.All() {
+		g := k.Build()
+		res, err := bind.Bind(g, dp, bind.Options{Seeds: 1, MaxStretch: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		rep := Analyze(res.Schedule)
+		if rep.Peak > 32 {
+			t.Errorf("%s: peak register pressure %d exceeds 32", k.Name, rep.Peak)
+		}
+		if rep.Peak == 0 {
+			t.Errorf("%s: zero pressure is impossible", k.Name)
+		}
+	}
+}
+
+func TestLiveAtShape(t *testing.T) {
+	b := dfg.NewBuilder("shape")
+	x := b.Input("x")
+	b.Output(b.Neg(x))
+	g := b.Graph()
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	rep, s := analyzeFor(t, g, dp, []int{1})
+	if len(rep.LiveAt) != 2 {
+		t.Fatalf("LiveAt clusters = %d, want 2", len(rep.LiveAt))
+	}
+	if len(rep.LiveAt[0]) != s.L+1 {
+		t.Errorf("LiveAt length = %d, want %d", len(rep.LiveAt[0]), s.L+1)
+	}
+	if rep.MaxLive[0] != 0 || rep.MaxLive[1] != 1 {
+		t.Errorf("MaxLive = %v, want [0 1]", rep.MaxLive)
+	}
+}

@@ -1,0 +1,351 @@
+// Package sched implements a cluster-aware, resource-constrained list
+// scheduler for bound dataflow graphs, plus a schedule legality checker and
+// a text Gantt renderer. Both binding algorithms in this repository
+// (internal/bind and internal/pcc) use it to evaluate candidate bindings:
+// the schedule latency L it produces is the paper's primary figure of
+// merit, and its completion profile supplies the Q_U quality vector of
+// Section 3.2.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// Schedule is the result of list scheduling a bound graph on a datapath.
+type Schedule struct {
+	Graph    *dfg.Graph
+	Datapath *machine.Datapath
+	// Start holds each node's issue cycle, indexed by node ID.
+	Start []int
+	// Cluster holds each node's cluster, indexed by node ID. For move
+	// nodes this is the destination cluster (where the value lands);
+	// the move itself executes on the shared bus.
+	Cluster []int
+	// Unit holds the index of the functional unit (within its cluster
+	// and FU type) or bus channel that executes each node.
+	Unit []int
+	// L is the schedule latency: the cycle at which the last operation
+	// (moves included) completes.
+	L int
+}
+
+// Finish returns the cycle at which node n's result becomes available.
+func (s *Schedule) Finish(n *dfg.Node) int {
+	return s.Start[n.ID()] + s.Datapath.Latency(n.Op())
+}
+
+// NumMoves is the number of data-transfer operations in the schedule.
+func (s *Schedule) NumMoves() int { return s.Graph.NumMoves() }
+
+// CompletionProfile returns the vector (U_0, U_1, …, U_{depth-1}) where
+// U_i counts the regular (non-move) operations completing at step L−i.
+// It is the tail of the paper's quality vector Q_U (Section 3.2, Fig. 6).
+// If depth <= 0 the full profile of length L is returned.
+func (s *Schedule) CompletionProfile(depth int) []int {
+	if depth <= 0 || depth > s.L {
+		depth = s.L
+	}
+	u := make([]int, depth)
+	for _, n := range s.Graph.Nodes() {
+		if n.IsMove() {
+			continue
+		}
+		i := s.L - s.Finish(n)
+		if i >= 0 && i < depth {
+			u[i]++
+		}
+	}
+	return u
+}
+
+// List schedules the (possibly bound) graph g on dp under the given
+// binding. binding[id] gives the cluster of each node; for moves it names
+// the destination cluster. Priorities follow the paper's ranking: ALAP
+// level first, then mobility, then consumer count, with node ID as the
+// deterministic tiebreak.
+func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) {
+	if len(binding) != g.NumNodes() {
+		return nil, fmt.Errorf("sched: binding has %d entries for %d nodes", len(binding), g.NumNodes())
+	}
+	for _, n := range g.Nodes() {
+		c := binding[n.ID()]
+		if c < 0 || c >= dp.NumClusters() {
+			return nil, fmt.Errorf("sched: node %s bound to invalid cluster %d", n.Name(), c)
+		}
+		if n.IsMove() {
+			if dp.NumBuses() == 0 {
+				return nil, fmt.Errorf("sched: move %s but datapath has no buses", n.Name())
+			}
+			continue
+		}
+		if !dp.Supports(c, n.Op()) {
+			return nil, fmt.Errorf("sched: node %s (%s) bound to cluster %d with no %s units",
+				n.Name(), n.Op(), c, n.FUType())
+		}
+	}
+
+	times := dfg.Analyze(g, dp.Latency, 0)
+	nodes := g.Nodes()
+	// prio sorts candidate nodes for each cycle; smaller is more urgent.
+	less := func(a, b *dfg.Node) bool {
+		if times.ALAP[a.ID()] != times.ALAP[b.ID()] {
+			return times.ALAP[a.ID()] < times.ALAP[b.ID()]
+		}
+		ma, mb := times.Mobility(a), times.Mobility(b)
+		if ma != mb {
+			return ma < mb
+		}
+		if a.NumConsumers() != b.NumConsumers() {
+			return a.NumConsumers() > b.NumConsumers()
+		}
+		return a.ID() < b.ID()
+	}
+
+	s := &Schedule{
+		Graph:    g,
+		Datapath: dp,
+		Start:    make([]int, len(nodes)),
+		Cluster:  append([]int(nil), binding...),
+		Unit:     make([]int, len(nodes)),
+	}
+	for i := range s.Start {
+		s.Start[i] = -1
+	}
+
+	// unitFree[c][t] lists, per functional unit, the first cycle at which
+	// it can issue again. busFree is the same for bus channels.
+	unitFree := make([][][]int, dp.NumClusters())
+	for c := range unitFree {
+		unitFree[c] = make([][]int, dfg.NumFUTypes)
+		for t := 1; t < dfg.NumFUTypes; t++ {
+			ft := dfg.FUType(t)
+			if ft == dfg.FUBus {
+				continue
+			}
+			unitFree[c][t] = make([]int, dp.NumFU(c, ft))
+		}
+	}
+	busFree := make([]int, dp.NumBuses())
+
+	unscheduled := len(nodes)
+	pendingPreds := make([]int, len(nodes))
+	ready := make([]*dfg.Node, 0, len(nodes))
+	// earliest[id] is the data-ready cycle of a node whose preds have all
+	// been scheduled. Spill reloads (OpLoad) are additionally held back
+	// to their ALAP level — reloading as late as dependences allow is
+	// what makes a spill actually shorten its value's register residency.
+	earliest := make([]int, len(nodes))
+	for _, n := range nodes {
+		pendingPreds[n.ID()] = len(n.Preds())
+		if pendingPreds[n.ID()] == 0 {
+			if n.Op() == dfg.OpLoad {
+				earliest[n.ID()] = times.ALAP[n.ID()]
+			}
+			ready = append(ready, n)
+		}
+	}
+
+	for cycle := 0; unscheduled > 0; cycle++ {
+		// Deterministic stall guard: every op eventually issues because
+		// each has at least one supporting unit, so the schedule length
+		// is bounded by sum of all dii values plus the critical path.
+		if cycle > times.L+totalWork(g, dp)+1 {
+			return nil, fmt.Errorf("sched: no progress by cycle %d; resource model inconsistent", cycle)
+		}
+		sort.SliceStable(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+		issuedAny := true
+		for issuedAny {
+			issuedAny = false
+			var rest, newlyReady []*dfg.Node
+			for _, n := range ready {
+				if earliest[n.ID()] > cycle {
+					rest = append(rest, n)
+					continue
+				}
+				var pool []int
+				if n.IsMove() {
+					pool = busFree
+				} else {
+					pool = unitFree[binding[n.ID()]][n.FUType()]
+				}
+				u := freeUnit(pool, cycle)
+				if u < 0 {
+					rest = append(rest, n)
+					continue
+				}
+				pool[u] = cycle + dp.DII(n.Op())
+				s.Start[n.ID()] = cycle
+				s.Unit[n.ID()] = u
+				fin := cycle + dp.Latency(n.Op())
+				if fin > s.L {
+					s.L = fin
+				}
+				unscheduled--
+				issuedAny = true
+				for _, succ := range n.Succs() {
+					pendingPreds[succ.ID()]--
+					if pendingPreds[succ.ID()] == 0 {
+						e := 0
+						for _, p := range succ.Preds() {
+							if f := s.Start[p.ID()] + dp.Latency(p.Op()); f > e {
+								e = f
+							}
+						}
+						if succ.Op() == dfg.OpLoad && times.ALAP[succ.ID()] > e {
+							e = times.ALAP[succ.ID()]
+						}
+						earliest[succ.ID()] = e
+						newlyReady = append(newlyReady, succ)
+					}
+				}
+			}
+			ready = append(rest, newlyReady...)
+			if issuedAny {
+				sort.SliceStable(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+			}
+		}
+	}
+	return s, nil
+}
+
+// freeUnit returns the index of a unit in pool free at the given cycle,
+// preferring the one free longest (smallest next-free time), or -1.
+func freeUnit(pool []int, cycle int) int {
+	best, bestAt := -1, cycle+1
+	for i, at := range pool {
+		if at <= cycle && at < bestAt {
+			best, bestAt = i, at
+		}
+	}
+	return best
+}
+
+// totalWork bounds the serial execution length of g on dp: the sum of all
+// data-introduction intervals, i.e. the time to push every op through a
+// single unit of each type.
+func totalWork(g *dfg.Graph, dp *machine.Datapath) int {
+	w := 0
+	for _, n := range g.Nodes() {
+		w += dp.DII(n.Op()) + dp.Latency(n.Op())
+	}
+	return w
+}
+
+// Check verifies schedule legality: every node issued exactly once, data
+// dependencies respected (operands finish before consumers start), and
+// per-cycle unit usage within each resource's capacity, accounting for
+// data-introduction intervals. It returns nil for a legal schedule.
+func Check(s *Schedule) error {
+	g, dp := s.Graph, s.Datapath
+	for _, n := range g.Nodes() {
+		st := s.Start[n.ID()]
+		if st < 0 {
+			return fmt.Errorf("sched: node %s never scheduled", n.Name())
+		}
+		for _, p := range n.Preds() {
+			if f := s.Start[p.ID()] + dp.Latency(p.Op()); f > st {
+				return fmt.Errorf("sched: node %s starts at %d before operand %s finishes at %d",
+					n.Name(), st, p.Name(), f)
+			}
+		}
+		if f := st + dp.Latency(n.Op()); f > s.L {
+			return fmt.Errorf("sched: node %s finishes at %d past L=%d", n.Name(), f, s.L)
+		}
+	}
+	// Capacity: a node occupies one unit of its resource during
+	// [start, start+dii-1].
+	type key struct {
+		cluster int // -1 for the bus
+		fu      dfg.FUType
+		cycle   int
+	}
+	use := make(map[key]int)
+	for _, n := range g.Nodes() {
+		c := s.Cluster[n.ID()]
+		fu := n.FUType()
+		if n.IsMove() {
+			c = -1
+		}
+		for d := 0; d < dp.DII(n.Op()); d++ {
+			k := key{c, fu, s.Start[n.ID()] + d}
+			use[k]++
+			var cap int
+			if n.IsMove() {
+				cap = dp.NumBuses()
+			} else {
+				cap = dp.NumFU(c, fu)
+			}
+			if use[k] > cap {
+				return fmt.Errorf("sched: %s capacity exceeded at cycle %d (cluster %d): %d > %d",
+					fu, k.cycle, c, use[k], cap)
+			}
+		}
+	}
+	return nil
+}
+
+// Gantt renders the schedule as a per-resource text chart: one row per
+// functional unit and bus channel, one column per cycle. Intended for CLI
+// tools and examples.
+func Gantt(s *Schedule) string {
+	g, dp := s.Graph, s.Datapath
+	width := 0
+	for _, n := range g.Nodes() {
+		if len(n.Name()) > width {
+			width = len(n.Name())
+		}
+	}
+	if width < 3 {
+		width = 3
+	}
+	cell := func(txt string) string { return fmt.Sprintf(" %-*s", width, txt) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule %q on %s  L=%d M=%d\n", g.Name(), dp, s.L, s.NumMoves())
+	b.WriteString(strings.Repeat(" ", 12))
+	for t := 0; t < s.L; t++ {
+		fmt.Fprintf(&b, " %-*d", width, t)
+	}
+	b.WriteByte('\n')
+	row := make([]string, s.L)
+	emitRow := func(label string, match func(n *dfg.Node) bool) {
+		for i := range row {
+			row[i] = "."
+		}
+		for _, n := range g.Nodes() {
+			if !match(n) {
+				continue
+			}
+			for d := 0; d < dp.DII(n.Op()) && s.Start[n.ID()]+d < s.L; d++ {
+				row[s.Start[n.ID()]+d] = n.Name()
+			}
+		}
+		fmt.Fprintf(&b, "%-12s", label)
+		for _, r := range row {
+			b.WriteString(cell(r))
+		}
+		b.WriteByte('\n')
+	}
+	for c := 0; c < dp.NumClusters(); c++ {
+		for _, ft := range dfg.ComputeFUTypes() {
+			for u := 0; u < dp.NumFU(c, ft); u++ {
+				label := fmt.Sprintf("c%d.%s%d", c, ft, u)
+				emitRow(label, func(n *dfg.Node) bool {
+					return !n.IsMove() && s.Cluster[n.ID()] == c && n.FUType() == ft && s.Unit[n.ID()] == u
+				})
+			}
+		}
+	}
+	for u := 0; u < dp.NumBuses(); u++ {
+		label := fmt.Sprintf("bus%d", u)
+		emitRow(label, func(n *dfg.Node) bool {
+			return n.IsMove() && s.Unit[n.ID()] == u
+		})
+	}
+	return b.String()
+}

@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// chainGraph builds a linear chain of n unit-latency adds.
+func chainGraph(n int) *dfg.Graph {
+	b := dfg.NewBuilder("chain")
+	x, y := b.Input("x"), b.Input("y")
+	v := b.Add(x, y)
+	for i := 1; i < n; i++ {
+		v = b.Add(v, y)
+	}
+	b.Output(v)
+	return b.Graph()
+}
+
+// wideGraph builds n independent adds (width n, depth 1).
+func wideGraph(n int) *dfg.Graph {
+	b := dfg.NewBuilder("wide")
+	x, y := b.Input("x"), b.Input("y")
+	for i := 0; i < n; i++ {
+		b.Output(b.Add(x, y))
+	}
+	return b.Graph()
+}
+
+func zeros(n int) []int { return make([]int, n) }
+
+func mustList(t *testing.T, g *dfg.Graph, dp *machine.Datapath, binding []int) *Schedule {
+	t.Helper()
+	s, err := List(g, dp, binding)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if err := Check(s); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return s
+}
+
+func TestChainLatency(t *testing.T) {
+	g := chainGraph(5)
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	if s.L != 5 {
+		t.Errorf("chain of 5: L = %d, want 5", s.L)
+	}
+}
+
+func TestWideSerialization(t *testing.T) {
+	g := wideGraph(6)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	// 6 independent adds on 2 ALUs: 3 cycles.
+	if s.L != 3 {
+		t.Errorf("6 adds on 2 ALUs: L = %d, want 3", s.L)
+	}
+}
+
+func TestTwoClustersParallel(t *testing.T) {
+	g := wideGraph(6)
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	binding := make([]int, g.NumNodes())
+	for i := range binding {
+		binding[i] = i % 2
+	}
+	s := mustList(t, g, dp, binding)
+	if s.L != 3 {
+		t.Errorf("6 adds split over 2 single-ALU clusters: L = %d, want 3", s.L)
+	}
+}
+
+func TestMoveOnBus(t *testing.T) {
+	// v0 in cluster 0, moved to cluster 1, consumed by v1.
+	b := dfg.NewBuilder("mv")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Named("v0", dfg.OpAdd, 0, x, y)
+	m := b.Move(v0)
+	v1 := b.Named("v1", dfg.OpAdd, 0, m, y)
+	b.Output(v1)
+	g := b.Graph()
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{NumBuses: 1})
+	binding := []int{0, 1, 1} // v0 -> 0, move lands in 1, v1 -> 1
+	s := mustList(t, g, dp, binding)
+	if s.L != 3 {
+		t.Errorf("add+move+add chain: L = %d, want 3", s.L)
+	}
+	mn := m.Node()
+	if s.Start[mn.ID()] != 1 {
+		t.Errorf("move starts at %d, want 1", s.Start[mn.ID()])
+	}
+}
+
+func TestBusSerialization(t *testing.T) {
+	// Three independent producer/consumer pairs across clusters, one bus:
+	// the three moves must serialize.
+	b := dfg.NewBuilder("bus")
+	x, y := b.Input("x"), b.Input("y")
+	var producers, consumers []dfg.Value
+	for i := 0; i < 3; i++ {
+		p := b.Add(x, y)
+		m := b.Move(p)
+		c := b.Add(m, y)
+		b.Output(c)
+		producers = append(producers, p)
+		consumers = append(consumers, c)
+	}
+	g := b.Graph()
+	dp := machine.MustParse("[3,1|3,1]", machine.Config{NumBuses: 1})
+	binding := make([]int, g.NumNodes())
+	for i := 0; i < 3; i++ {
+		binding[producers[i].Node().ID()] = 0
+		binding[consumers[i].Node().ID()] = 1
+		// moves land in cluster 1; their IDs sit between p and c.
+		binding[producers[i].Node().ID()+1] = 1
+	}
+	s := mustList(t, g, dp, binding)
+	// producers at 0; moves at 1,2,3 (bus serializes); consumers 2,3,4 -> L=5.
+	if s.L != 5 {
+		t.Errorf("single-bus serialization: L = %d, want 5", s.L)
+	}
+	dp2 := machine.MustParse("[3,1|3,1]", machine.Config{NumBuses: 3})
+	s2 := mustList(t, g, dp2, binding)
+	if s2.L != 3 {
+		t.Errorf("three buses: L = %d, want 3", s2.L)
+	}
+}
+
+func TestNonUnitLatency(t *testing.T) {
+	b := dfg.NewBuilder("lat")
+	x, y := b.Input("x"), b.Input("y")
+	m := b.Mul(x, y)
+	a := b.Add(m, y)
+	b.Output(a)
+	g := b.Graph()
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1, Mul: machine.ResourceSpec{Lat: 3, DII: 1}})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	if s.L != 4 {
+		t.Errorf("mul(3)+add(1): L = %d, want 4", s.L)
+	}
+}
+
+func TestUnpipelinedDII(t *testing.T) {
+	// Two independent 2-cycle unpipelined muls on one multiplier: the
+	// second must wait for the first to drain (dii = lat = 2).
+	b := dfg.NewBuilder("dii")
+	x, y := b.Input("x"), b.Input("y")
+	b.Output(b.Mul(x, y))
+	b.Output(b.Mul(y, x))
+	g := b.Graph()
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1, Mul: machine.ResourceSpec{Lat: 2}})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	if s.L != 4 {
+		t.Errorf("two unpipelined muls: L = %d, want 4", s.L)
+	}
+	// Pipelined (dii=1): second issues at cycle 1, L=3.
+	dp2 := machine.MustParse("[1,1]", machine.Config{NumBuses: 1, Mul: machine.ResourceSpec{Lat: 2, DII: 1}})
+	s2 := mustList(t, g, dp2, zeros(g.NumNodes()))
+	if s2.L != 3 {
+		t.Errorf("two pipelined muls: L = %d, want 3", s2.L)
+	}
+}
+
+func TestPipelinedMoveDII(t *testing.T) {
+	// Two transfers on one bus with lat(move)=2, dii=1: issue back-to-back.
+	b := dfg.NewBuilder("pmv")
+	x, y := b.Input("x"), b.Input("y")
+	p1, p2 := b.Add(x, y), b.Sub(x, y)
+	m1, m2 := b.Move(p1), b.Move(p2)
+	c1, c2 := b.Add(m1, y), b.Add(m2, y)
+	b.Output(c1)
+	b.Output(c2)
+	g := b.Graph()
+	dp := machine.MustParse("[2,1|2,1]", machine.Config{NumBuses: 1, MoveLat: 2, MoveDII: 1})
+	ids := func(v dfg.Value) int { return v.Node().ID() }
+	binding := make([]int, g.NumNodes())
+	binding[ids(p1)], binding[ids(p2)] = 0, 0
+	binding[ids(m1)], binding[ids(m2)] = 1, 1
+	binding[ids(c1)], binding[ids(c2)] = 1, 1
+	s := mustList(t, g, dp, binding)
+	// p at 0; moves at 1 and 2 (dii 1), finishing 3 and 4; consumers at 3,4 -> L=5.
+	if s.L != 5 {
+		t.Errorf("pipelined 2-cycle moves: L = %d, want 5", s.L)
+	}
+}
+
+func TestPriorityPrefersCriticalPath(t *testing.T) {
+	// One long chain and one slack op compete for a single ALU; the chain
+	// op must issue first or L grows.
+	b := dfg.NewBuilder("prio")
+	x, y := b.Input("x"), b.Input("y")
+	c1 := b.Add(x, y)
+	c2 := b.Add(c1, y)
+	c3 := b.Add(c2, y)
+	slack := b.Add(x, x)
+	out := b.Add(c3, slack)
+	b.Output(out)
+	g := b.Graph()
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	if s.L != 5 {
+		t.Errorf("L = %d, want 5 (slack op must not displace the chain)", s.L)
+	}
+	if s.Start[c1.Node().ID()] != 0 {
+		t.Errorf("critical chain head issued at %d, want 0", s.Start[c1.Node().ID()])
+	}
+}
+
+func TestListErrors(t *testing.T) {
+	g := chainGraph(2)
+	dp := machine.MustParse("[1,1|1,0]", machine.Config{})
+	if _, err := List(g, dp, []int{0}); err == nil {
+		t.Error("short binding accepted")
+	}
+	if _, err := List(g, dp, []int{0, 5}); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+	// A mul bound to a cluster with no multiplier must be rejected.
+	b := dfg.NewBuilder("m")
+	x := b.Input("x")
+	b.Output(b.Mul(x, x))
+	mg := b.Graph()
+	if _, err := List(mg, dp, []int{1}); err == nil {
+		t.Error("mul bound to mul-less cluster accepted")
+	}
+	// A graph with moves schedules fine when a bus exists.
+	b2 := dfg.NewBuilder("m2")
+	x2 := b2.Input("x")
+	v := b2.Neg(x2)
+	mv := b2.Move(v)
+	b2.Output(b2.Neg(mv))
+	g2 := b2.Graph()
+	dp2 := machine.MustParse("[1,1|1,1]", machine.Config{NumBuses: 1})
+	if _, err := List(g2, dp2, []int{0, 1, 1}); err != nil {
+		t.Errorf("valid move schedule rejected: %v", err)
+	}
+}
+
+func TestCompletionProfile(t *testing.T) {
+	g := wideGraph(5)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	// 5 adds on 2 ALUs: cycles 0,0,1,1,2 -> L=3; completions at 1,1,2,2,3.
+	u := s.CompletionProfile(0)
+	want := []int{1, 2, 2}
+	if len(u) != len(want) {
+		t.Fatalf("profile length %d, want %d (%v)", len(u), len(want), u)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Errorf("U_%d = %d, want %d", i, u[i], want[i])
+		}
+	}
+	u2 := s.CompletionProfile(2)
+	if len(u2) != 2 || u2[0] != 1 || u2[1] != 2 {
+		t.Errorf("truncated profile = %v, want [1 2]", u2)
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	g := chainGraph(3)
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	// Dependence violation.
+	bad := *s
+	bad.Start = append([]int(nil), s.Start...)
+	bad.Start[g.Nodes()[2].ID()] = 0
+	if err := Check(&bad); err == nil {
+		t.Error("Check missed dependence violation")
+	}
+	// Capacity violation: all three on the single ALU at cycle 0.
+	bad2 := *s
+	bad2.Start = []int{0, 0, 0}
+	if err := Check(&bad2); err == nil {
+		t.Error("Check missed capacity violation")
+	}
+	// Unscheduled node.
+	bad3 := *s
+	bad3.Start = []int{-1, 1, 2}
+	if err := Check(&bad3); err == nil {
+		t.Error("Check missed unscheduled node")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	b := dfg.NewBuilder("g")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Named("v0", dfg.OpAdd, 0, x, y)
+	m := b.Move(v0)
+	v1 := b.Named("v1", dfg.OpMul, 0, m, m)
+	b.Output(v1)
+	g := b.Graph()
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, []int{0, 1, 1})
+	txt := Gantt(s)
+	for _, want := range []string{"c0.alu0", "c1.mul0", "bus0", "v0", "v1", "L=3"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Gantt output missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := chainGraph(10)
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1})
+	s1 := mustList(t, g, dp, zeros(g.NumNodes()))
+	s2 := mustList(t, g, dp, zeros(g.NumNodes()))
+	for i := range s1.Start {
+		if s1.Start[i] != s2.Start[i] {
+			t.Fatalf("nondeterministic start for node %d: %d vs %d", i, s1.Start[i], s2.Start[i])
+		}
+	}
+}
+
+func TestScheduleNeverBeatsCriticalPath(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 12} {
+		g := chainGraph(n)
+		dp := machine.MustParse("[2,2]", machine.Config{})
+		s := mustList(t, g, dp, zeros(g.NumNodes()))
+		cp := dfg.CriticalPath(g, dp.Latency)
+		if s.L < cp {
+			t.Errorf("chain %d: L=%d below critical path %d", n, s.L, cp)
+		}
+		if s.L != cp {
+			t.Errorf("chain %d: L=%d, want exactly cp=%d on ample resources", n, s.L, cp)
+		}
+	}
+}

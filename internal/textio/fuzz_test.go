@@ -1,0 +1,52 @@
+package textio
+
+import (
+	"testing"
+
+	"vliwbind/internal/dfg"
+)
+
+// FuzzParse checks the parser never panics and that everything it
+// accepts is a structurally valid graph that survives a print/parse
+// round trip. Run the seed corpus with `go test`; fuzz deeper with
+// `go test -fuzz=FuzzParse ./internal/textio`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"dfg g\n",
+		"dfg g\nin x y\nop a add x y\nout a\n",
+		"dfg g\nin x\nop a muli 0.5 x\nop b move a\nout b\n",
+		"dfg g\nin x\nop a neg x\nop b neg a\nop c add a b\nout c\n",
+		"# comment\n\ndfg g\nin x\nop a neg x\nout a\nout a\n",
+		"dfg g\nin x\nop a muli 1e308 x\nout a\n",
+		"dfg g\nin x\nop a add x x\nout a\n",
+		"in x\nop a neg x\n",
+		"dfg g\nop a add b c\n",
+		"dfg g\nin x\nop x neg x\n",
+		"dfg g\nin x\nop a muli nan x\n",
+		"zap\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseString(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := dfg.Validate(g); verr != nil {
+			t.Fatalf("parser accepted an invalid graph: %v\ninput:\n%s", verr, input)
+		}
+		printed := PrintString(g)
+		g2, err := ParseString(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\nprinted:\n%s", err, printed)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumInputs() != g.NumInputs() ||
+			len(g2.Outputs()) != len(g.Outputs()) {
+			t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+				g.NumNodes(), g.NumInputs(), len(g.Outputs()),
+				g2.NumNodes(), g2.NumInputs(), len(g2.Outputs()))
+		}
+	})
+}

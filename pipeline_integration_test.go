@@ -1,0 +1,62 @@
+package vliwbind_test
+
+import (
+	"testing"
+
+	"vliwbind"
+)
+
+// TestFullPipelineSweep drives the complete stack on every Table 1 row:
+// B-INIT binding → bound graph → list schedule → legality check →
+// register allocation → clobber check → cycle-accurate execution →
+// comparison against the reference dataflow evaluation. Any inconsistency
+// anywhere in the pipeline fails here.
+func TestFullPipelineSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline sweep skipped in -short mode")
+	}
+	for _, r := range vliwbind.Table1() {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			k, err := vliwbind.KernelByName(r.Kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := k.Build()
+			dp, err := r.Datapath()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := vliwbind.InitialBind(g, dp, vliwbind.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vliwbind.CheckSchedule(res.Schedule); err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+			if err := vliwbind.ValidateGraph(res.Bound); err != nil {
+				t.Fatalf("bound graph: %v", err)
+			}
+			alloc, err := vliwbind.AllocateRegisters(res.Schedule, 0)
+			if err != nil {
+				t.Fatalf("allocation: %v", err)
+			}
+			if err := vliwbind.CheckRegisters(res.Schedule, alloc); err != nil {
+				t.Fatalf("register check: %v", err)
+			}
+			in := make([]float64, g.NumInputs())
+			for i := range in {
+				in[i] = float64((i*7)%11) - 5
+			}
+			if err := vliwbind.VerifySchedule(res.Schedule, in); err != nil {
+				t.Fatalf("execution: %v", err)
+			}
+			// Register files of real clustered DSPs hold 16–32 entries;
+			// the paper's abstraction must stay within that.
+			press := vliwbind.RegisterPressure(res.Schedule)
+			if press.Peak > 32 {
+				t.Errorf("register pressure %d exceeds a realistic file", press.Peak)
+			}
+		})
+	}
+}

@@ -1,0 +1,358 @@
+// Package vliwbind is a library for binding dataflow-graph operations to
+// the clusters of a clustered VLIW datapath, reproducing the algorithm of
+// V. S. Lapinskii, M. F. Jacome and G. A. de Veciana, "High-Quality
+// Operation Binding for Clustered VLIW Datapaths", DAC 2001.
+//
+// The package is a facade over the implementation packages; it exposes
+// everything a downstream user needs:
+//
+//   - building dataflow graphs programmatically (NewGraph / Builder) or
+//     parsing them from the .dfg text format (ParseGraph);
+//   - describing clustered datapaths in the paper's [alus,muls|…]
+//     notation (ParseDatapath) with configurable bus count and latencies;
+//   - the two-phase binding algorithm: InitialBind (the fast greedy
+//     B-INIT driver) and Bind (B-INIT followed by the B-ITER boundary
+//     perturbation improvement) — plus the PCC baseline (BindPCC) the
+//     paper compares against and an exact small-graph binder (Optimal);
+//   - schedule inspection (Gantt, CheckSchedule), cycle-accurate
+//     execution on concrete values (Execute, VerifySchedule) and
+//     register-pressure reporting (RegisterPressure);
+//   - the paper's benchmark kernels (Kernels, KernelByName) and both
+//     experiment tables (Table1, Table2, RunExperiment).
+//
+// Quickstart:
+//
+//	g := vliwbind.KernelMust("EWF")
+//	dp, _ := vliwbind.ParseDatapath("[2,1|1,1]", vliwbind.DatapathConfig{})
+//	res, _ := vliwbind.Bind(g, dp, vliwbind.Options{})
+//	fmt.Println(res.L(), res.Moves())
+//	fmt.Print(vliwbind.Gantt(res.Schedule))
+package vliwbind
+
+import (
+	"io"
+
+	"vliwbind/internal/anneal"
+	"vliwbind/internal/bind"
+	"vliwbind/internal/codegen"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/expt"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/mincut"
+	"vliwbind/internal/modulo"
+	"vliwbind/internal/optbind"
+	"vliwbind/internal/pcc"
+	"vliwbind/internal/regpressure"
+	"vliwbind/internal/sched"
+	"vliwbind/internal/textio"
+	"vliwbind/internal/vliwsim"
+)
+
+// Dataflow model.
+type (
+	// Graph is a dataflow graph (original or bound form).
+	Graph = dfg.Graph
+	// Node is one operation in a graph.
+	Node = dfg.Node
+	// Value is an operand: a node result or an external input.
+	Value = dfg.Value
+	// Builder constructs graphs incrementally.
+	Builder = dfg.Builder
+	// OpType enumerates operation types (OpAdd, OpMul, …).
+	OpType = dfg.OpType
+	// FUType enumerates functional-unit types (FUALU, FUMul, FUBus).
+	FUType = dfg.FUType
+	// GraphStats summarizes a graph (N_V, N_CC, L_CP, …).
+	GraphStats = dfg.Stats
+)
+
+// Operation and FU type constants re-exported from the dataflow model.
+const (
+	OpAdd    = dfg.OpAdd
+	OpSub    = dfg.OpSub
+	OpNeg    = dfg.OpNeg
+	OpMul    = dfg.OpMul
+	OpMulImm = dfg.OpMulImm
+	OpMove   = dfg.OpMove
+
+	FUALU = dfg.FUALU
+	FUMul = dfg.FUMul
+	FUBus = dfg.FUBus
+)
+
+// NewGraph starts building a graph with the given name.
+func NewGraph(name string) *Builder { return dfg.NewBuilder(name) }
+
+// ParseGraph reads a graph in the .dfg text format.
+func ParseGraph(r io.Reader) (*Graph, error) { return textio.Parse(r) }
+
+// ParseGraphString parses a graph from a string.
+func ParseGraphString(s string) (*Graph, error) { return textio.ParseString(s) }
+
+// PrintGraph writes a graph in the .dfg text format.
+func PrintGraph(w io.Writer, g *Graph) error { return textio.Print(w, g) }
+
+// GraphDot renders a graph in Graphviz DOT form; binding is optional
+// (node-ID-indexed clusters) and groups nodes into DOT clusters.
+func GraphDot(g *Graph, binding []int) string { return dfg.Dot(g, binding) }
+
+// ValidateGraph checks a graph's structural invariants.
+func ValidateGraph(g *Graph) error { return dfg.Validate(g) }
+
+// EvalGraph computes every node's value for concrete inputs (reference
+// semantics).
+func EvalGraph(g *Graph, inputs []float64) ([]float64, error) { return dfg.Eval(g, inputs) }
+
+// Datapath model.
+type (
+	// Datapath is a clustered VLIW machine.
+	Datapath = machine.Datapath
+	// DatapathConfig selects bus count and resource timing; the zero
+	// value is the paper's Table 1 machine (2 buses, unit latencies).
+	DatapathConfig = machine.Config
+	// Cluster gives per-cluster functional-unit counts.
+	Cluster = machine.Cluster
+	// ResourceSpec is a (latency, data-introduction interval) pair.
+	ResourceSpec = machine.ResourceSpec
+)
+
+// ParseDatapath builds a datapath from the paper's cluster notation,
+// e.g. "[2,1|1,1]".
+func ParseDatapath(spec string, cfg DatapathConfig) (*Datapath, error) {
+	return machine.Parse(spec, cfg)
+}
+
+// NewDatapath builds a datapath from explicit cluster descriptions.
+func NewDatapath(clusters []Cluster, cfg DatapathConfig) (*Datapath, error) {
+	return machine.New(clusters, cfg)
+}
+
+// Binding algorithms.
+type (
+	// Options tunes the two binding phases; the zero value reproduces
+	// the paper's published configuration (α=β=1, γ=1.1, L_PR sweep,
+	// both directions, pairs, plateau escape).
+	Options = bind.Options
+	// Result is a complete binding solution with its schedule.
+	Result = bind.Result
+	// PCCOptions tunes the PCC baseline.
+	PCCOptions = pcc.Options
+	// Quality is a lexicographic quality vector (Q_U / Q_M).
+	Quality = bind.Quality
+)
+
+// Bind runs the full two-phase algorithm (B-INIT driver + B-ITER).
+func Bind(g *Graph, dp *Datapath, opts Options) (*Result, error) { return bind.Bind(g, dp, opts) }
+
+// InitialBind runs only the phase-one driver (B-INIT), the paper's fast
+// variant for compilation-time-critical use.
+func InitialBind(g *Graph, dp *Datapath, opts Options) (*Result, error) {
+	return bind.Initial(g, dp, opts)
+}
+
+// ImproveBind runs the B-ITER improvement phase on an existing solution.
+func ImproveBind(res *Result, opts Options) (*Result, error) { return bind.Improve(res, opts) }
+
+// EvaluateBinding derives the bound graph for an explicit cluster
+// assignment and list-schedules it.
+func EvaluateBinding(g *Graph, dp *Datapath, binding []int) (*Result, error) {
+	return bind.Evaluate(g, dp, binding)
+}
+
+// BindPCC runs the Partial Component Clustering baseline (Desoli,
+// HPL-98-13) the paper compares against.
+func BindPCC(g *Graph, dp *Datapath, opts PCCOptions) (*Result, error) {
+	return pcc.Bind(g, dp, opts)
+}
+
+// Optimal exhaustively finds the best binding of a small graph
+// (branch-and-bound; guarded by maxOps, default 16).
+func Optimal(g *Graph, dp *Datapath, maxOps int) (*Result, error) {
+	return optbind.Optimal(g, dp, maxOps)
+}
+
+// LatencyLowerBound returns a latency no binding of g on dp can beat.
+func LatencyLowerBound(g *Graph, dp *Datapath) int { return optbind.LowerBound(g, dp) }
+
+// Schedules and execution.
+type (
+	// Schedule is a resource-legal cycle assignment of a bound graph.
+	Schedule = sched.Schedule
+	// Trace is the issue log of a cycle-accurate execution.
+	Trace = vliwsim.Trace
+	// PressureReport is a per-cluster register-pressure summary.
+	PressureReport = regpressure.Report
+)
+
+// ListSchedule runs the cluster-aware list scheduler directly.
+func ListSchedule(g *Graph, dp *Datapath, binding []int) (*Schedule, error) {
+	return sched.List(g, dp, binding)
+}
+
+// CheckSchedule verifies dependence and resource legality.
+func CheckSchedule(s *Schedule) error { return sched.Check(s) }
+
+// Gantt renders a schedule as a per-resource text chart.
+func Gantt(s *Schedule) string { return sched.Gantt(s) }
+
+// Execute runs a schedule cycle-accurately on concrete inputs.
+func Execute(s *Schedule, inputs []float64) ([]float64, *Trace, error) {
+	return vliwsim.Execute(s, inputs)
+}
+
+// VerifySchedule executes a schedule and checks its outputs against the
+// reference dataflow evaluation.
+func VerifySchedule(s *Schedule, inputs []float64) error { return vliwsim.Verify(s, inputs) }
+
+// RegisterPressure reports per-cluster live-value demand.
+func RegisterPressure(s *Schedule) *PressureReport { return regpressure.Analyze(s) }
+
+// Benchmarks and experiments.
+type (
+	// Kernel is a named benchmark DFG generator with its paper stats.
+	Kernel = kernels.Kernel
+	// RandomGraphConfig parameterizes the synthetic DFG generator.
+	RandomGraphConfig = kernels.RandomConfig
+	// ExperimentRow is one row of the paper's Table 1 or Table 2.
+	ExperimentRow = expt.Row
+	// Measurement is the measured outcome of an experiment row.
+	Measurement = expt.Measurement
+	// LM is a (latency, moves) result pair, the unit the paper reports.
+	LM = expt.LM
+)
+
+// Kernels returns the paper's benchmark suite (Table 1 order).
+func Kernels() []Kernel { return kernels.All() }
+
+// KernelByName looks a benchmark up by its table name.
+func KernelByName(name string) (Kernel, error) { return kernels.ByName(name) }
+
+// KernelMust builds a benchmark graph by name, panicking on unknown
+// names; convenient in examples and tests.
+func KernelMust(name string) *Graph {
+	k, err := kernels.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return k.Build()
+}
+
+// RandomGraph generates a deterministic pseudo-random DAG.
+func RandomGraph(cfg RandomGraphConfig) *Graph { return kernels.Random(cfg) }
+
+// Table1 returns the paper's Table 1 experiment rows with published
+// reference values.
+func Table1() []ExperimentRow { return expt.Table1() }
+
+// Table2 returns the paper's Table 2 rows (FFT bus/latency sweep).
+func Table2() []ExperimentRow { return expt.Table2() }
+
+// RunExperiment measures PCC, B-INIT and B-ITER on one row.
+func RunExperiment(r ExperimentRow) (Measurement, error) { return expt.Run(r) }
+
+// FormatMeasurements renders measurements in the paper's table layout.
+func FormatMeasurements(ms []Measurement) string { return expt.Format(ms) }
+
+// FormatMeasurementsMarkdown renders measurements as the Markdown table
+// used in EXPERIMENTS.md.
+func FormatMeasurementsMarkdown(ms []Measurement) string { return expt.FormatMarkdown(ms) }
+
+// BaselineMeasurement is a five-binder comparison outcome on one row.
+type BaselineMeasurement = expt.BaselineMeasurement
+
+// BaselineRows returns the homogeneous-machine rows used for the
+// five-binder comparison (B-ITER, PCC, annealing, min-cut).
+func BaselineRows() []ExperimentRow { return expt.BaselineRows() }
+
+// RunBaselineExperiment measures all implemented binders on one row.
+func RunBaselineExperiment(r ExperimentRow) (BaselineMeasurement, error) {
+	return expt.RunBaselines(r)
+}
+
+// FormatBaselines renders the five-binder comparison table.
+func FormatBaselines(ms []BaselineMeasurement) string { return expt.FormatBaselines(ms) }
+
+// Additional baselines and extensions.
+type (
+	// AnnealOptions tunes the simulated-annealing baseline (Leupers,
+	// PACT 2000).
+	AnnealOptions = anneal.Options
+	// MinCutOptions tunes the network-partitioning baseline (Capitanio
+	// et al., MICRO-25).
+	MinCutOptions = mincut.Options
+	// RegAlloc is a per-cluster register assignment for a schedule.
+	RegAlloc = codegen.Alloc
+	// Loop is a loop body plus loop-carried dependences for modulo
+	// scheduling.
+	Loop = modulo.Loop
+	// CarriedDep is a loop-carried dependence with iteration distance.
+	CarriedDep = modulo.CarriedDep
+	// PipelinedSchedule is a modulo (software-pipelined) schedule.
+	PipelinedSchedule = modulo.PipelinedSchedule
+	// ModuloOptions tunes the modulo scheduler.
+	ModuloOptions = modulo.Options
+)
+
+// BindAnneal runs the simulated-annealing binding baseline.
+func BindAnneal(g *Graph, dp *Datapath, opts AnnealOptions) (*Result, error) {
+	return anneal.Bind(g, dp, opts)
+}
+
+// BindMinCut runs the balanced min-cut partitioning baseline; it requires
+// homogeneous clusters, as the original method does.
+func BindMinCut(g *Graph, dp *Datapath, opts MinCutOptions) (*Result, error) {
+	return mincut.Bind(g, dp, opts)
+}
+
+// CutSize counts the inter-cluster dependence edges of a binding.
+func CutSize(g *Graph, binding []int) int { return mincut.CutSize(g, binding) }
+
+// AllocateRegisters maps every value copy in a schedule to a physical
+// register of its cluster by linear scan. maxRegs bounds each register
+// file (0 = unbounded); an error reports the demand when it doesn't fit.
+func AllocateRegisters(s *Schedule, maxRegs int) (*RegAlloc, error) {
+	return codegen.Allocate(s, maxRegs)
+}
+
+// CheckRegisters verifies an allocation never clobbers a live value.
+func CheckRegisters(s *Schedule, a *RegAlloc) error { return codegen.CheckAlloc(s, a) }
+
+// EmitAssembly renders a schedule plus register allocation as symbolic
+// clustered-VLIW assembly (one instruction word per cycle).
+func EmitAssembly(s *Schedule, a *RegAlloc) string { return codegen.Emit(s, a) }
+
+// ModuloMII returns the initiation-interval lower bound
+// max(ResMII, RecMII) for a loop on a datapath.
+func ModuloMII(l *Loop, dp *Datapath) int { return modulo.MII(l, dp) }
+
+// ModuloPipeline software-pipelines a loop onto the clustered datapath.
+func ModuloPipeline(l *Loop, dp *Datapath, opts ModuloOptions) (*PipelinedSchedule, error) {
+	return modulo.Pipeline(l, dp, opts)
+}
+
+// ModuloCheck expands a pipelined schedule over concrete iterations and
+// verifies every dependence and resource constraint.
+func ModuloCheck(ps *PipelinedSchedule, iterations int) error {
+	return modulo.Check(ps, iterations)
+}
+
+// DatapathPresets lists the named machine presets (TI C6201, Lx, the
+// paper's Table 1/Table 2 machines).
+func DatapathPresets() []string { return machine.Presets() }
+
+// NewDatapathPreset builds a named preset machine.
+func NewDatapathPreset(name string) (*Datapath, error) { return machine.NewPreset(name) }
+
+// SpillResult is a register-file-feasible solution produced by
+// BindWithSpills, with the inserted spill count and the pre-spill latency
+// for cost accounting.
+type SpillResult = codegen.SpillResult
+
+// BindWithSpills takes a binding and makes it fit register files of
+// maxRegs entries per cluster by inserting spill stores and late reloads
+// through each cluster's local memory port, rescheduling after each spill
+// — the "carefully selected" spills Section 2 of the paper defers.
+func BindWithSpills(g *Graph, dp *Datapath, binding []int, maxRegs int) (*SpillResult, error) {
+	return codegen.SpillRebind(g, dp, binding, maxRegs)
+}

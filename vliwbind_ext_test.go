@@ -1,0 +1,110 @@
+package vliwbind
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeBaselineBinders(t *testing.T) {
+	g := KernelMust("ARF")
+	dp, _ := ParseDatapath("[1,1|1,1]", DatapathConfig{})
+	sa, err := BindAnneal(g, dp, AnnealOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := BindMinCut(g, dp, MinCutOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.L() < 8 || mc.L() < 8 {
+		t.Errorf("baselines beat the critical path: %d, %d", sa.L(), mc.L())
+	}
+	if cut := CutSize(g, mc.Binding); cut < 0 {
+		t.Errorf("CutSize = %d", cut)
+	}
+}
+
+func TestFacadeCodegen(t *testing.T) {
+	g := KernelMust("ARF")
+	dp, _ := ParseDatapath("[2,1|2,1]", DatapathConfig{})
+	res, err := InitialBind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AllocateRegisters(res.Schedule, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRegisters(res.Schedule, a); err != nil {
+		t.Fatal(err)
+	}
+	asm := EmitAssembly(res.Schedule, a)
+	if !strings.Contains(asm, "MULI") {
+		t.Errorf("assembly missing ops:\n%s", asm)
+	}
+}
+
+func TestFacadeModulo(t *testing.T) {
+	b := NewGraph("loop")
+	x := b.Input("x")
+	prev := b.Input("prev")
+	s := b.MulImm(prev, 0.25)
+	y := b.Add(s, x)
+	b.Output(y)
+	g := b.Graph()
+	loop := &Loop{
+		Body: g,
+		Carried: []CarriedDep{
+			{From: y.Node(), To: s.Node(), Distance: 1},
+		},
+	}
+	dp, _ := ParseDatapath("[1,1|1,1]", DatapathConfig{})
+	if mii := ModuloMII(loop, dp); mii != 2 {
+		t.Errorf("MII = %d, want 2", mii)
+	}
+	ps, err := ModuloPipeline(loop, dp, ModuloOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ModuloCheck(ps, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	if len(DatapathPresets()) < 4 {
+		t.Errorf("presets: %v", DatapathPresets())
+	}
+	dp, err := NewDatapathPreset("ti-c6201")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.NumClusters() != 2 {
+		t.Errorf("C6201 clusters = %d", dp.NumClusters())
+	}
+	if _, err := NewDatapathPreset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestFacadeMiscPlumbing(t *testing.T) {
+	// ParseGraph from a reader.
+	g, err := ParseGraph(strings.NewReader("dfg r\nin x\nop a neg x\nout a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 1 {
+		t.Errorf("ops = %d", g.NumOps())
+	}
+	// NewDatapath from explicit clusters.
+	var c Cluster
+	c.NumFU[FUALU] = 2
+	c.NumFU[FUMul] = 1
+	dp, err := NewDatapath([]Cluster{c, c}, DatapathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.String() != "[2,1|2,1]" {
+		t.Errorf("NewDatapath = %s", dp)
+	}
+}

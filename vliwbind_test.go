@@ -1,0 +1,158 @@
+package vliwbind
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	g := KernelMust("EWF")
+	dp, err := ParseDatapath("[2,1|1,1]", DatapathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L() < 14 {
+		t.Errorf("EWF latency %d below critical path 14", res.L())
+	}
+	if err := CheckSchedule(res.Schedule); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+	chart := Gantt(res.Schedule)
+	if !strings.Contains(chart, "c0.alu0") {
+		t.Errorf("Gantt missing resource rows:\n%s", chart)
+	}
+	in := make([]float64, g.NumInputs())
+	for i := range in {
+		in[i] = float64(i)
+	}
+	if err := VerifySchedule(res.Schedule, in); err != nil {
+		t.Errorf("execution diverged: %v", err)
+	}
+	if p := RegisterPressure(res.Schedule); p.Peak <= 0 {
+		t.Error("register pressure report empty")
+	}
+}
+
+func TestFacadeBuilderAndTextFormat(t *testing.T) {
+	b := NewGraph("demo")
+	x, y := b.Input("x"), b.Input("y")
+	v := b.Add(x, y)
+	w := b.MulImm(v, 0.5)
+	b.Output(w)
+	g := b.Graph()
+	if err := ValidateGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := PrintGraph(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGraphString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := EvalGraph(g2, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[g2.NodeByName(g.Nodes()[1].Name()).ID()] != 4 {
+		t.Errorf("eval through facade wrong: %v", vals)
+	}
+	if !strings.Contains(GraphDot(g, nil), "digraph") {
+		t.Error("GraphDot broken")
+	}
+}
+
+func TestFacadeBaselinesAndBounds(t *testing.T) {
+	g := RandomGraph(RandomGraphConfig{Ops: 10, Seed: 42})
+	dp, _ := ParseDatapath("[1,1|1,1]", DatapathConfig{})
+	p, err := BindPCC(g, dp, PCCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Optimal(g, dp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.L() < o.L() {
+		t.Errorf("PCC (%d) beats optimal (%d)", p.L(), o.L())
+	}
+	if lb := LatencyLowerBound(g, dp); o.L() < lb {
+		t.Errorf("optimal (%d) beats lower bound (%d)", o.L(), lb)
+	}
+	ini, err := InitialBind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := ImproveBind(ini, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.L() > ini.L() {
+		t.Error("ImproveBind worsened the solution")
+	}
+}
+
+func TestFacadeExperimentPlumbing(t *testing.T) {
+	if len(Table1()) != 33 || len(Table2()) != 4 {
+		t.Fatalf("table sizes %d/%d", len(Table1()), len(Table2()))
+	}
+	m, err := RunExperiment(Table1()[31]) // ARF [1,1|1,1], small and fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatMeasurements([]Measurement{m})
+	if !strings.Contains(out, "ARF") {
+		t.Errorf("formatted table missing benchmark name:\n%s", out)
+	}
+	if len(Kernels()) != 7 {
+		t.Errorf("kernel suite size %d, want 7", len(Kernels()))
+	}
+	if _, err := KernelByName("EWF"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeEvaluateBindingAndListSchedule(t *testing.T) {
+	b := NewGraph("g")
+	x, y := b.Input("x"), b.Input("y")
+	v := b.Add(x, y)
+	w := b.Mul(v, y)
+	b.Output(w)
+	g := b.Graph()
+	dp, _ := ParseDatapath("[1,1|1,1]", DatapathConfig{})
+	res, err := EvaluateBinding(g, dp, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves() != 1 {
+		t.Errorf("moves = %d, want 1", res.Moves())
+	}
+	s, err := ListSchedule(res.Bound, dp, res.BoundBinding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L != res.L() {
+		t.Errorf("direct scheduling disagrees: %d vs %d", s.L, res.L())
+	}
+	out, _, err := Execute(s, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 15 {
+		t.Errorf("Execute = %v, want [15]", out)
+	}
+}
+
+func TestKernelMustPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("KernelMust on unknown name did not panic")
+		}
+	}()
+	KernelMust("nope")
+}
