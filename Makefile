@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the gate every change must
+# pass: vet, full build, full test suite, and the race detector over the
+# packages with concurrency (the binding engine's worker pool and cache,
+# plus the scheduler it fans out over).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-parallel golden
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bind/... ./internal/sched/...
+
+# Regenerate the paper's tables as benchmarks (L/M metrics per row).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Sequential-vs-parallel engine comparison on the largest kernel.
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchtime 3x .
+
+# Rewrite the vliwtab golden snapshot after an intentional result change.
+golden:
+	$(GO) test ./cmd/vliwtab -run TestGoldenTables -update

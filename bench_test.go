@@ -149,6 +149,70 @@ func BenchmarkAblation(b *testing.B) {
 	benchAblation(b, "MultiSeed", full, vliwbind.Options{Seeds: 1}, false)
 }
 
+// BenchmarkParallelBind measures the evaluation engine: the full
+// two-phase Bind (B-ITER, the paper's slowest configuration) on the
+// largest kernel across worker-pool sizes. Parallelism 1 is the exact
+// sequential pre-engine code path and the baseline the ≥2× speedup
+// target is judged against; sizes above 1 add the worker pool and the
+// memoization cache. The hitrate metric shows the fraction of candidate
+// evaluations served without rescheduling — that part of the speedup
+// materializes even on a single core, while the pool's share scales
+// with physical CPUs.
+func BenchmarkParallelBind(b *testing.B) {
+	g := vliwbind.KernelMust("DCT-DIT-2")
+	dp, _ := vliwbind.ParseDatapath("[3,1|2,2|1,3]", vliwbind.DatapathConfig{})
+	var seq *vliwbind.Result
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			var stats vliwbind.CacheStats
+			var res *vliwbind.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = vliwbind.Bind(g, dp, vliwbind.Options{Parallelism: par, Stats: &stats})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.L()), "L")
+			b.ReportMetric(float64(res.Moves()), "M")
+			if h, m := stats.Hits(), stats.Misses(); h+m > 0 {
+				b.ReportMetric(100*float64(h)/float64(h+m), "hitrate%")
+			}
+			if par == 1 {
+				seq = res
+			} else if seq != nil {
+				// The determinism guarantee, enforced where the speedup
+				// is measured.
+				if res.L() != seq.L() || res.Moves() != seq.Moves() {
+					b.Fatalf("par=%d diverged from sequential: (L=%d, M=%d) vs (L=%d, M=%d)",
+						par, res.L(), res.Moves(), seq.L(), seq.Moves())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelInit isolates the B-INIT driver sweep — the phase-one
+// hot path the engine fans out — at the same pool sizes.
+func BenchmarkParallelInit(b *testing.B) {
+	g := vliwbind.KernelMust("DCT-DIT-2")
+	dp, _ := vliwbind.ParseDatapath("[3,1|2,2|1,3]", vliwbind.DatapathConfig{})
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			var res *vliwbind.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = vliwbind.InitialBind(g, dp, vliwbind.Options{Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.L()), "L")
+			b.ReportMetric(float64(res.Moves()), "M")
+		})
+	}
+}
+
 // BenchmarkScheduler sizes the list scheduler alone on the largest kernel
 // (DCT-DIT-2, 96 ops) — the inner loop both binding phases pay for every
 // candidate they evaluate.

@@ -40,15 +40,16 @@ func main() {
 		maxC   = flag.Int("maxclusters", 4, "maximum number of clusters")
 		buses  = flag.Int("buses", 2, "number of buses")
 		algo   = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
+		par    = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 	)
 	flag.Parse()
-	if err := run(*kernel, *alus, *muls, *maxC, *buses, *algo); err != nil {
+	if err := run(*kernel, *alus, *muls, *maxC, *buses, *algo, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel string, alus, muls, maxC, buses int, algo string) error {
+func run(kernel string, alus, muls, maxC, buses int, algo string, par int) error {
 	k, err := vliwbind.KernelByName(kernel)
 	if err != nil {
 		return err
@@ -67,12 +68,13 @@ func run(kernel string, alus, muls, maxC, buses int, algo string) error {
 			if dp.CanRun(g) != nil {
 				continue // e.g. all multipliers missing for a mul-bearing kernel
 			}
+			opts := vliwbind.Options{Parallelism: par}
 			var res *vliwbind.Result
 			switch algo {
 			case "init":
-				res, err = vliwbind.InitialBind(g, dp, vliwbind.Options{})
+				res, err = vliwbind.InitialBind(g, dp, opts)
 			case "iter":
-				res, err = vliwbind.Bind(g, dp, vliwbind.Options{})
+				res, err = vliwbind.Bind(g, dp, opts)
 			default:
 				return fmt.Errorf("unknown algorithm %q", algo)
 			}

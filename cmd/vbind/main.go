@@ -36,15 +36,16 @@ func main() {
 		pressure = flag.Bool("pressure", false, "print per-cluster register pressure")
 		regs     = flag.Int("regs", 0, "register file size per cluster; 0 = unbounded, otherwise spill code is inserted to fit")
 		verify   = flag.Bool("verify", true, "execute the schedule cycle-accurately and check outputs")
+		par      = flag.Int("par", 0, "worker-pool size for init/iter candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 	)
 	flag.Parse()
-	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *gantt, *dot, *asm, *pressure, *verify); err != nil {
+	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *par, *gantt, *dot, *asm, *pressure, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "vbind:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs int, gantt, dot, asm, pressure, verify bool) error {
+func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, par int, gantt, dot, asm, pressure, verify bool) error {
 	g, err := loadGraph(dfgPath, kernel)
 	if err != nil {
 		return err
@@ -53,12 +54,14 @@ func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs i
 	if err != nil {
 		return err
 	}
+	var cstats vliwbind.CacheStats
+	opts := vliwbind.Options{Parallelism: par, Stats: &cstats}
 	var res *vliwbind.Result
 	switch algo {
 	case "init":
-		res, err = vliwbind.InitialBind(g, dp, vliwbind.Options{})
+		res, err = vliwbind.InitialBind(g, dp, opts)
 	case "iter":
-		res, err = vliwbind.Bind(g, dp, vliwbind.Options{})
+		res, err = vliwbind.Bind(g, dp, opts)
 	case "pcc":
 		res, err = vliwbind.BindPCC(g, dp, vliwbind.PCCOptions{})
 	case "anneal":
@@ -77,6 +80,10 @@ func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs i
 	fmt.Printf("graph %s: N_V=%d N_CC=%d L_CP=%d\n", g.Name(), stats.NumOps, stats.NumComponents, stats.CriticalPath)
 	fmt.Printf("datapath %s buses=%d lat(move)=%d\n", dp, dp.NumBuses(), dp.MoveLat())
 	fmt.Printf("%s: L=%d moves=%d\n", algo, res.L(), res.Moves())
+	if h, ms := cstats.Hits(), cstats.Misses(); h+ms > 0 {
+		fmt.Printf("evaluation cache: %d scheduled, %d served from cache (%.0f%% hit rate)\n",
+			ms, h, 100*float64(h)/float64(h+ms))
+	}
 	if regs > 0 {
 		sr, err := vliwbind.BindWithSpills(res.Graph, dp, res.Binding, regs)
 		if err != nil {

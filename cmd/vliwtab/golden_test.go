@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vliwbind"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/tables.golden from the current measurements")
+
+// goldenTables renders every Table 1 and Table 2 row as a stable
+// "(L, M) per algorithm" line. Times are deliberately excluded — the
+// snapshot pins results, not speed, so performance work that preserves
+// solutions passes untouched.
+func goldenTables(t *testing.T) string {
+	t.Helper()
+	rows := append(vliwbind.Table1(), vliwbind.Table2()...)
+	var sb strings.Builder
+	sb.WriteString("# (L, M) per row, algorithms PCC | B-INIT | B-ITER.\n")
+	sb.WriteString("# Regenerate with: go test ./cmd/vliwtab -run TestGoldenTables -update\n")
+	for _, r := range rows {
+		m, err := vliwbind.RunExperimentWith(r, vliwbind.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		fmt.Fprintf(&sb, "%-40s %6s | %6s | %6s\n", m.Name(), m.PCC, m.Init, m.Iter)
+	}
+	return sb.String()
+}
+
+// TestGoldenTables snapshots the measured (L, M) of every experiment row
+// so future performance or refactoring work cannot silently change the
+// paper-reproduction results. The engine's determinism guarantee makes
+// this safe at any Options.Parallelism on any machine.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table regeneration takes ~30s; skipped with -short")
+	}
+	path := filepath.Join("testdata", "tables.golden")
+	got := goldenTables(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/vliwtab -run TestGoldenTables -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("table results drifted from %s.\ngot:\n%s\nwant:\n%s\n"+
+			"If the change is intentional, regenerate with -update and re-measure EXPERIMENTS.md.",
+			path, got, string(want))
+	}
+}

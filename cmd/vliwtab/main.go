@@ -24,15 +24,16 @@ func main() {
 		table  = flag.Int("table", 0, "which table to regenerate: 1, 2, 3 (five-binder baseline comparison), or 0 for 1+2")
 		kernel = flag.String("kernel", "", "restrict to one benchmark (Table 1 only)")
 		md     = flag.Bool("md", false, "emit a Markdown table (EXPERIMENTS.md format)")
+		par    = flag.Int("par", 0, "worker-pool size for B-INIT/B-ITER candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (table values are identical at any setting)")
 	)
 	flag.Parse()
-	if err := run(*table, *kernel, *md); err != nil {
+	if err := run(*table, *kernel, *md, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "vliwtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, kernel string, md bool) error {
+func run(table int, kernel string, md bool, par int) error {
 	if table == 3 {
 		var ms []vliwbind.BaselineMeasurement
 		for _, r := range vliwbind.BaselineRows() {
@@ -71,7 +72,7 @@ func run(table int, kernel string, md bool) error {
 	}
 	var ms []vliwbind.Measurement
 	for _, r := range rows {
-		m, err := vliwbind.RunExperiment(r)
+		m, err := vliwbind.RunExperimentWith(r, vliwbind.Options{Parallelism: par})
 		if err != nil {
 			return err
 		}

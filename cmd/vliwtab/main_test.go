@@ -5,25 +5,25 @@ import "testing"
 func TestRunSingleKernel(t *testing.T) {
 	// ARF is the smallest benchmark; both of its Table 1 rows run in
 	// well under a second.
-	if err := run(1, "ARF", false); err != nil {
+	if err := run(1, "ARF", false, 4); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMarkdown(t *testing.T) {
-	if err := run(2, "", true); err != nil {
+	if err := run(2, "", true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(7, "", false); err == nil {
+	if err := run(7, "", false, 0); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := run(1, "nope", true); err == nil {
+	if err := run(1, "nope", true, 0); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run(2, "EWF", false); err == nil {
+	if err := run(2, "EWF", false, 0); err == nil {
 		t.Error("kernel absent from table 2 accepted")
 	}
 }

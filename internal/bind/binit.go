@@ -2,6 +2,7 @@ package bind
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"vliwbind/internal/dfg"
@@ -40,6 +41,22 @@ type Options struct {
 	// single best, since a low-move initial solution can have no
 	// boundary operations left to perturb). Zero defaults to 3.
 	Seeds int
+	// Parallelism bounds the shared worker pool that evaluates
+	// independent binding candidates: the (L_PR, direction) sweep of the
+	// B-INIT driver and each B-ITER perturbation round. Zero defaults to
+	// runtime.GOMAXPROCS(0); 1 (or negative) restores the exact
+	// sequential pre-engine code path. Any setting produces bit-identical
+	// results — candidates are reduced in enumeration order under the
+	// same lexicographic tie-breaks, never first-goroutine-wins — so the
+	// knob trades only wall-clock time. Values above 1 additionally
+	// enable a memoization cache that never reschedules a binding seen
+	// earlier in the same run (see Stats).
+	Parallelism int
+	// Stats, when non-nil, accumulates hit/miss counters of the
+	// schedule-evaluation cache across the run. The cache (and therefore
+	// the counters) is active whenever Parallelism resolves to a value
+	// greater than 1. Safe to share across concurrent runs.
+	Stats *CacheStats
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +74,12 @@ func (o Options) withDefaults() Options {
 		o.Sideways = 4
 	case o.Sideways < 0:
 		o.Sideways = 0
+	}
+	switch {
+	case o.Parallelism == 0:
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	case o.Parallelism < 1:
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -247,6 +270,17 @@ func Initial(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) 
 // operations to perturb.
 func InitialCandidates(g *dfg.Graph, dp *machine.Datapath, opts Options) ([]*Result, error) {
 	opts = opts.withDefaults()
+	return initialCandidates(newEvaluator(g, dp, opts), opts)
+}
+
+// initialCandidates is the driver sweep on an existing evaluation
+// engine (opts already defaulted). Every (L_PR stretch, direction)
+// configuration is greedily bound and list-scheduled independently, so
+// both steps fan out over the worker pool; the distinct-binding dedup
+// and the final (L, moves) ranking run over index-ordered slices, which
+// keeps the outcome bit-identical to the sequential sweep.
+func initialCandidates(ev *evaluator, opts Options) ([]*Result, error) {
+	g, dp := ev.g, ev.dp
 	if err := dp.CanRun(g); err != nil {
 		return nil, err
 	}
@@ -266,24 +300,42 @@ func InitialCandidates(g *dfg.Graph, dp *machine.Datapath, opts Options) ([]*Res
 	if !opts.NoReverse {
 		dirs = append(dirs, true)
 	}
-	var cands []*Result
-	seen := make(map[string]bool)
+	type config struct {
+		lpr     int
+		reverse bool
+	}
+	var configs []config
 	for s := 0; s <= stretch; s++ {
 		for _, rev := range dirs {
-			bn, err := InitialOnce(g, dp, lcp+s, rev, opts)
-			if err != nil {
-				return nil, err
-			}
-			if key := bindingKey(bn); seen[key] {
-				continue
-			} else {
-				seen[key] = true
-			}
-			res, err := Evaluate(g, dp, bn)
-			if err != nil {
-				return nil, err
-			}
-			cands = append(cands, res)
+			configs = append(configs, config{lcp + s, rev})
+		}
+	}
+	bns := make([][]int, len(configs))
+	errs := make([]error, len(configs))
+	ev.pool.run(len(configs), func(i int) {
+		bns[i], errs[i] = InitialOnce(g, dp, configs[i].lpr, configs[i].reverse, opts)
+	})
+	// Dedup in sweep order before scheduling, exactly as the sequential
+	// sweep did, so only distinct bindings pay for an evaluation.
+	var uniq [][]int
+	seen := make(map[string]bool)
+	for i := range configs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if key := bindingKey(bns[i]); !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, bns[i])
+		}
+	}
+	cands := make([]*Result, len(uniq))
+	evalErrs := make([]error, len(uniq))
+	ev.pool.run(len(uniq), func(i int) {
+		cands[i], evalErrs[i] = ev.evaluate(uniq[i])
+	})
+	for _, err := range evalErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	sort.SliceStable(cands, func(i, j int) bool {

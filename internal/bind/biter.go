@@ -180,27 +180,29 @@ func perturbations(g *dfg.Graph, dp *machine.Datapath, bn []int, opts Options) [
 	return cands
 }
 
-// bindingKey serializes a binding for plateau-cycle detection.
-func bindingKey(bn []int) string {
-	buf := make([]byte, len(bn))
-	for i, c := range bn {
-		buf[i] = byte(c)
-	}
-	return string(buf)
-}
-
 // improveWith runs the iterative boundary-perturbation loop under one
 // quality function. When sideways > 0, up to that many consecutive
 // equal-quality steps are accepted (never revisiting a binding), which is
 // the stronger variant mentioned in the paper's footnote 4.
-func improveWith(cur *Result, quality func(*sched.Schedule) Quality, sideways int, opts Options) (*Result, error) {
+//
+// Each round's candidates are independent single/pair re-bindings of the
+// same current solution, so their evaluation fans out over the
+// evaluator's worker pool; the reduction then scans the index-ordered
+// results in enumeration order with the sequential tie-break (strictly
+// better quality, or equal quality with fewer moves), which makes the
+// accepted move — and therefore the whole trajectory — bit-identical to
+// the sequential path at any parallelism.
+func improveWith(ev *evaluator, cur *Result, quality func(*sched.Schedule) Quality, sideways int, opts Options) (*Result, error) {
 	g, dp := cur.Graph, cur.Datapath
 	curQ := quality(cur.Schedule)
 	seen := map[string]bool{bindingKey(cur.Binding): true}
 	plateau := 0
 	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
-		var best *Result
-		var bestQ Quality
+		// Materialize this round's perturbed bindings, dropping no-ops
+		// and already-visited solutions exactly as the sequential loop
+		// did. seen is read-only for the rest of the round, so the
+		// workers never touch it.
+		var bns [][]int
 		for _, cand := range perturbations(g, dp, cur.Binding, opts) {
 			bn := append([]int(nil), cur.Binding...)
 			changed := false
@@ -213,9 +215,18 @@ func improveWith(cur *Result, quality func(*sched.Schedule) Quality, sideways in
 			if !changed || seen[bindingKey(bn)] {
 				continue
 			}
-			res, err := Evaluate(g, dp, bn)
-			if err != nil {
-				return nil, err
+			bns = append(bns, bn)
+		}
+		results := make([]*Result, len(bns))
+		errs := make([]error, len(bns))
+		ev.pool.run(len(bns), func(i int) {
+			results[i], errs[i] = ev.evaluate(bns[i])
+		})
+		var best *Result
+		var bestQ Quality
+		for i, res := range results {
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
 			q := quality(res.Schedule)
 			if best == nil || q.Less(bestQ) ||
@@ -249,11 +260,19 @@ func Improve(res *Result, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("bind: Improve needs a phase-one result")
 	}
 	opts = opts.withDefaults()
-	cur, err := improveWith(res, QualityU, opts.Sideways, opts)
+	return improve(newEvaluator(res.Graph, res.Datapath, opts), res, opts)
+}
+
+// improve is Improve on an existing evaluation engine (opts already
+// defaulted). Sharing the engine across both passes means the Q_M pass's
+// first perturbation round — the very neighborhood the Q_U pass just
+// finished scoring — comes straight from the cache.
+func improve(ev *evaluator, res *Result, opts Options) (*Result, error) {
+	cur, err := improveWith(ev, res, QualityU, opts.Sideways, opts)
 	if err != nil {
 		return nil, err
 	}
-	cur, err = improveWith(cur, QualityM, 0, opts)
+	cur, err = improveWith(ev, cur, QualityM, 0, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -267,15 +286,21 @@ func Improve(res *Result, opts Options) (*Result, error) {
 
 // Bind runs both phases: the swept greedy initial binding followed by
 // iterative improvement of the best few distinct phase-one candidates.
-// This is the paper's full B-ITER configuration.
+// This is the paper's full B-ITER configuration. One evaluation engine —
+// worker pool plus memoization cache, sized by Options.Parallelism — is
+// shared across the driver sweep, every improvement seed, and both
+// improvement passes, so a binding scheduled anywhere in the run is
+// never rescheduled.
 func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
-	cands, err := InitialCandidates(g, dp, opts)
+	opts = opts.withDefaults()
+	ev := newEvaluator(g, dp, opts)
+	cands, err := initialCandidates(ev, opts)
 	if err != nil {
 		return nil, err
 	}
 	var best *Result
 	for _, c := range cands {
-		res, err := Improve(c, opts)
+		res, err := improve(ev, c, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,82 @@
+package bind_test
+
+// Differential fuzzing of the heuristic binder against the exact one.
+// On graphs small enough for optbind.Optimal's exhaustive search, three
+// invariants must hold for every input:
+//
+//	LowerBound(g, dp) <= Optimal(g, dp).L <= Bind(g, dp).L
+//
+// A heuristic result below the optimum means the schedule is illegal (or
+// the optimum search is broken); a result below the lower bound means
+// the bound is unsound. Either way the differential harness pinpoints
+// the seed, so a reproduction is one test run away.
+
+import (
+	"fmt"
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/optbind"
+)
+
+// fuzzMaxOps keeps random graphs inside Optimal's tractable range: with
+// two clusters, 9 ops is 2^9 = 512 leaf bindings before pruning.
+const fuzzMaxOps = 9
+
+var fuzzDatapaths = []string{"[1,1|1,1]", "[2,1|1,1]"}
+
+func TestBindDifferentialAgainstOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing is slow; skipped with -short")
+	}
+	for _, dpSpec := range fuzzDatapaths {
+		dp, err := machine.Parse(dpSpec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 40; seed++ {
+			seed := seed
+			name := fmt.Sprintf("%s/seed%d", dpSpec, seed)
+			t.Run(name, func(t *testing.T) {
+				g := kernels.Random(kernels.RandomConfig{
+					Ops:      3 + int(seed)%(fuzzMaxOps-2), // 3..9 ops
+					Inputs:   3,
+					MulRatio: 0.3,
+					Locality: 0.4 + float64(seed%3)*0.2,
+					Seed:     seed,
+				})
+				lb := optbind.LowerBound(g, dp)
+				opt, err := optbind.Optimal(g, dp, fuzzMaxOps)
+				if err != nil {
+					t.Fatalf("optimal: %v", err)
+				}
+				heur, err := bind.Bind(g, dp, bind.Options{Parallelism: 1})
+				if err != nil {
+					t.Fatalf("bind: %v", err)
+				}
+				if opt.L() < lb {
+					t.Errorf("optimum L=%d beats the lower bound %d: bound unsound", opt.L(), lb)
+				}
+				if heur.L() < opt.L() {
+					t.Errorf("B-ITER L=%d beats the optimum L=%d: illegal schedule or broken search",
+						heur.L(), opt.L())
+				}
+				if heur.L() < lb {
+					t.Errorf("B-ITER L=%d beats the lower bound %d", heur.L(), lb)
+				}
+				// The same input through the parallel engine must agree
+				// with the sequential run exactly.
+				par, err := bind.Bind(g, dp, bind.Options{Parallelism: 8})
+				if err != nil {
+					t.Fatalf("bind (par=8): %v", err)
+				}
+				if par.L() != heur.L() || par.Moves() != heur.Moves() {
+					t.Errorf("parallel run diverged: (L=%d, M=%d) vs (L=%d, M=%d)",
+						par.L(), par.Moves(), heur.L(), heur.Moves())
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package bind
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// This file is the parallel evaluation engine shared by both binding
+// phases. The expensive inner operation of the whole algorithm is
+// Evaluate — bound-graph construction plus a full list schedule — and
+// both the B-INIT driver sweep and every B-ITER perturbation round run
+// many Evaluates on candidates that are completely independent of each
+// other. The engine runs those batches on a size-bounded worker pool and
+// memoizes results per binding, while keeping the final answer
+// bit-identical to the sequential code path: candidates are collected
+// into index-ordered slices and reduced in enumeration order with the
+// same lexicographic tie-breaks, never first-goroutine-wins.
+
+// CacheStats accumulates hit/miss counters of the schedule-evaluation
+// cache across a binding run. Hand one to Options.Stats to observe cache
+// effectiveness; all methods are safe for concurrent use. The cache is
+// active whenever Options.Parallelism resolves to a value greater than 1
+// (Parallelism 1 is the exact pre-engine sequential path, which never
+// memoized).
+type CacheStats struct {
+	hits, misses atomic.Int64
+}
+
+// Hits returns how many evaluations were served from the cache without
+// rescheduling.
+func (s *CacheStats) Hits() int64 { return s.hits.Load() }
+
+// Misses returns how many evaluations had to build a bound graph and run
+// the list scheduler.
+func (s *CacheStats) Misses() int64 { return s.misses.Load() }
+
+// maxCacheEntries bounds the per-run result cache. Each entry retains a
+// bound graph and a schedule, so an unbounded cache could hold the whole
+// history of a long improvement run; past the bound, results are still
+// computed and returned, just not retained. 2^16 entries is roughly an
+// order of magnitude above the candidate count of the largest benchmark
+// kernel's full B-ITER run.
+const maxCacheEntries = 1 << 16
+
+// resultCache memoizes Evaluate results by bindingKey. Guarded by a
+// plain mutex: the critical section is a map operation, vanishingly
+// small next to the list schedule a miss pays for. Two workers racing on
+// the same missing key both compute it (Evaluate is deterministic, so
+// either result is THE result); one insert wins.
+type resultCache struct {
+	mu sync.Mutex
+	m  map[string]*Result
+}
+
+// workerPool runs batches of independent tasks on a bounded number of
+// goroutines. Size 1 degenerates to a plain in-order loop — exactly the
+// pre-parallel code path. Tasks are handed out by an atomic counter, so
+// an uneven batch keeps every worker busy until the batch drains.
+type workerPool struct {
+	workers int
+}
+
+func (p workerPool) run(n int, task func(int)) {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evaluator bundles the graph, datapath, worker pool and memoization
+// cache for one binding run. Bind creates a single evaluator and shares
+// it across the B-INIT driver sweep, every improvement seed, and both
+// the Q_U and Q_M passes of B-ITER, so a binding evaluated anywhere in
+// the run is never rescheduled.
+type evaluator struct {
+	g     *dfg.Graph
+	dp    *machine.Datapath
+	pool  workerPool
+	cache *resultCache // nil when Parallelism == 1 (pre-engine path)
+	stats *CacheStats  // nil unless the caller asked for counters
+}
+
+// newEvaluator builds the evaluation engine for defaulted opts.
+func newEvaluator(g *dfg.Graph, dp *machine.Datapath, opts Options) *evaluator {
+	ev := &evaluator{
+		g:     g,
+		dp:    dp,
+		pool:  workerPool{workers: opts.Parallelism},
+		stats: opts.Stats,
+	}
+	if opts.Parallelism > 1 {
+		ev.cache = &resultCache{m: make(map[string]*Result)}
+	}
+	return ev
+}
+
+// evaluate is Evaluate behind the memoization cache. Results are shared
+// and must be treated as immutable by callers (everything in this
+// package already does; Evaluate copies the binding it is given).
+func (ev *evaluator) evaluate(bn []int) (*Result, error) {
+	if ev.cache == nil {
+		return Evaluate(ev.g, ev.dp, bn)
+	}
+	key := bindingKey(bn)
+	ev.cache.mu.Lock()
+	r, ok := ev.cache.m[key]
+	ev.cache.mu.Unlock()
+	if ok {
+		if ev.stats != nil {
+			ev.stats.hits.Add(1)
+		}
+		return r, nil
+	}
+	r, err := Evaluate(ev.g, ev.dp, bn)
+	if err != nil {
+		return nil, err
+	}
+	if ev.stats != nil {
+		ev.stats.misses.Add(1)
+	}
+	ev.cache.mu.Lock()
+	if len(ev.cache.m) < maxCacheEntries {
+		ev.cache.m[key] = r
+	}
+	ev.cache.mu.Unlock()
+	return r, nil
+}

@@ -1,0 +1,17 @@
+package bind
+
+// bindingKey serializes a binding into a compact string key: one byte
+// per operation holding its cluster index plus one, so the unbound
+// marker -1 also round-trips. The key doubles as the B-ITER
+// plateau-/cycle-detection key and as the memoization key of the
+// schedule-evaluation cache, which puts it on the hot path of every
+// perturbation round — hence a single allocation and no per-element
+// formatting. Datapaths have far fewer than 255 clusters, so the byte
+// encoding is exact and collision-free.
+func bindingKey(bn []int) string {
+	buf := make([]byte, len(bn))
+	for i, c := range bn {
+		buf[i] = byte(c + 1)
+	}
+	return string(buf)
+}

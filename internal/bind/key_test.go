@@ -1,0 +1,60 @@
+package bind
+
+import (
+	"fmt"
+	"testing"
+)
+
+// bindingKey is both the B-ITER visited-set key and the memoization key
+// of the evaluation cache, so it must be injective over real bindings
+// (cluster indices -1..numClusters-1) and cheap.
+
+func TestBindingKeyInjective(t *testing.T) {
+	// All 3-element bindings over clusters {-1, 0, 1, 2} must map to
+	// distinct keys.
+	seen := make(map[string][]int)
+	clusters := []int{-1, 0, 1, 2}
+	for _, a := range clusters {
+		for _, b := range clusters {
+			for _, c := range clusters {
+				bn := []int{a, b, c}
+				k := bindingKey(bn)
+				if prev, ok := seen[k]; ok {
+					t.Fatalf("collision: %v and %v both map to %q", prev, bn, k)
+				}
+				seen[k] = append([]int(nil), bn...)
+			}
+		}
+	}
+}
+
+func TestBindingKeyDeterministic(t *testing.T) {
+	bn := []int{0, 1, -1, 2, 1, 0}
+	if bindingKey(bn) != bindingKey(append([]int(nil), bn...)) {
+		t.Error("equal bindings produced different keys")
+	}
+	if len(bindingKey(bn)) != len(bn) {
+		t.Errorf("key is %d bytes for %d ops; want one byte per op",
+			len(bindingKey(bn)), len(bn))
+	}
+}
+
+// BenchmarkBindingKey measures the hot-path key construction at the
+// paper's kernel sizes (EWF is 34 ops, the unrolled DCTs ~96, the move
+// nodes of a bound graph push past 100).
+func BenchmarkBindingKey(b *testing.B) {
+	for _, n := range []int{32, 96, 160} {
+		bn := make([]int, n)
+		for i := range bn {
+			bn[i] = i % 4
+		}
+		b.Run(fmt.Sprintf("ops=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if bindingKey(bn) == "" {
+					b.Fatal("empty key")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package bind_test
+
+// Determinism tests for the parallel evaluation engine: the engine's
+// contract is that Options.Parallelism changes only wall-clock time,
+// never results. These tests compare full Bind runs at Parallelism 1
+// (the exact sequential pre-engine code path) against Parallelism 8
+// (worker pool plus memoization cache) and require identical latency,
+// move count, AND identical binding vectors — not just equal quality.
+// The package's `make race` target runs them under the race detector,
+// which exercises the pool/cache synchronization.
+
+import (
+	"fmt"
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+// sampleDatapaths are the machines every kernel is cross-checked on: the
+// paper's standard two-cluster machine and a heterogeneous three-cluster
+// one that forces move-heavy bindings.
+var sampleDatapaths = []string{"[2,1|2,1]", "[2,1|1,1|1,1]"}
+
+func bindAt(t *testing.T, g *kernels.Kernel, dpSpec string, par int, stats *bind.CacheStats) *bind.Result {
+	t.Helper()
+	dp, err := machine.Parse(dpSpec, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bind.Options{Parallelism: par, Stats: stats}
+	if g.NumOps > 50 {
+		// The big DCT kernels take seconds per Bind; a bounded number of
+		// improvement rounds keeps the full matrix race-detector-friendly
+		// while still exercising the sweep, both passes, and the cache.
+		opts.MaxIterations = 4
+	}
+	res, err := bind.Bind(g.Build(), dp, opts)
+	if err != nil {
+		t.Fatalf("%s on %s (par=%d): %v", g.Name, dpSpec, par, err)
+	}
+	return res
+}
+
+func TestParallelismIsInvisible(t *testing.T) {
+	for _, k := range kernels.All() {
+		k := k
+		for _, dpSpec := range sampleDatapaths {
+			dpSpec := dpSpec
+			t.Run(fmt.Sprintf("%s/%s", k.Name, dpSpec), func(t *testing.T) {
+				t.Parallel()
+				seq := bindAt(t, &k, dpSpec, 1, nil)
+				var stats bind.CacheStats
+				par := bindAt(t, &k, dpSpec, 8, &stats)
+				if seq.L() != par.L() || seq.Moves() != par.Moves() {
+					t.Fatalf("par=8 diverged: (L=%d, M=%d) vs sequential (L=%d, M=%d)",
+						par.L(), par.Moves(), seq.L(), seq.Moves())
+				}
+				for i := range seq.Binding {
+					if seq.Binding[i] != par.Binding[i] {
+						t.Fatalf("binding vectors diverge at node %d: %d vs %d",
+							i, par.Binding[i], seq.Binding[i])
+					}
+				}
+				if stats.Misses() == 0 {
+					t.Error("parallel run recorded no cache misses; is the engine engaged?")
+				}
+			})
+		}
+	}
+}
+
+// TestCacheCountsHits pins down that the memoization cache actually
+// serves repeat candidates: a full two-phase Bind revisits perturbations
+// across rounds and across the Q_U→Q_M passes, so a healthy cache must
+// record hits, and hits+misses must cover at least the distinct
+// evaluations the sequential path would have performed.
+func TestCacheCountsHits(t *testing.T) {
+	k, err := kernels.ByName("ARF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Build()
+	dp, err := machine.Parse("[2,1|2,1]", machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats bind.CacheStats
+	if _, err := bind.Bind(g, dp, bind.Options{Parallelism: 4, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses() == 0 {
+		t.Fatal("no misses recorded: cache counters not wired up")
+	}
+	if stats.Hits() == 0 {
+		t.Error("no hits recorded: B-ITER is known to revisit candidates, cache never matched")
+	}
+	t.Logf("cache: %d misses, %d hits", stats.Misses(), stats.Hits())
+}
+
+// TestSequentialPathBypassesCache verifies Parallelism 1 really is the
+// pre-engine code path: no cache, so no counters move.
+func TestSequentialPathBypassesCache(t *testing.T) {
+	k, err := kernels.ByName("EWF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Build()
+	dp, err := machine.Parse("[2,1|1,1]", machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats bind.CacheStats
+	if _, err := bind.Bind(g, dp, bind.Options{Parallelism: 1, Stats: &stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits() != 0 || stats.Misses() != 0 {
+		t.Errorf("Parallelism 1 touched the cache: %d hits, %d misses",
+			stats.Hits(), stats.Misses())
+	}
+}

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -77,30 +78,53 @@ func TestCheckAllocCatchesClobber(t *testing.T) {
 	if err := CheckAlloc(s, a); err != nil {
 		t.Fatal(err)
 	}
-	// Force two long-lived values into the same register.
-	var keys []RegKey
-	for k := range a.Reg {
-		if k.Cluster == 0 {
-			keys = append(keys, k)
+	// Force two values with overlapping lifetimes into the same register.
+	// The pair must be a provable clobber: the victim needs an actual
+	// consumer read at or after the overwriter's write cycle (the live-out
+	// extension in intervals() is not a read CheckAlloc replays), and the
+	// writes must land in distinct cycles so their order is defined.
+	lastRead := make(map[RegKey]int)
+	read := func(k RegKey, cycle int) {
+		if cur, ok := lastRead[k]; !ok || cycle > cur {
+			lastRead[k] = cycle
 		}
 	}
-	if len(keys) < 2 {
-		t.Skip("not enough values in cluster 0")
+	for _, n := range s.Graph.Nodes() {
+		if n.IsMove() {
+			if src := n.TransferFor(); src != nil {
+				read(RegKey{src.ID(), s.Cluster[src.ID()]}, s.Start[n.ID()])
+			}
+			continue
+		}
+		for _, o := range n.Operands() {
+			if o.IsNode() && o.Node().Op() != dfg.OpStore {
+				read(RegKey{o.Node().ID(), s.Cluster[n.ID()]}, s.Start[n.ID()])
+			}
+		}
 	}
-	// Find two distinct registers and merge them.
-	var k1, k2 RegKey
+	ivs := intervals(s)[0]
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].key.Node < ivs[j].key.Node
+	})
+	var victim, overwriter RegKey
 	found := false
-	for _, ka := range keys {
-		for _, kb := range keys {
-			if ka != kb && a.Reg[ka] != a.Reg[kb] {
-				k1, k2, found = ka, kb, true
+	for i := 0; i < len(ivs) && !found; i++ {
+		for j := i + 1; j < len(ivs); j++ {
+			v, w := ivs[i], ivs[j]
+			if w.start > v.start && lastRead[v.key] >= w.start &&
+				a.Reg[v.key] != a.Reg[w.key] {
+				victim, overwriter, found = v.key, w.key, true
+				break
 			}
 		}
 	}
 	if !found {
-		t.Skip("no register diversity to corrupt")
+		t.Fatal("no overlapping-lifetime pair with distinct registers in cluster 0")
 	}
-	a.Reg[k1] = a.Reg[k2]
+	a.Reg[victim] = a.Reg[overwriter]
 	if err := CheckAlloc(s, a); err == nil {
 		t.Error("CheckAlloc missed a forced clobber")
 	}

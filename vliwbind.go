@@ -140,6 +140,11 @@ type (
 	PCCOptions = pcc.Options
 	// Quality is a lexicographic quality vector (Q_U / Q_M).
 	Quality = bind.Quality
+	// CacheStats exposes hit/miss counters of the schedule-evaluation
+	// memoization cache; hand one to Options.Stats. The cache (and the
+	// evaluation worker pool) activate when Options.Parallelism resolves
+	// to more than 1; results are bit-identical at any setting.
+	CacheStats = bind.CacheStats
 )
 
 // Bind runs the full two-phase algorithm (B-INIT driver + B-ITER).
@@ -250,6 +255,13 @@ func Table2() []ExperimentRow { return expt.Table2() }
 
 // RunExperiment measures PCC, B-INIT and B-ITER on one row.
 func RunExperiment(r ExperimentRow) (Measurement, error) { return expt.Run(r) }
+
+// RunExperimentWith is RunExperiment with explicit binding options —
+// most usefully Options.Parallelism. Measured (L, M) values are
+// identical at any parallelism; only the times change.
+func RunExperimentWith(r ExperimentRow, opts Options) (Measurement, error) {
+	return expt.RunWith(r, opts)
+}
 
 // FormatMeasurements renders measurements in the paper's table layout.
 func FormatMeasurements(ms []Measurement) string { return expt.Format(ms) }
