@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-parallel golden
+.PHONY: check vet build test race bench bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -29,6 +29,25 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchtime 3x .
 
-# Rewrite the vliwtab golden snapshot after an intentional result change.
+# Allocation comparison: materialized bind.Evaluate vs problem.Evaluator
+# on the largest kernel (DCT-DIT-2). The virtual path must stay at least
+# 5x leaner in allocs/op.
+bench-alloc:
+	$(GO) test ./internal/problem -run '^$$' -bench 'BenchmarkEvaluate' -benchmem
+
+# Statistical comparison of the two evaluation paths. Needs the benchstat
+# tool on PATH (golang.org/x/perf/cmd/benchstat); falls back to printing
+# the raw -benchmem numbers when it is absent.
+benchstat:
+	$(GO) test ./internal/problem -run '^$$' -bench 'BenchmarkEvaluate' -benchmem -count 6 > /tmp/vliwbind-bench.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat /tmp/vliwbind-bench.txt; \
+	else \
+		echo "benchstat not installed; raw numbers:"; \
+		grep -E '^Benchmark' /tmp/vliwbind-bench.txt; \
+	fi
+
+# Rewrite the golden snapshots after an intentional result change.
 golden:
 	$(GO) test ./cmd/vliwtab -run TestGoldenTables -update
+	$(GO) test ./cmd/dfgstat ./cmd/explore -run TestGoldenOutput -update

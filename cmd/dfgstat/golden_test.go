@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/dfgstat.golden from the current output")
+
+// goldenOutput captures every output mode of the tool on stable inputs:
+// the suite summary, one kernel's statistics, and the .dfg and DOT
+// renderings of the smallest benchmark.
+func goldenOutput(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	section := func(header string, dfgPath, kernel string, all, emit, dot bool) {
+		sb.WriteString("== " + header + " ==\n")
+		if err := run(&sb, dfgPath, kernel, all, emit, dot); err != nil {
+			t.Fatalf("%s: %v", header, err)
+		}
+	}
+	section("all", "", "", true, false, false)
+	section("stats DCT-DIT", "", "DCT-DIT", false, false, false)
+	section("emit ARF", "", "ARF", false, true, false)
+	section("dot ARF", "", "ARF", false, false, true)
+	return sb.String()
+}
+
+// TestGoldenOutput snapshots dfgstat's output, mirroring the
+// cmd/vliwtab golden-table pattern: kernel definitions and renderers may
+// be refactored, but what the tool prints must not drift unnoticed.
+func TestGoldenOutput(t *testing.T) {
+	path := filepath.Join("testdata", "dfgstat.golden")
+	got := goldenOutput(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/dfgstat -run TestGoldenOutput -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dfgstat output drifted from %s.\ngot:\n%s\nwant:\n%s\n"+
+			"If the change is intentional, regenerate with -update.",
+			path, got, string(want))
+	}
+}

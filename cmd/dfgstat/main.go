@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vliwbind"
@@ -27,18 +28,18 @@ func main() {
 		dot     = flag.Bool("dot", false, "print the graph in Graphviz DOT form")
 	)
 	flag.Parse()
-	if err := run(*dfgPath, *kernel, *all, *emit, *dot); err != nil {
+	if err := run(os.Stdout, *dfgPath, *kernel, *all, *emit, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "dfgstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dfgPath, kernel string, all, emit, dot bool) error {
+func run(w io.Writer, dfgPath, kernel string, all, emit, dot bool) error {
 	if all {
-		fmt.Printf("%-10s %5s %5s %5s %5s %5s %8s %8s\n", "KERNEL", "N_V", "N_CC", "L_CP", "IN", "OUT", "ALU-OPS", "MUL-OPS")
+		fmt.Fprintf(w, "%-10s %5s %5s %5s %5s %5s %8s %8s\n", "KERNEL", "N_V", "N_CC", "L_CP", "IN", "OUT", "ALU-OPS", "MUL-OPS")
 		for _, k := range vliwbind.Kernels() {
 			s := k.Build().Stats()
-			fmt.Printf("%-10s %5d %5d %5d %5d %5d %8d %8d\n", k.Name,
+			fmt.Fprintf(w, "%-10s %5d %5d %5d %5d %5d %8d %8d\n", k.Name,
 				s.NumOps, s.NumComponents, s.CriticalPath, s.NumInputs, s.NumOutputs,
 				s.ByFU[vliwbind.FUALU], s.ByFU[vliwbind.FUMul])
 		}
@@ -67,18 +68,18 @@ func run(dfgPath, kernel string, all, emit, dot bool) error {
 	}
 	switch {
 	case emit:
-		return vliwbind.PrintGraph(os.Stdout, g)
+		return vliwbind.PrintGraph(w, g)
 	case dot:
-		fmt.Print(vliwbind.GraphDot(g, nil))
+		fmt.Fprint(w, vliwbind.GraphDot(g, nil))
 		return nil
 	default:
 		s := g.Stats()
-		fmt.Printf("graph %s\n", g.Name())
-		fmt.Printf("  operations (N_V):      %d\n", s.NumOps)
-		fmt.Printf("  connected components:  %d\n", s.NumComponents)
-		fmt.Printf("  critical path (L_CP):  %d\n", s.CriticalPath)
-		fmt.Printf("  inputs / outputs:      %d / %d\n", s.NumInputs, s.NumOutputs)
-		fmt.Printf("  ALU ops / MUL ops:     %d / %d\n", s.ByFU[vliwbind.FUALU], s.ByFU[vliwbind.FUMul])
+		fmt.Fprintf(w, "graph %s\n", g.Name())
+		fmt.Fprintf(w, "  operations (N_V):      %d\n", s.NumOps)
+		fmt.Fprintf(w, "  connected components:  %d\n", s.NumComponents)
+		fmt.Fprintf(w, "  critical path (L_CP):  %d\n", s.CriticalPath)
+		fmt.Fprintf(w, "  inputs / outputs:      %d / %d\n", s.NumInputs, s.NumOutputs)
+		fmt.Fprintf(w, "  ALU ops / MUL ops:     %d / %d\n", s.ByFU[vliwbind.FUALU], s.ByFU[vliwbind.FUMul])
 		return nil
 	}
 }

@@ -1,20 +1,21 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunAll(t *testing.T) {
-	if err := run("", "", true, false, false); err != nil {
+	if err := run(io.Discard, "", "", true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunKernelModes(t *testing.T) {
 	for _, tc := range []struct{ emit, dot bool }{{false, false}, {true, false}, {false, true}} {
-		if err := run("", "DCT-DIT", false, tc.emit, tc.dot); err != nil {
+		if err := run(io.Discard, "", "DCT-DIT", false, tc.emit, tc.dot); err != nil {
 			t.Errorf("emit=%v dot=%v: %v", tc.emit, tc.dot, err)
 		}
 	}
@@ -26,19 +27,19 @@ func TestRunFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("dfg k\nin x\nop a neg x\nout a\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", false, false, false); err != nil {
+	if err := run(io.Discard, path, "", false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", false, false, false); err == nil {
+	if err := run(io.Discard, "", "", false, false, false); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("", "nope", false, false, false); err == nil {
+	if err := run(io.Discard, "", "nope", false, false, false); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run("/nonexistent.dfg", "", false, false, false); err == nil {
+	if err := run(io.Discard, "/nonexistent.dfg", "", false, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/explore.golden from the current output")
+
+// goldenOutput runs two small but non-trivial explorations. The binding
+// engine is deterministic at any parallelism, so these tables are stable
+// across machines; mirroring cmd/vliwtab, the snapshot pins solutions so
+// evaluation-layer refactors cannot silently change design-space results.
+func goldenOutput(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	section := func(header, kernel string, alus, muls, maxC, buses int, algo string) {
+		sb.WriteString("== " + header + " ==\n")
+		if err := run(&sb, kernel, alus, muls, maxC, buses, algo, 0); err != nil {
+			t.Fatalf("%s: %v", header, err)
+		}
+	}
+	section("ARF 3+2 init", "ARF", 3, 2, 3, 2, "init")
+	section("EWF 4+2 iter", "EWF", 4, 2, 2, 2, "iter")
+	return sb.String()
+}
+
+// TestGoldenOutput snapshots explore's design-space tables, mirroring
+// the cmd/vliwtab golden-table pattern.
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full exploration takes a few seconds; skipped with -short")
+	}
+	path := filepath.Join("testdata", "explore.golden")
+	got := goldenOutput(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/explore -run TestGoldenOutput -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("explore output drifted from %s.\ngot:\n%s\nwant:\n%s\n"+
+			"If the change is intentional, regenerate with -update.",
+			path, got, string(want))
+	}
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -43,13 +44,13 @@ func main() {
 		par    = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 	)
 	flag.Parse()
-	if err := run(*kernel, *alus, *muls, *maxC, *buses, *algo, *par); err != nil {
+	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *algo, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel string, alus, muls, maxC, buses int, algo string, par int) error {
+func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, par int) error {
 	k, err := vliwbind.KernelByName(kernel)
 	if err != nil {
 		return err
@@ -57,10 +58,11 @@ func run(kernel string, alus, muls, maxC, buses int, algo string, par int) error
 	if alus < 1 || muls < 0 || maxC < 1 {
 		return fmt.Errorf("invalid budget: %d ALUs, %d MULs, %d clusters", alus, muls, maxC)
 	}
+	// One graph serves every design point: bindings never mutate it.
+	g := k.Build()
 	var designs []design
 	for nc := 1; nc <= maxC; nc++ {
 		for _, spec := range clusterings(alus, muls, nc) {
-			g := k.Build()
 			dp, err := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{NumBuses: buses})
 			if err != nil {
 				return err
@@ -97,15 +99,15 @@ func run(kernel string, alus, muls, maxC, buses int, algo string, par int) error
 		}
 		return designs[i].ports < designs[j].ports
 	})
-	fmt.Printf("design space for %s: %d ALUs + %d MULs in up to %d clusters (%s binding)\n",
+	fmt.Fprintf(w, "design space for %s: %d ALUs + %d MULs in up to %d clusters (%s binding)\n",
 		kernel, alus, muls, maxC, algo)
-	fmt.Printf("%-24s %9s %9s %6s %6s %s\n", "DATAPATH", "CLUSTERS", "RF-PORTS", "L", "MOVES", "PARETO")
+	fmt.Fprintf(w, "%-24s %9s %9s %6s %6s %s\n", "DATAPATH", "CLUSTERS", "RF-PORTS", "L", "MOVES", "PARETO")
 	for _, d := range designs {
 		mark := ""
 		if d.pareto {
 			mark = "*"
 		}
-		fmt.Printf("%-24s %9d %9d %6d %6d %s\n", d.spec, d.clusters, d.ports, d.l, d.moves, mark)
+		fmt.Fprintf(w, "%-24s %9d %9d %6d %6d %s\n", d.spec, d.clusters, d.ports, d.l, d.moves, mark)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"vliwbind/internal/bind"
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/problem"
 )
 
 // Options tunes the annealing schedule. The zero value selects
@@ -57,16 +58,21 @@ func (o Options) withDefaults(numOps int) Options {
 
 // cost flattens (L, moves) into one annealing energy: latency dominates,
 // transfers break ties, mirroring Leupers' latency-driven objective.
-func cost(r *bind.Result) float64 {
-	return float64(r.L()) + float64(r.Moves())/1024
+func cost(e problem.Eval) float64 {
+	return float64(e.L) + float64(e.M)/1024
 }
 
 // Bind runs the annealing binder and returns the best solution observed
-// (not merely the final state).
+// (not merely the final state). Every perturbation is scored virtually
+// on one reusable evaluator; only the best binding is materialized, at
+// the end. The rng consumption sequence is unchanged from the
+// materializing implementation, so seeds reproduce the same walks.
 func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
-	if err := dp.CanRun(g); err != nil {
+	p, err := problem.New(g, dp)
+	if err != nil {
 		return nil, err
 	}
+	ev := p.NewEvaluator()
 	opts = opts.withDefaults(g.NumNodes())
 	rng := rand.New(rand.NewSource(opts.Seed))
 
@@ -81,11 +87,11 @@ func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error
 		targets[i] = ts
 		bn[i] = ts[rng.Intn(len(ts))]
 	}
-	cur, err := bind.Evaluate(g, dp, bn)
+	cur, err := ev.Evaluate(bn)
 	if err != nil {
 		return nil, err
 	}
-	best := cur
+	curBn, bestBn, best := bn, bn, cur
 
 	for temp := opts.InitialTemp; temp > opts.MinTemp; temp *= opts.Cooling {
 		for m := 0; m < opts.MovesPerTemp; m++ {
@@ -95,23 +101,23 @@ func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error
 				continue
 			}
 			next := ts[rng.Intn(len(ts))]
-			if next == cur.Binding[id] {
+			if next == curBn[id] {
 				continue
 			}
-			cand := append([]int(nil), cur.Binding...)
+			cand := append([]int(nil), curBn...)
 			cand[id] = next
-			res, err := bind.Evaluate(g, dp, cand)
+			e, err := ev.Evaluate(cand)
 			if err != nil {
 				return nil, err
 			}
-			delta := cost(res) - cost(cur)
+			delta := cost(e) - cost(cur)
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-				cur = res
+				curBn, cur = cand, e
 				if cost(cur) < cost(best) {
-					best = cur
+					bestBn, best = curBn, cur
 				}
 			}
 		}
 	}
-	return best, nil
+	return bind.Evaluate(g, dp, bestBn)
 }

@@ -256,11 +256,16 @@ func InitialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts
 // the best by (L, moves). The result is the phase-one solution handed to
 // Improve.
 func Initial(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
-	cands, err := InitialCandidates(g, dp, opts)
+	opts = opts.withDefaults()
+	en, err := newEngine(g, dp, opts)
 	if err != nil {
 		return nil, err
 	}
-	return cands[0], nil
+	sols, err := initialSolutions(en, opts)
+	if err != nil {
+		return nil, err
+	}
+	return en.materialize(sols[0])
 }
 
 // InitialCandidates runs the same sweep as Initial but returns the best
@@ -270,25 +275,39 @@ func Initial(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) 
 // operations to perturb.
 func InitialCandidates(g *dfg.Graph, dp *machine.Datapath, opts Options) ([]*Result, error) {
 	opts = opts.withDefaults()
-	return initialCandidates(newEvaluator(g, dp, opts), opts)
-}
-
-// initialCandidates is the driver sweep on an existing evaluation
-// engine (opts already defaulted). Every (L_PR stretch, direction)
-// configuration is greedily bound and list-scheduled independently, so
-// both steps fan out over the worker pool; the distinct-binding dedup
-// and the final (L, moves) ranking run over index-ordered slices, which
-// keeps the outcome bit-identical to the sequential sweep.
-func initialCandidates(ev *evaluator, opts Options) ([]*Result, error) {
-	g, dp := ev.g, ev.dp
-	if err := dp.CanRun(g); err != nil {
+	en, err := newEngine(g, dp, opts)
+	if err != nil {
 		return nil, err
 	}
+	sols, err := initialSolutions(en, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Only the handful of kept seeds pay for a materialized Result.
+	out := make([]*Result, len(sols))
+	for i, sol := range sols {
+		if out[i], err = en.materialize(sol); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// initialSolutions is the driver sweep on an existing evaluation
+// engine (opts already defaulted). Every (L_PR stretch, direction)
+// configuration is greedily bound and virtually scheduled
+// independently, so both steps fan out over the worker pool; the
+// distinct-binding dedup and the final (L, moves) ranking run over
+// index-ordered slices, which keeps the outcome bit-identical to the
+// sequential sweep. No bound graph is built here — candidates stay
+// (binding, record) pairs until a caller keeps one.
+func initialSolutions(en *engine, opts Options) ([]solution, error) {
+	g, dp := en.p.Graph(), en.p.Datapath()
 	keep := opts.Seeds
 	if keep <= 0 {
 		keep = 6
 	}
-	lcp := dfg.CriticalPath(g, dp.Latency)
+	lcp := en.p.CriticalPath()
 	stretch := opts.MaxStretch
 	switch {
 	case stretch < 0:
@@ -312,7 +331,7 @@ func initialCandidates(ev *evaluator, opts Options) ([]*Result, error) {
 	}
 	bns := make([][]int, len(configs))
 	errs := make([]error, len(configs))
-	ev.pool.run(len(configs), func(i int) {
+	en.pool.run(len(configs), func(_, i int) {
 		bns[i], errs[i] = InitialOnce(g, dp, configs[i].lpr, configs[i].reverse, opts)
 	})
 	// Dedup in sweep order before scheduling, exactly as the sequential
@@ -328,24 +347,28 @@ func initialCandidates(ev *evaluator, opts Options) ([]*Result, error) {
 			uniq = append(uniq, bns[i])
 		}
 	}
-	cands := make([]*Result, len(uniq))
+	recs := make([]*evalRec, len(uniq))
 	evalErrs := make([]error, len(uniq))
-	ev.pool.run(len(uniq), func(i int) {
-		cands[i], evalErrs[i] = ev.evaluate(uniq[i])
+	en.pool.run(len(uniq), func(worker, i int) {
+		recs[i], evalErrs[i] = en.evaluate(worker, uniq[i])
 	})
 	for _, err := range evalErrs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].L() != cands[j].L() {
-			return cands[i].L() < cands[j].L()
-		}
-		return cands[i].Moves() < cands[j].Moves()
-	})
-	if len(cands) > keep {
-		cands = cands[:keep]
+	sols := make([]solution, len(uniq))
+	for i := range uniq {
+		sols[i] = solution{bn: uniq[i], rec: recs[i]}
 	}
-	return cands, nil
+	sort.SliceStable(sols, func(i, j int) bool {
+		if sols[i].rec.l != sols[j].rec.l {
+			return sols[i].rec.l < sols[j].rec.l
+		}
+		return sols[i].rec.m < sols[j].rec.m
+	})
+	if len(sols) > keep {
+		sols = sols[:keep]
+	}
+	return sols, nil
 }

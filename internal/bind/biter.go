@@ -55,6 +55,12 @@ func QualityM(s *sched.Schedule) Quality {
 	return Quality{s.L, s.NumMoves()}
 }
 
+// qualU and qualM are the evaluation-record forms of QualityU/QualityM —
+// what the improvement loop actually consumes, straight from the virtual
+// evaluator with no Schedule in sight.
+func qualU(rec *evalRec) Quality { return rec.qu }
+func qualM(rec *evalRec) Quality { return Quality{rec.l, rec.m} }
+
 // boundaryOps lists the operations with at least one producer or consumer
 // bound to a different cluster — the perturbation sites of Section 3.2.
 func boundaryOps(g *dfg.Graph, bn []int) []*dfg.Node {
@@ -186,16 +192,17 @@ func perturbations(g *dfg.Graph, dp *machine.Datapath, bn []int, opts Options) [
 // the stronger variant mentioned in the paper's footnote 4.
 //
 // Each round's candidates are independent single/pair re-bindings of the
-// same current solution, so their evaluation fans out over the
-// evaluator's worker pool; the reduction then scans the index-ordered
-// results in enumeration order with the sequential tie-break (strictly
-// better quality, or equal quality with fewer moves), which makes the
-// accepted move — and therefore the whole trajectory — bit-identical to
-// the sequential path at any parallelism.
-func improveWith(ev *evaluator, cur *Result, quality func(*sched.Schedule) Quality, sideways int, opts Options) (*Result, error) {
-	g, dp := cur.Graph, cur.Datapath
-	curQ := quality(cur.Schedule)
-	seen := map[string]bool{bindingKey(cur.Binding): true}
+// same current solution, so their evaluation fans out over the engine's
+// worker pool — every worker scheduling virtually on its own scratch
+// evaluator, no bound graph built anywhere; the reduction then scans the
+// index-ordered records in enumeration order with the sequential
+// tie-break (strictly better quality, or equal quality with fewer
+// moves), which makes the accepted move — and therefore the whole
+// trajectory — bit-identical to the sequential path at any parallelism.
+func improveWith(en *engine, cur solution, quality func(*evalRec) Quality, sideways int, opts Options) (solution, error) {
+	g, dp := en.p.Graph(), en.p.Datapath()
+	curQ := quality(cur.rec)
+	seen := map[string]bool{bindingKey(cur.bn): true}
 	plateau := 0
 	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
 		// Materialize this round's perturbed bindings, dropping no-ops
@@ -203,8 +210,8 @@ func improveWith(ev *evaluator, cur *Result, quality func(*sched.Schedule) Quali
 		// did. seen is read-only for the rest of the round, so the
 		// workers never touch it.
 		var bns [][]int
-		for _, cand := range perturbations(g, dp, cur.Binding, opts) {
-			bn := append([]int(nil), cur.Binding...)
+		for _, cand := range perturbations(g, dp, cur.bn, opts) {
+			bn := append([]int(nil), cur.bn...)
 			changed := false
 			for i, id := range cand.ids {
 				if bn[id] != cand.clusters[i] {
@@ -217,24 +224,24 @@ func improveWith(ev *evaluator, cur *Result, quality func(*sched.Schedule) Quali
 			}
 			bns = append(bns, bn)
 		}
-		results := make([]*Result, len(bns))
+		recs := make([]*evalRec, len(bns))
 		errs := make([]error, len(bns))
-		ev.pool.run(len(bns), func(i int) {
-			results[i], errs[i] = ev.evaluate(bns[i])
+		en.pool.run(len(bns), func(worker, i int) {
+			recs[i], errs[i] = en.evaluate(worker, bns[i])
 		})
-		var best *Result
+		bestIdx := -1
 		var bestQ Quality
-		for i, res := range results {
+		for i, rec := range recs {
 			if errs[i] != nil {
-				return nil, errs[i]
+				return solution{}, errs[i]
 			}
-			q := quality(res.Schedule)
-			if best == nil || q.Less(bestQ) ||
-				(q.Equal(bestQ) && res.Moves() < best.Moves()) {
-				best, bestQ = res, q
+			q := quality(rec)
+			if bestIdx < 0 || q.Less(bestQ) ||
+				(q.Equal(bestQ) && rec.m < recs[bestIdx].m) {
+				bestIdx, bestQ = i, q
 			}
 		}
-		if best == nil {
+		if bestIdx < 0 {
 			break
 		}
 		switch {
@@ -245,8 +252,8 @@ func improveWith(ev *evaluator, cur *Result, quality func(*sched.Schedule) Quali
 		default:
 			return cur, nil
 		}
-		cur, curQ = best, bestQ
-		seen[bindingKey(cur.Binding)] = true
+		cur, curQ = solution{bn: bns[bestIdx], rec: recs[bestIdx]}, bestQ
+		seen[bindingKey(cur.bn)] = true
 	}
 	return cur, nil
 }
@@ -260,26 +267,43 @@ func Improve(res *Result, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("bind: Improve needs a phase-one result")
 	}
 	opts = opts.withDefaults()
-	return improve(newEvaluator(res.Graph, res.Datapath, opts), res, opts)
+	en, err := newEngine(res.Graph, res.Datapath, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The input already carries its schedule, so its record costs nothing.
+	start := solution{
+		bn:  res.Binding,
+		rec: &evalRec{l: res.L(), m: res.Moves(), qu: QualityU(res.Schedule)},
+	}
+	sol, err := improve(en, start, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.rec == start.rec {
+		return res, nil
+	}
+	return en.materialize(sol)
 }
 
 // improve is Improve on an existing evaluation engine (opts already
 // defaulted). Sharing the engine across both passes means the Q_M pass's
 // first perturbation round — the very neighborhood the Q_U pass just
-// finished scoring — comes straight from the cache.
-func improve(ev *evaluator, res *Result, opts Options) (*Result, error) {
-	cur, err := improveWith(ev, res, QualityU, opts.Sideways, opts)
+// finished scoring — comes straight from the cache. Solutions stay
+// virtual throughout; the caller materializes the one it keeps.
+func improve(en *engine, sol solution, opts Options) (solution, error) {
+	cur, err := improveWith(en, sol, qualU, opts.Sideways, opts)
 	if err != nil {
-		return nil, err
+		return solution{}, err
 	}
-	cur, err = improveWith(ev, cur, QualityM, 0, opts)
+	cur, err = improveWith(en, cur, qualM, 0, opts)
 	if err != nil {
-		return nil, err
+		return solution{}, err
 	}
 	// Keep the better of (phase input, improved): Q_M can only have kept
 	// or reduced moves at equal or better latency, but guard anyway.
-	if cur.L() > res.L() || (cur.L() == res.L() && cur.Moves() > res.Moves()) {
-		return res, nil
+	if cur.rec.l > sol.rec.l || (cur.rec.l == sol.rec.l && cur.rec.m > sol.rec.m) {
+		return sol, nil
 	}
 	return cur, nil
 }
@@ -287,27 +311,35 @@ func improve(ev *evaluator, res *Result, opts Options) (*Result, error) {
 // Bind runs both phases: the swept greedy initial binding followed by
 // iterative improvement of the best few distinct phase-one candidates.
 // This is the paper's full B-ITER configuration. One evaluation engine —
-// worker pool plus memoization cache, sized by Options.Parallelism — is
-// shared across the driver sweep, every improvement seed, and both
-// improvement passes, so a binding scheduled anywhere in the run is
-// never rescheduled.
+// shared Problem, worker pool with per-worker scratch evaluators, and
+// memoization cache, sized by Options.Parallelism — is shared across the
+// driver sweep, every improvement seed, and both improvement passes, so
+// a binding scheduled anywhere in the run is never rescheduled. Nothing
+// is materialized until the single winning binding is known.
 func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	ev := newEvaluator(g, dp, opts)
-	cands, err := initialCandidates(ev, opts)
+	en, err := newEngine(g, dp, opts)
 	if err != nil {
 		return nil, err
 	}
-	var best *Result
-	for _, c := range cands {
-		res, err := improve(ev, c, opts)
+	sols, err := initialSolutions(en, opts)
+	if err != nil {
+		return nil, err
+	}
+	var best solution
+	have := false
+	for _, s := range sols {
+		imp, err := improve(en, s, opts)
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || res.L() < best.L() ||
-			(res.L() == best.L() && res.Moves() < best.Moves()) {
-			best = res
+		if !have || imp.rec.l < best.rec.l ||
+			(imp.rec.l == best.rec.l && imp.rec.m < best.rec.m) {
+			best, have = imp, true
 		}
 	}
-	return best, nil
+	if !have {
+		return nil, fmt.Errorf("bind: driver sweep produced no candidates for %q", g.Name())
+	}
+	return en.materialize(best)
 }

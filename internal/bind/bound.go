@@ -5,13 +5,18 @@
 // the load-profile latency and the binding direction. Phase two (Improve)
 // is the B-ITER boundary-perturbation improver guided by the lexicographic
 // quality vectors Q_U and Q_M. Bind runs both.
+//
+// Candidate evaluation — the inner loop of both phases — runs on the
+// shared problem.Evaluator core (see internal/problem), which schedules
+// bindings virtually without materializing a bound graph per candidate;
+// this package materializes full Results only for the solutions it
+// returns.
 package bind
 
 import (
-	"fmt"
-
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/problem"
 	"vliwbind/internal/sched"
 )
 
@@ -22,76 +27,11 @@ import (
 // returns the bound graph and the bound binding, where each move carries
 // its destination cluster.
 //
-// The original graph is not modified; bound nodes keep their original
-// names, and each move is named t<k> in insertion order, matching the
-// paper's t1 notation.
+// The construction itself lives in the problem package (the shared
+// evaluation core); this re-export keeps the binding algorithm's public
+// surface in one place.
 func BuildBound(g *dfg.Graph, binding []int) (*dfg.Graph, []int, error) {
-	if len(binding) != g.NumNodes() {
-		return nil, nil, fmt.Errorf("bind: binding has %d entries for %d nodes", len(binding), g.NumNodes())
-	}
-	if g.NumMoves() != 0 {
-		return nil, nil, fmt.Errorf("bind: BuildBound expects an original graph; %q already has moves", g.Name())
-	}
-	b := dfg.NewBuilder(g.Name())
-	inputs := make([]dfg.Value, g.NumInputs())
-	for i := range inputs {
-		inputs[i] = b.Input(g.InputName(i))
-	}
-	// mapped[id] is the bound-graph value of original node id in its home
-	// cluster; moved[(id,c)] the value after transfer into cluster c.
-	mapped := make([]dfg.Value, g.NumNodes())
-	type mvKey struct{ id, cluster int }
-	moved := make(map[mvKey]dfg.Value)
-	var boundBinding []int
-	nMoves := 0
-
-	for _, n := range dfg.TopoOrder(g) {
-		c := binding[n.ID()]
-		operands := make([]dfg.Value, len(n.Operands()))
-		for i, o := range n.Operands() {
-			if o.IsInput() {
-				// Block inputs are assumed available where needed at
-				// entry; binding only manages values produced inside
-				// the block (paper, Section 2).
-				operands[i] = inputs[o.Input()]
-				continue
-			}
-			u := o.Node()
-			if binding[u.ID()] == c {
-				operands[i] = mapped[u.ID()]
-				continue
-			}
-			key := mvKey{u.ID(), c}
-			mv, ok := moved[key]
-			if !ok {
-				nMoves++
-				name := fmt.Sprintf("t%d", nMoves)
-				for b.HasNode(name) || g.NodeByName(name) != nil {
-					name += "'"
-				}
-				mv = b.NamedMove(name, mapped[u.ID()])
-				moved[key] = mv
-				boundBinding = append(boundBinding, c)
-			}
-			operands[i] = mv
-		}
-		v := b.Named(n.Name(), n.Op(), n.Imm(), operands...)
-		mapped[n.ID()] = v
-		boundBinding = append(boundBinding, c)
-	}
-	// Mark live-outs afterwards, in the original graph's output order, so
-	// Outputs() of the bound graph corresponds index-for-index with the
-	// original's (simulation results stay comparable).
-	for _, n := range g.Outputs() {
-		b.Output(mapped[n.ID()])
-	}
-	bg := b.Graph()
-	// boundBinding was appended in creation order, which is the builder's
-	// node ID order, so it is already indexed correctly.
-	if len(boundBinding) != bg.NumNodes() {
-		return nil, nil, fmt.Errorf("bind: internal error: %d binding entries for %d bound nodes", len(boundBinding), bg.NumNodes())
-	}
-	return bg, boundBinding, nil
+	return problem.BuildBound(g, binding)
 }
 
 // Result packages a complete binding solution: the per-node cluster
@@ -121,7 +61,11 @@ func (r *Result) L() int { return r.Schedule.L }
 func (r *Result) Moves() int { return r.Bound.NumMoves() }
 
 // Evaluate derives the bound graph for a binding and list-schedules it,
-// yielding the (L, M) the paper reports for a solution.
+// yielding the (L, M) the paper reports for a solution. This is the
+// materializing evaluation — the right call for a solution being kept or
+// inspected. Algorithms scoring many candidates should use a
+// problem.Evaluator instead, which computes the same (L, M) without
+// building a graph or a schedule per call.
 func Evaluate(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Result, error) {
 	bg, bb, err := BuildBound(g, binding)
 	if err != nil {

@@ -6,18 +6,21 @@ import (
 
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/problem"
 )
 
 // This file is the parallel evaluation engine shared by both binding
 // phases. The expensive inner operation of the whole algorithm is
-// Evaluate — bound-graph construction plus a full list schedule — and
+// candidate evaluation — move synthesis plus a full list schedule — and
 // both the B-INIT driver sweep and every B-ITER perturbation round run
-// many Evaluates on candidates that are completely independent of each
-// other. The engine runs those batches on a size-bounded worker pool and
-// memoizes results per binding, while keeping the final answer
-// bit-identical to the sequential code path: candidates are collected
-// into index-ordered slices and reduced in enumeration order with the
-// same lexicographic tie-breaks, never first-goroutine-wins.
+// many evaluations on candidates that are completely independent of each
+// other. The engine runs those batches on a size-bounded worker pool,
+// giving each worker its own problem.Evaluator (reusable scratch, no
+// bound graph materialized per candidate), and memoizes compact
+// (L, M, Q_U) records per binding. The final answer stays bit-identical
+// to the sequential code path: candidates are collected into
+// index-ordered slices and reduced in enumeration order with the same
+// lexicographic tie-breaks, never first-goroutine-wins.
 
 // CacheStats accumulates hit/miss counters of the schedule-evaluation
 // cache across a binding run. Hand one to Options.Stats to observe cache
@@ -33,44 +36,62 @@ type CacheStats struct {
 // rescheduling.
 func (s *CacheStats) Hits() int64 { return s.hits.Load() }
 
-// Misses returns how many evaluations had to build a bound graph and run
+// Misses returns how many evaluations had to synthesize moves and run
 // the list scheduler.
 func (s *CacheStats) Misses() int64 { return s.misses.Load() }
 
-// maxCacheEntries bounds the per-run result cache. Each entry retains a
-// bound graph and a schedule, so an unbounded cache could hold the whole
-// history of a long improvement run; past the bound, results are still
-// computed and returned, just not retained. 2^16 entries is roughly an
-// order of magnitude above the candidate count of the largest benchmark
-// kernel's full B-ITER run.
+// maxCacheEntries bounds the per-run result cache. Entries are compact
+// (L, M, Q_U) records — no bound graph, no schedule — but an unbounded
+// cache could still hold the whole history of a long improvement run;
+// past the bound, results are still computed and returned, just not
+// retained. 2^16 entries is roughly an order of magnitude above the
+// candidate count of the largest benchmark kernel's full B-ITER run.
 const maxCacheEntries = 1 << 16
 
-// resultCache memoizes Evaluate results by bindingKey. Guarded by a
+// evalRec is everything the binding algorithms consume about a candidate
+// before deciding to keep it: the latency, the move count, and the full
+// Q_U quality vector. It deliberately carries no bound graph and no
+// Schedule — those are materialized once, for final winners only.
+type evalRec struct {
+	l, m int
+	qu   Quality // [L, U_0, U_1, …] — see QualityU
+}
+
+// solution pairs a binding with its evaluation record as it flows
+// through the driver sweep and the improvement passes.
+type solution struct {
+	bn  []int
+	rec *evalRec
+}
+
+// recCache memoizes evaluation records by bindingKey. Guarded by a
 // plain mutex: the critical section is a map operation, vanishingly
 // small next to the list schedule a miss pays for. Two workers racing on
-// the same missing key both compute it (Evaluate is deterministic, so
-// either result is THE result); one insert wins.
-type resultCache struct {
+// the same missing key both compute it (evaluation is deterministic, so
+// either record is THE record); one insert wins.
+type recCache struct {
 	mu sync.Mutex
-	m  map[string]*Result
+	m  map[string]*evalRec
 }
 
 // workerPool runs batches of independent tasks on a bounded number of
 // goroutines. Size 1 degenerates to a plain in-order loop — exactly the
 // pre-parallel code path. Tasks are handed out by an atomic counter, so
-// an uneven batch keeps every worker busy until the batch drains.
+// an uneven batch keeps every worker busy until the batch drains. Each
+// task receives the index of the worker running it, which the engine
+// uses to hand out per-worker scratch evaluators.
 type workerPool struct {
 	workers int
 }
 
-func (p workerPool) run(n int, task func(int)) {
+func (p workerPool) run(n int, task func(worker, i int)) {
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(0, i)
 		}
 		return
 	}
@@ -78,75 +99,109 @@ func (p workerPool) run(n int, task func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				task(i)
+				task(worker, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }
 
-// evaluator bundles the graph, datapath, worker pool and memoization
-// cache for one binding run. Bind creates a single evaluator and shares
-// it across the B-INIT driver sweep, every improvement seed, and both
-// the Q_U and Q_M passes of B-ITER, so a binding evaluated anywhere in
-// the run is never rescheduled.
-type evaluator struct {
-	g     *dfg.Graph
-	dp    *machine.Datapath
+// engine bundles the shared Problem, the worker pool, per-worker scratch
+// evaluators and the memoization cache for one binding run. Bind creates
+// a single engine and shares it across the B-INIT driver sweep, every
+// improvement seed, and both the Q_U and Q_M passes of B-ITER, so a
+// binding evaluated anywhere in the run is never rescheduled.
+type engine struct {
+	p     *problem.Problem
 	pool  workerPool
-	cache *resultCache // nil when Parallelism == 1 (pre-engine path)
-	stats *CacheStats  // nil unless the caller asked for counters
+	evs   []*problem.Evaluator // per-worker scratch, created lazily
+	cache *recCache            // nil when Parallelism == 1 (pre-engine path)
+	stats *CacheStats          // nil unless the caller asked for counters
 }
 
-// newEvaluator builds the evaluation engine for defaulted opts.
-func newEvaluator(g *dfg.Graph, dp *machine.Datapath, opts Options) *evaluator {
-	ev := &evaluator{
-		g:     g,
-		dp:    dp,
-		pool:  workerPool{workers: opts.Parallelism},
-		stats: opts.Stats,
-	}
-	if opts.Parallelism > 1 {
-		ev.cache = &resultCache{m: make(map[string]*Result)}
-	}
-	return ev
-}
-
-// evaluate is Evaluate behind the memoization cache. Results are shared
-// and must be treated as immutable by callers (everything in this
-// package already does; Evaluate copies the binding it is given).
-func (ev *evaluator) evaluate(bn []int) (*Result, error) {
-	if ev.cache == nil {
-		return Evaluate(ev.g, ev.dp, bn)
-	}
-	key := bindingKey(bn)
-	ev.cache.mu.Lock()
-	r, ok := ev.cache.m[key]
-	ev.cache.mu.Unlock()
-	if ok {
-		if ev.stats != nil {
-			ev.stats.hits.Add(1)
-		}
-		return r, nil
-	}
-	r, err := Evaluate(ev.g, ev.dp, bn)
+// newEngine builds the evaluation engine for defaulted opts. It fails
+// when the datapath cannot run the graph at all (the same up-front check
+// every binder used to make individually).
+func newEngine(g *dfg.Graph, dp *machine.Datapath, opts Options) (*engine, error) {
+	p, err := problem.New(g, dp)
 	if err != nil {
 		return nil, err
 	}
-	if ev.stats != nil {
-		ev.stats.misses.Add(1)
+	en := &engine{
+		p:     p,
+		pool:  workerPool{workers: opts.Parallelism},
+		evs:   make([]*problem.Evaluator, opts.Parallelism),
+		stats: opts.Stats,
 	}
-	ev.cache.mu.Lock()
-	if len(ev.cache.m) < maxCacheEntries {
-		ev.cache.m[key] = r
+	if opts.Parallelism > 1 {
+		en.cache = &recCache{m: make(map[string]*evalRec)}
 	}
-	ev.cache.mu.Unlock()
+	return en, nil
+}
+
+// evaluatorFor returns worker's private scratch evaluator, creating it
+// on first use. Worker k's tasks run on one goroutine per pool batch,
+// and batches are separated by WaitGroup waits, so the slot is never
+// accessed concurrently.
+func (en *engine) evaluatorFor(worker int) *problem.Evaluator {
+	if en.evs[worker] == nil {
+		en.evs[worker] = en.p.NewEvaluator()
+	}
+	return en.evs[worker]
+}
+
+// compute runs one virtual evaluation on worker's scratch and snapshots
+// the record the binding algorithms need.
+func (en *engine) compute(worker int, bn []int) (*evalRec, error) {
+	ev := en.evaluatorFor(worker)
+	e, err := ev.Evaluate(bn)
+	if err != nil {
+		return nil, err
+	}
+	return &evalRec{l: e.L, m: e.M, qu: Quality(ev.AppendQualityU(nil))}, nil
+}
+
+// evaluate is compute behind the memoization cache. Records are shared
+// and must be treated as immutable by callers.
+func (en *engine) evaluate(worker int, bn []int) (*evalRec, error) {
+	if en.cache == nil {
+		return en.compute(worker, bn)
+	}
+	key := bindingKey(bn)
+	en.cache.mu.Lock()
+	r, ok := en.cache.m[key]
+	en.cache.mu.Unlock()
+	if ok {
+		if en.stats != nil {
+			en.stats.hits.Add(1)
+		}
+		return r, nil
+	}
+	r, err := en.compute(worker, bn)
+	if err != nil {
+		return nil, err
+	}
+	if en.stats != nil {
+		en.stats.misses.Add(1)
+	}
+	en.cache.mu.Lock()
+	if len(en.cache.m) < maxCacheEntries {
+		en.cache.m[key] = r
+	}
+	en.cache.mu.Unlock()
 	return r, nil
+}
+
+// materialize builds the full Result — bound graph, bound binding and
+// list schedule — for a solution the caller keeps. The schedule it
+// produces is bit-identical to what the virtual evaluation promised.
+func (en *engine) materialize(sol solution) (*Result, error) {
+	return Evaluate(en.p.Graph(), en.p.Datapath(), sol.bn)
 }

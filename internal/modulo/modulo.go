@@ -23,6 +23,7 @@ import (
 
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/problem"
 )
 
 // CarriedDep is a loop-carried dependence: the value From produces in
@@ -201,46 +202,75 @@ func Pipeline(l *Loop, dp *machine.Datapath, opts Options) (*PipelinedSchedule, 
 	if err := dp.CanRun(l.Body); err != nil {
 		return nil, err
 	}
+	st, err := newLoopState(l, dp)
+	if err != nil {
+		return nil, err
+	}
 	mii := MII(l, dp)
 	maxII := opts.MaxII
 	if maxII == 0 {
 		maxII = mii + l.Body.NumNodes() + 8
 	}
 	for ii := mii; ii <= maxII; ii++ {
-		if ps := tryII(l, dp, ii); ps != nil {
+		if ps := st.tryII(ii); ps != nil {
 			return ps, nil
 		}
 	}
 	return nil, fmt.Errorf("modulo: no schedule found up to II=%d (MII=%d)", maxII, mii)
 }
 
-// tryII attempts one greedy height-ordered modulo schedule at a fixed II.
-func tryII(l *Loop, dp *machine.Datapath, ii int) *PipelinedSchedule {
+// loopState is the II-independent part of a Pipeline run, built once and
+// reused across the II scan: the unified edge lists, their per-node
+// index, and the height-ordered placement order. Heights come from the
+// shared problem core — the longest intra-iteration path to any sink
+// (carried edges do not extend height; they bound placement instead).
+type loopState struct {
+	l        *Loop
+	dp       *machine.Datapath
+	es       []edge
+	inEdges  [][]edge
+	outEdges [][]edge
+	nodes    []*dfg.Node // placement order: height desc, ID asc
+	moveLat  int
+}
+
+func newLoopState(l *Loop, dp *machine.Datapath) (*loopState, error) {
 	body := l.Body
 	n := body.NumNodes()
-	es := l.edges()
-
-	// height: longest intra-iteration path to any sink (carried edges
-	// do not extend height; they bound placement instead).
-	height := make([]int, n)
-	order := dfg.TopoOrder(body)
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		h := dp.Latency(v.Op())
-		for _, s := range v.Succs() {
-			if hh := height[s.ID()] + dp.Latency(v.Op()); hh > h {
-				h = hh
-			}
-		}
-		height[v.ID()] = h
+	p, err := problem.New(body, dp)
+	if err != nil {
+		return nil, err
 	}
-	nodes := append([]*dfg.Node(nil), body.Nodes()...)
-	sort.SliceStable(nodes, func(i, j int) bool {
-		if height[nodes[i].ID()] != height[nodes[j].ID()] {
-			return height[nodes[i].ID()] > height[nodes[j].ID()]
+	st := &loopState{
+		l:        l,
+		dp:       dp,
+		es:       l.edges(),
+		inEdges:  make([][]edge, n),
+		outEdges: make([][]edge, n),
+		moveLat:  dp.MoveLat(),
+	}
+	for _, e := range st.es {
+		st.inEdges[e.to.ID()] = append(st.inEdges[e.to.ID()], e)
+		st.outEdges[e.from.ID()] = append(st.outEdges[e.from.ID()], e)
+	}
+	st.nodes = append([]*dfg.Node(nil), body.Nodes()...)
+	sort.SliceStable(st.nodes, func(i, j int) bool {
+		if p.Height(st.nodes[i].ID()) != p.Height(st.nodes[j].ID()) {
+			return p.Height(st.nodes[i].ID()) > p.Height(st.nodes[j].ID())
 		}
-		return nodes[i].ID() < nodes[j].ID()
+		return st.nodes[i].ID() < st.nodes[j].ID()
 	})
+	return st, nil
+}
+
+// tryII attempts one greedy height-ordered modulo schedule at a fixed II.
+func (st *loopState) tryII(ii int) *PipelinedSchedule {
+	l, dp := st.l, st.dp
+	body := l.Body
+	n := body.NumNodes()
+	nodes := st.nodes
+	inEdges, outEdges := st.inEdges, st.outEdges
+	moveLat := st.moveLat
 
 	start := make([]int, n)
 	cluster := make([]int, n)
@@ -257,14 +287,6 @@ func tryII(l *Loop, dp *machine.Datapath, ii int) *PipelinedSchedule {
 		}
 	}
 	bus := make([]int, ii)
-
-	inEdges := make([][]edge, n)
-	outEdges := make([][]edge, n)
-	for _, e := range es {
-		inEdges[e.to.ID()] = append(inEdges[e.to.ID()], e)
-		outEdges[e.from.ID()] = append(outEdges[e.from.ID()], e)
-	}
-	moveLat := dp.MoveLat()
 
 	type pendingMove struct {
 		prod  *dfg.Node

@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -301,5 +302,114 @@ func TestQuickPipelineAlwaysChecks(t *testing.T) {
 	}
 	if err := quickCheck50(f); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPipelineForcedCrossClusterMoves schedules a loop whose FU types
+// live on different clusters — multiplies only on cluster 0, adds only
+// on cluster 1 — so every mul→add edge must cross clusters and the
+// steady state must commit bus transfers. This exercises the bound
+// (move-carrying) side of the modulo scheduler that the homogeneous
+// tests never reach.
+func TestPipelineForcedCrossClusterMoves(t *testing.T) {
+	b := dfg.NewBuilder("hetero")
+	x, y := b.Input("x"), b.Input("y")
+	m1 := b.Named("m1", dfg.OpMul, 0, x, y)
+	m2 := b.Named("m2", dfg.OpMul, 0, x, x)
+	s1 := b.Named("s1", dfg.OpAdd, 0, m1, m2)
+	b.Output(b.Named("s2", dfg.OpAdd, 0, s1, y))
+	l := &Loop{Body: b.Graph()}
+	dp := machine.MustParse("[0,1|1,0]", machine.Config{})
+
+	ps, err := Pipeline(l, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps.MovesPerIteration(); got < 2 {
+		t.Errorf("MovesPerIteration = %d, want >= 2 (both muls feed a foreign add)", got)
+	}
+	for _, m := range ps.Moves {
+		if ps.Cluster[m.Prod.ID()] == m.Dest {
+			t.Errorf("move of %s targets its own cluster %d", m.Prod.Name(), m.Dest)
+		}
+	}
+	if err := Check(ps, 4); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+// TestPipelineCarriedCrossCluster adds a loop-carried dependence whose
+// endpoints sit on different clusters, so the recurrence itself rides
+// the bus each iteration; Check's unrolled timeline must still verify.
+func TestPipelineCarriedCrossCluster(t *testing.T) {
+	b := dfg.NewBuilder("carried-cross")
+	x := b.Input("x")
+	yPrev := b.Input("y_prev")
+	p := b.Named("p", dfg.OpMulImm, 0.5, yPrev)
+	y := b.Named("y", dfg.OpAdd, 0, p, x)
+	b.Output(y)
+	g := b.Graph()
+	l := &Loop{
+		Body: g,
+		Carried: []CarriedDep{
+			{From: g.NodeByName("y"), To: g.NodeByName("p"), Distance: 1},
+		},
+	}
+	// Adds only on cluster 1, multiplies only on cluster 0: the carried
+	// edge y→p crosses clusters every iteration.
+	dp := machine.MustParse("[0,1|1,0]", machine.Config{})
+	ps, err := Pipeline(l, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Cluster[g.NodeByName("y").ID()] == ps.Cluster[g.NodeByName("p").ID()] {
+		t.Fatal("recurrence endpoints landed on one cluster; test premise broken")
+	}
+	if ps.MovesPerIteration() < 1 {
+		t.Error("cross-cluster recurrence committed no moves")
+	}
+	if err := Check(ps, 5); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	// The recurrence spans II·1 cycles: II must absorb mul + move + add.
+	if min := MII(l, dp); ps.II < min {
+		t.Errorf("II=%d below MII=%d", ps.II, min)
+	}
+}
+
+// TestPipelineBusContention pins the bus-capacity handling of the bound
+// schedule: many parallel cross-cluster transfers through a single bus
+// must serialize in the modulo reservation table, and Check must agree.
+func TestPipelineBusContention(t *testing.T) {
+	b := dfg.NewBuilder("bus-bound")
+	x, y := b.Input("x"), b.Input("y")
+	for i := 0; i < 3; i++ {
+		m := b.Named(fmt.Sprintf("m%d", i), dfg.OpMul, 0, x, y)
+		b.Output(b.Named(fmt.Sprintf("s%d", i), dfg.OpAdd, 0, m, y))
+	}
+	l := &Loop{Body: b.Graph()}
+	one := machine.MustParse("[0,3|3,0]", machine.Config{NumBuses: 1})
+	two := machine.MustParse("[0,3|3,0]", machine.Config{NumBuses: 2})
+
+	psOne, err := Pipeline(l, one, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psTwo, err := Pipeline(l, two, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(psOne, 4); err != nil {
+		t.Errorf("single-bus Check: %v", err)
+	}
+	if err := Check(psTwo, 4); err != nil {
+		t.Errorf("dual-bus Check: %v", err)
+	}
+	// Three transfers per iteration through one bus cannot beat II=3.
+	if psOne.II < 3 {
+		t.Errorf("single-bus II=%d, want >= 3 for 3 transfers/iteration", psOne.II)
+	}
+	if psTwo.II > psOne.II {
+		t.Errorf("more buses made II worse: %d > %d", psTwo.II, psOne.II)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"vliwbind/internal/bind"
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/problem"
 )
 
 // DefaultMaxOps bounds the graphs Optimal accepts unless overridden.
@@ -35,9 +36,14 @@ func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, erro
 	if err := dp.CanRun(g); err != nil {
 		return nil, err
 	}
+	p, err := problem.New(g, dp)
+	if err != nil {
+		return nil, err
+	}
+	ev := p.NewEvaluator()
 
 	nodes := dfg.TopoOrder(g)
-	lcp := dfg.CriticalPath(g, dp.Latency)
+	lcp := p.CriticalPath()
 	binding := make([]int, g.NumNodes())
 	for i := range binding {
 		binding[i] = -1
@@ -48,7 +54,12 @@ func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, erro
 		load[c] = make([]int, dfg.NumFUTypes)
 	}
 
-	var best *bind.Result
+	// The search keeps only the binding and its (L, M) — every leaf is
+	// scored virtually on one reusable evaluator, and the full Result is
+	// materialized exactly once, for the winner.
+	haveBest := false
+	bestBn := make([]int, g.NumNodes())
+	var bestM int
 	bestL := int(^uint(0) >> 1) // max int
 
 	// resourceLB lower-bounds the latency of any completion of the
@@ -77,13 +88,13 @@ func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, erro
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(nodes) {
-			res, err := bind.Evaluate(g, dp, binding)
+			e, err := ev.Evaluate(binding)
 			if err != nil {
 				return err
 			}
-			if best == nil || res.L() < bestL ||
-				(res.L() == bestL && res.Moves() < best.Moves()) {
-				best, bestL = res, res.L()
+			if !haveBest || e.L < bestL || (e.L == bestL && e.M < bestM) {
+				copy(bestBn, binding)
+				bestL, bestM, haveBest = e.L, e.M, true
 			}
 			return nil
 		}
@@ -97,7 +108,7 @@ func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, erro
 			load[c][v.FUType()] += dp.DII(v.Op())
 			// Prune branches that cannot beat the incumbent even with a
 			// perfect schedule of everything unassigned.
-			if best == nil || resourceLB() <= bestL {
+			if !haveBest || resourceLB() <= bestL {
 				if err := rec(i + 1); err != nil {
 					return err
 				}
@@ -110,7 +121,10 @@ func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, erro
 	if err := rec(0); err != nil {
 		return nil, err
 	}
-	return best, nil
+	if !haveBest {
+		return nil, fmt.Errorf("optbind: no feasible binding for %q", g.Name())
+	}
+	return bind.Evaluate(g, dp, bestBn)
 }
 
 // LowerBound returns a latency no schedule of g on dp can beat: the

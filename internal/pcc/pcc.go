@@ -22,6 +22,7 @@ import (
 	"vliwbind/internal/bind"
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/problem"
 )
 
 // Options tunes the PCC baseline.
@@ -227,14 +228,20 @@ func max1(n int) int {
 // whole partial components between clusters, accepted under the
 // lexicographic (L, moves) cost. Per Desoli's description the latency
 // driving the search comes from a fast approximate scheduler — here a
-// list schedule on a bus-relaxed copy of the datapath (transfers keep
-// their latency but never contend). Both the optimistic proxy and the
-// component granularity are what make this Q_M-style search prone to the
-// local minima Section 3.2 of the paper discusses. The returned result is
-// re-evaluated on the real datapath.
+// virtual list schedule on a bus-relaxed copy of the datapath (transfers
+// keep their latency but never contend). Both the optimistic proxy and
+// the component granularity are what make this Q_M-style search prone to
+// the local minima Section 3.2 of the paper discusses. The returned
+// result is re-evaluated — and materialized — on the real datapath.
 func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, maxIter int) (*bind.Result, error) {
 	relaxed := dp.WithBuses(g.NumNodes())
-	cur, err := bind.Evaluate(g, relaxed, bn)
+	p, err := problem.New(g, relaxed)
+	if err != nil {
+		return nil, err
+	}
+	ev := p.NewEvaluator()
+	curBn := append([]int(nil), bn...)
+	cur, err := ev.Evaluate(curBn)
 	if err != nil {
 		return nil, err
 	}
@@ -252,22 +259,21 @@ func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, 
 	for iter := 0; iter < maxIter; iter++ {
 		improved := false
 		for _, comp := range comps {
-			home := cur.Binding[comp[0].ID()]
+			home := curBn[comp[0].ID()]
 			for c := 0; c < dp.NumClusters(); c++ {
 				if c == home || !feasible(comp, c) {
 					continue
 				}
-				cand := append([]int(nil), cur.Binding...)
+				cand := append([]int(nil), curBn...)
 				for _, n := range comp {
 					cand[n.ID()] = c
 				}
-				res, err := bind.Evaluate(g, relaxed, cand)
+				e, err := ev.Evaluate(cand)
 				if err != nil {
 					return nil, err
 				}
-				if res.L() < cur.L() ||
-					(res.L() == cur.L() && res.Moves() < cur.Moves()) {
-					cur = res
+				if e.L < cur.L || (e.L == cur.L && e.M < cur.M) {
+					curBn, cur = cand, e
 					improved = true
 					break
 				}
@@ -280,5 +286,5 @@ func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, 
 			break
 		}
 	}
-	return bind.Evaluate(g, dp, cur.Binding)
+	return bind.Evaluate(g, dp, curBn)
 }

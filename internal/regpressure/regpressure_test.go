@@ -140,3 +140,92 @@ func TestLiveAtShape(t *testing.T) {
 		t.Errorf("MaxLive = %v, want [0 1]", rep.MaxLive)
 	}
 }
+
+// TestBoundKernelsWithMoves runs the analysis over real bound graphs —
+// benchmark kernels under a deliberately move-heavy alternating binding —
+// and checks the invariants that matter for transferred copies: every
+// move's value is resident in its destination cluster when it lands, and
+// the report's shape matches the schedule.
+func TestBoundKernelsWithMoves(t *testing.T) {
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	for _, name := range []string{"ARF", "EWF", "FFT"} {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatalf("kernel %s missing: %v", name, err)
+		}
+		g := k.Build()
+		bn := make([]int, g.NumNodes())
+		for i := range bn {
+			bn[i] = i % 2
+		}
+		rep, s := analyzeFor(t, g, dp, bn)
+		if s.Graph.NumMoves() == 0 {
+			t.Fatalf("%s: alternating binding produced no moves", name)
+		}
+		for c := range rep.LiveAt {
+			if len(rep.LiveAt[c]) != s.L+1 {
+				t.Fatalf("%s: LiveAt[%d] has %d cycles for L=%d", name, c, len(rep.LiveAt[c]), s.L)
+			}
+		}
+		for _, n := range s.Graph.Nodes() {
+			if !n.IsMove() {
+				continue
+			}
+			dest := s.Cluster[n.ID()]
+			if fin := s.Finish(n); rep.LiveAt[dest][fin] < 1 {
+				t.Errorf("%s: move %s lands in cluster %d at cycle %d but no value is resident there",
+					name, n.Name(), dest, fin)
+			}
+		}
+		if rep.Peak == 0 {
+			t.Errorf("%s: zero peak pressure on a bound graph", name)
+		}
+	}
+}
+
+// TestMoveSharedByTwoConsumers pins the live range of a transferred copy:
+// one move serves both consumers in the destination cluster, and the copy
+// stays resident from its arrival until the later consumer issues.
+func TestMoveSharedByTwoConsumers(t *testing.T) {
+	b := dfg.NewBuilder("shared")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Add(x, y)
+	c1 := b.Add(v0, y)
+	c2 := b.Add(v0, x)
+	b.Output(b.Add(c1, c2))
+	g := b.Graph()
+	// v0 on cluster 0; both consumers (and the join) on cluster 1, with a
+	// single ALU so the consumers serialize and stretch the copy's range.
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	rep, s := analyzeFor(t, g, dp, []int{0, 1, 1, 1})
+	if s.Graph.NumMoves() != 1 {
+		t.Fatalf("expected exactly one shared move, got %d", s.Graph.NumMoves())
+	}
+	var mv *dfg.Node
+	for _, n := range s.Graph.Nodes() {
+		if n.IsMove() {
+			mv = n
+		}
+	}
+	// Both consumers read the single copy, so it must be live in cluster 1
+	// from the move's finish through the later consumer's issue cycle.
+	lastUse := 0
+	for _, n := range s.Graph.Nodes() {
+		if n.IsMove() || s.Cluster[n.ID()] != 1 {
+			continue
+		}
+		for _, o := range n.Operands() {
+			if o.IsNode() && o.Node() == mv && s.Start[n.ID()] > lastUse {
+				lastUse = s.Start[n.ID()]
+			}
+		}
+	}
+	if lastUse == 0 {
+		t.Fatal("no consumer reads the transferred copy")
+	}
+	for tt := s.Finish(mv); tt <= lastUse; tt++ {
+		if rep.LiveAt[1][tt] < 1 {
+			t.Errorf("transferred copy not resident in cluster 1 at cycle %d", tt)
+		}
+	}
+}

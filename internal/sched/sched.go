@@ -32,35 +32,59 @@ type Schedule struct {
 	// L is the schedule latency: the cycle at which the last operation
 	// (moves included) completes.
 	L int
+
+	// finish holds each node's completion cycle, recorded by List as
+	// operations issue (nil for hand-built Schedule values, which fall
+	// back to Start + latency).
+	finish []int
+	// profile caches the full completion profile on first use. Not safe
+	// for concurrent first calls; compute it once before sharing a
+	// Schedule across goroutines.
+	profile []int
 }
 
 // Finish returns the cycle at which node n's result becomes available.
 func (s *Schedule) Finish(n *dfg.Node) int {
+	if s.finish != nil {
+		return s.finish[n.ID()]
+	}
 	return s.Start[n.ID()] + s.Datapath.Latency(n.Op())
 }
 
 // NumMoves is the number of data-transfer operations in the schedule.
 func (s *Schedule) NumMoves() int { return s.Graph.NumMoves() }
 
+// fullProfile computes (once) the length-L completion profile from the
+// finish times the scheduler already recorded; repeated quality-vector
+// constructions over the same schedule reuse it instead of re-walking
+// the node list.
+func (s *Schedule) fullProfile() []int {
+	if s.profile == nil {
+		u := make([]int, s.L)
+		for _, n := range s.Graph.Nodes() {
+			if n.IsMove() {
+				continue
+			}
+			i := s.L - s.Finish(n)
+			if i >= 0 && i < len(u) {
+				u[i]++
+			}
+		}
+		s.profile = u
+	}
+	return s.profile
+}
+
 // CompletionProfile returns the vector (U_0, U_1, …, U_{depth-1}) where
 // U_i counts the regular (non-move) operations completing at step L−i.
 // It is the tail of the paper's quality vector Q_U (Section 3.2, Fig. 6).
-// If depth <= 0 the full profile of length L is returned.
+// If depth <= 0 the full profile of length L is returned. The returned
+// slice is the caller's to keep.
 func (s *Schedule) CompletionProfile(depth int) []int {
 	if depth <= 0 || depth > s.L {
 		depth = s.L
 	}
-	u := make([]int, depth)
-	for _, n := range s.Graph.Nodes() {
-		if n.IsMove() {
-			continue
-		}
-		i := s.L - s.Finish(n)
-		if i >= 0 && i < depth {
-			u[i]++
-		}
-	}
-	return u
+	return append([]int(nil), s.fullProfile()[:depth]...)
 }
 
 // List schedules the (possibly bound) graph g on dp under the given
@@ -112,9 +136,11 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 		Start:    make([]int, len(nodes)),
 		Cluster:  append([]int(nil), binding...),
 		Unit:     make([]int, len(nodes)),
+		finish:   make([]int, len(nodes)),
 	}
 	for i := range s.Start {
 		s.Start[i] = -1
+		s.finish[i] = -1
 	}
 
 	// unitFree[c][t] lists, per functional unit, the first cycle at which
@@ -182,6 +208,7 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 				s.Start[n.ID()] = cycle
 				s.Unit[n.ID()] = u
 				fin := cycle + dp.Latency(n.Op())
+				s.finish[n.ID()] = fin
 				if fin > s.L {
 					s.L = fin
 				}

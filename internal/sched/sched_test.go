@@ -332,3 +332,83 @@ func TestScheduleNeverBeatsCriticalPath(t *testing.T) {
 		}
 	}
 }
+
+// TestCompletionProfilePinned pins CompletionProfile against hand-computed
+// Q_U vectors (paper Section 3.2, Figure 6).
+func TestCompletionProfilePinned(t *testing.T) {
+	// Diamond on a single-ALU cluster: a=x+y; b=a+y; c=a+x; d=b+c.
+	// One ALU serializes b and c, so the four adds finish at cycles
+	// 1, 2, 3, 4 and L=4. U_i counts regular ops completing at L-i:
+	// exactly one per step.
+	b := dfg.NewBuilder("diamond")
+	x, y := b.Input("x"), b.Input("y")
+	a := b.Add(x, y)
+	vb := b.Add(a, y)
+	vc := b.Add(a, x)
+	b.Output(b.Add(vb, vc))
+	g := b.Graph()
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	if s.L != 4 {
+		t.Fatalf("diamond L = %d, want 4", s.L)
+	}
+	wantFull := []int{1, 1, 1, 1}
+	if got := s.CompletionProfile(0); !equalInts(got, wantFull) {
+		t.Errorf("full profile = %v, want %v", got, wantFull)
+	}
+	// depth truncates from the tail of the schedule (U_0 is at L).
+	if got := s.CompletionProfile(2); !equalInts(got, []int{1, 1}) {
+		t.Errorf("depth-2 profile = %v, want [1 1]", got)
+	}
+	// depth beyond L clamps to the full profile.
+	if got := s.CompletionProfile(99); !equalInts(got, wantFull) {
+		t.Errorf("clamped profile = %v, want %v", got, wantFull)
+	}
+	// The cache hands out independent copies: corrupting one result must
+	// not leak into the next.
+	got := s.CompletionProfile(0)
+	got[0] = 1000
+	if again := s.CompletionProfile(0); !equalInts(again, wantFull) {
+		t.Errorf("profile after caller mutation = %v, want %v", again, wantFull)
+	}
+}
+
+// TestCompletionProfileExcludesMoves: moves complete too, but Q_U counts
+// regular operations only.
+func TestCompletionProfileExcludesMoves(t *testing.T) {
+	// v0 on cluster 0 feeds v1 on cluster 1 through one move:
+	// v0 finishes at 1, the move at 1+MoveLat, v1 one cycle later.
+	b := dfg.NewBuilder("cross")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Add(x, y)
+	mv := b.Move(v0)
+	b.Output(b.Add(mv, y))
+	g := b.Graph()
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{})
+	s := mustList(t, g, dp, []int{0, 1, 1})
+	moveLat := dp.MoveLat()
+	wantL := 2 + moveLat
+	if s.L != wantL {
+		t.Fatalf("cross L = %d, want %d", s.L, wantL)
+	}
+	// Completions: v1 at L (U_0 = 1), the move at L-1 (skipped), v0 at
+	// cycle 1 (U_{L-1} = 1); everything between is zero.
+	want := make([]int, wantL)
+	want[0] = 1
+	want[wantL-1] = 1
+	if got := s.CompletionProfile(0); !equalInts(got, want) {
+		t.Errorf("profile = %v, want %v", got, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
