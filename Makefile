@@ -4,8 +4,9 @@
 # plus the scheduler it fans out over).
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check vet build test race bench bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke bench bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -20,6 +21,17 @@ test:
 
 race:
 	$(GO) test -race ./internal/bind/... ./internal/sched/...
+
+# Short fuzzing pass over every native harness (the checked-in corpora
+# under testdata/fuzz run on every plain `go test` already; this spends
+# FUZZTIME per harness searching for new inputs). The Go fuzz engine
+# accepts one -fuzz target per invocation, hence one line each.
+fuzz-smoke:
+	$(GO) test ./internal/audit -run '^$$' -fuzz '^FuzzBindRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bind -run '^$$' -fuzz '^FuzzEvaluatorDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codegen -run '^$$' -fuzz '^FuzzSpillRebind$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/textio -run '^$$' -fuzz '^FuzzTextioRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/textio -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 
 # Regenerate the paper's tables as benchmarks (L/M metrics per row).
 bench:

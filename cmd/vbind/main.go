@@ -36,16 +36,17 @@ func main() {
 		pressure = flag.Bool("pressure", false, "print per-cluster register pressure")
 		regs     = flag.Int("regs", 0, "register file size per cluster; 0 = unbounded, otherwise spill code is inserted to fit")
 		verify   = flag.Bool("verify", true, "execute the schedule cycle-accurately and check outputs")
+		audit    = flag.Bool("audit", false, "run the full invariant auditor on the result (binding, schedule, simulation, allocation)")
 		par      = flag.Int("par", 0, "worker-pool size for init/iter candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 	)
 	flag.Parse()
-	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *par, *gantt, *dot, *asm, *pressure, *verify); err != nil {
+	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *par, *gantt, *dot, *asm, *pressure, *verify, *audit); err != nil {
 		fmt.Fprintln(os.Stderr, "vbind:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, par int, gantt, dot, asm, pressure, verify bool) error {
+func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, par int, gantt, dot, asm, pressure, verify, audit bool) error {
 	g, err := loadGraph(dfgPath, kernel)
 	if err != nil {
 		return err
@@ -92,6 +93,12 @@ func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, 
 		res = sr.Result
 		fmt.Printf("fit to %d-entry register files: %d spills, L=%d (+%d)\n",
 			regs, sr.Spills, res.L(), res.L()-sr.BaseL)
+	}
+	if audit {
+		if err := vliwbind.AuditResult(res); err != nil {
+			return fmt.Errorf("result failed audit: %w", err)
+		}
+		fmt.Println("audited: binding, schedule, simulation and allocation invariants hold")
 	}
 	if verify {
 		in := make([]float64, g.NumInputs())

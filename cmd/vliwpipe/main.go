@@ -26,15 +26,16 @@ func main() {
 		dpSpec  = flag.String("dp", "[2,1|2,1]", "datapath clusters")
 		buses   = flag.Int("buses", 2, "number of buses")
 		iters   = flag.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
+		audit   = flag.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
 	)
 	flag.Parse()
-	if err := run(*dfgPath, *carried, *dpSpec, *buses, *iters); err != nil {
+	if err := run(*dfgPath, *carried, *dpSpec, *buses, *iters, *audit); err != nil {
 		fmt.Fprintln(os.Stderr, "vliwpipe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dfgPath, carried, dpSpec string, buses, iters int) error {
+func run(dfgPath, carried, dpSpec string, buses, iters int, audit bool) error {
 	loop, err := loadLoop(dfgPath, carried)
 	if err != nil {
 		return err
@@ -51,12 +52,20 @@ func run(dfgPath, carried, dpSpec string, buses, iters int) error {
 	if err := vliwbind.ModuloCheck(ps, iters); err != nil {
 		return fmt.Errorf("schedule failed expansion verification: %w", err)
 	}
+	if audit {
+		if err := vliwbind.AuditPipelined(ps, iters); err != nil {
+			return fmt.Errorf("schedule failed audit: %w", err)
+		}
+	}
 	fmt.Printf("loop %s on %s: %d ops, %d recurrences\n",
 		loop.Body.Name(), dp, loop.Body.NumOps(), len(loop.Carried))
 	fmt.Printf("MII = %d (lower bound), achieved II = %d\n", mii, ps.II)
 	fmt.Printf("moves per iteration = %d, iteration span = %d cycles\n",
 		ps.MovesPerIteration(), ps.ScheduleLength())
 	fmt.Println("verified by expanding concrete iterations")
+	if audit {
+		fmt.Println("audited: move slots and expanded schedule invariants hold")
+	}
 	return nil
 }
 

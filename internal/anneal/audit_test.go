@@ -1,0 +1,40 @@
+package anneal
+
+import (
+	"testing"
+
+	"vliwbind/internal/audit"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+// TestResultsPassAudit certifies the annealer's output end to end with
+// the independent invariant auditor, beyond the binder's own legality
+// checks.
+func TestResultsPassAudit(t *testing.T) {
+	k, err := kernels.ByName("ARF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := kernels.Random(kernels.RandomConfig{Ops: 20, Seed: 11})
+	for _, spec := range []string{"[1,1|1,1]", "[2,1|1,1|1,1]"} {
+		dp, err := machine.Parse(spec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Bind(k.Build(), dp, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if err := audit.Audit(res); err != nil {
+			t.Errorf("%s ARF: %v", spec, err)
+		}
+		res, err = Bind(rg, dp, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s random: %v", spec, err)
+		}
+		if err := audit.Audit(res); err != nil {
+			t.Errorf("%s random: %v", spec, err)
+		}
+	}
+}

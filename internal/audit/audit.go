@@ -1,0 +1,318 @@
+// Package audit mechanically certifies binding results against the full
+// constraint system of the paper (Sections 2–3): a result is accepted only
+// if its binding is well formed, its bound graph is exactly the canonical
+// transfer-insertion of that binding (Figure 1), its schedule is legal on
+// the concrete datapath — dependences, per-concrete-unit exclusivity and
+// real bus channels, not just aggregate type capacity — its cycle-accurate
+// execution reproduces the reference dataflow evaluation bit for bit, and
+// its values fit allocated register files without clobbering. Every stage
+// of the bind → schedule → simulate → allocate pipeline trusts the
+// previous one; Audit trusts none of them.
+//
+// The checks deliberately overlap (sched.Check and vliwsim both examine
+// resource usage, CheckAlloc re-derives liveness the allocator already
+// computed): redundancy between independent implementations is what turns
+// a latent bug in one of them into a visible disagreement.
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/codegen"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/modulo"
+	"vliwbind/internal/problem"
+	"vliwbind/internal/sched"
+	"vliwbind/internal/vliwsim"
+)
+
+// Audit cross-checks a complete binding result end to end. It returns nil
+// only when every layer agrees: the binding is valid for the datapath, the
+// bound graph and bound binding are exactly what problem.BuildBound derives
+// from (Graph, Binding), the schedule is legal per AuditSchedule, and the
+// schedule register-allocates without clobbers per AuditAlloc.
+func Audit(res *bind.Result) error {
+	if res == nil {
+		return fmt.Errorf("audit: nil result")
+	}
+	g, dp := res.Graph, res.Datapath
+	if g == nil || dp == nil || res.Bound == nil || res.Schedule == nil {
+		return fmt.Errorf("audit: result missing graph, datapath, bound graph or schedule")
+	}
+	if err := dfg.Validate(g); err != nil {
+		return fmt.Errorf("audit: original graph invalid: %w", err)
+	}
+
+	// Binding validity: one existing cluster per node, able to run the op.
+	if len(res.Binding) != g.NumNodes() {
+		return fmt.Errorf("audit: binding has %d entries for %d nodes", len(res.Binding), g.NumNodes())
+	}
+	for _, n := range g.Nodes() {
+		c := res.Binding[n.ID()]
+		if c < 0 || c >= dp.NumClusters() {
+			return fmt.Errorf("audit: node %s bound to nonexistent cluster %d", n.Name(), c)
+		}
+		if !dp.Supports(c, n.Op()) {
+			return fmt.Errorf("audit: node %s (%s) bound to cluster %d with no %s unit",
+				n.Name(), n.Op(), c, n.FUType())
+		}
+	}
+
+	// The bound graph must be the canonical derivation, not merely some
+	// graph that happens to schedule: recompute and compare node for node.
+	wantBound, wantBB, err := problem.BuildBound(g, res.Binding)
+	if err != nil {
+		return fmt.Errorf("audit: rederiving bound graph: %w", err)
+	}
+	if err := sameGraph(res.Bound, wantBound); err != nil {
+		return fmt.Errorf("audit: bound graph differs from canonical transfer insertion: %w", err)
+	}
+	if len(res.BoundBinding) != len(wantBB) {
+		return fmt.Errorf("audit: bound binding has %d entries, canonical derivation has %d",
+			len(res.BoundBinding), len(wantBB))
+	}
+	for i := range wantBB {
+		if res.BoundBinding[i] != wantBB[i] {
+			return fmt.Errorf("audit: bound binding differs at node %s: cluster %d, canonical derivation says %d",
+				res.Bound.Node(i).Name(), res.BoundBinding[i], wantBB[i])
+		}
+	}
+	if err := dfg.Validate(res.Bound); err != nil {
+		return fmt.Errorf("audit: bound graph invalid: %w", err)
+	}
+
+	// The schedule must be of this bound graph on this datapath, with the
+	// cluster assignment the bound binding claims.
+	s := res.Schedule
+	if s.Graph != res.Bound {
+		return fmt.Errorf("audit: schedule is not over the result's bound graph")
+	}
+	if s.Datapath != dp {
+		return fmt.Errorf("audit: schedule is not on the result's datapath")
+	}
+	if len(s.Cluster) != len(res.BoundBinding) {
+		return fmt.Errorf("audit: schedule clusters have %d entries for %d bound nodes",
+			len(s.Cluster), len(res.BoundBinding))
+	}
+	for i := range s.Cluster {
+		if s.Cluster[i] != res.BoundBinding[i] {
+			return fmt.Errorf("audit: schedule places node %s on cluster %d, bound binding says %d",
+				res.Bound.Node(i).Name(), s.Cluster[i], res.BoundBinding[i])
+		}
+	}
+	if err := AuditSchedule(s); err != nil {
+		return err
+	}
+
+	// Register allocation: unbounded linear scan must succeed and be
+	// clobber-free (bounded files are the caller's policy; see AuditAlloc).
+	a, err := codegen.Allocate(s, 0)
+	if err != nil {
+		return fmt.Errorf("audit: register allocation failed: %w", err)
+	}
+	return AuditAlloc(s, a)
+}
+
+// AuditSchedule certifies one schedule: shape, static legality
+// (dependences, cluster and concrete-unit validity, per-unit exclusivity
+// on FUs and bus channels via sched.Check), a tight L, and cycle-accurate
+// execution matching the reference dataflow evaluation bit for bit on
+// deterministic probe inputs.
+func AuditSchedule(s *sched.Schedule) error {
+	if s == nil || s.Graph == nil || s.Datapath == nil {
+		return fmt.Errorf("audit: nil schedule, graph or datapath")
+	}
+	g := s.Graph
+	if len(s.Start) != g.NumNodes() || len(s.Cluster) != g.NumNodes() || len(s.Unit) != g.NumNodes() {
+		return fmt.Errorf("audit: schedule arrays sized %d/%d/%d for %d nodes",
+			len(s.Start), len(s.Cluster), len(s.Unit), g.NumNodes())
+	}
+	if err := sched.Check(s); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	// Check admits any L at or beyond the last finish; the figure of merit
+	// must be exactly the makespan, or reported latencies are fiction.
+	maxFin := 0
+	for _, n := range g.Nodes() {
+		if f := s.Finish(n); f > maxFin {
+			maxFin = f
+		}
+	}
+	if s.L != maxFin {
+		return fmt.Errorf("audit: schedule claims L=%d but operations finish by %d", s.L, maxFin)
+	}
+	for _, in := range probeInputs(g.NumInputs()) {
+		if err := simAgainstReference(s, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeInputs builds two deterministic input vectors of exact dyadic
+// rationals: simulated and reference arithmetic must then agree bit for
+// bit, since both evaluate the identical operations in identical operand
+// order.
+func probeInputs(n int) [][]float64 {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = 1 + float64(i%13)*0.125
+		x := (uint64(i) + 12345) * 2654435761
+		b[i] = 0.5 + float64(x%1024)/1024
+	}
+	return [][]float64{a, b}
+}
+
+// simAgainstReference runs the cycle-accurate machine model and compares
+// its outputs against dfg.EvalOutputs by bit pattern (so NaN compares
+// equal to the same NaN and -0 differs from +0).
+func simAgainstReference(s *sched.Schedule, inputs []float64) error {
+	got, _, err := vliwsim.Execute(s, inputs)
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	want, err := dfg.EvalOutputs(s.Graph, inputs)
+	if err != nil {
+		return fmt.Errorf("audit: reference evaluation: %w", err)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("audit: simulation produced %d outputs, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			return fmt.Errorf("audit: output %d simulates to %v, reference evaluation says %v",
+				i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// AuditAlloc certifies a register allocation for a schedule: well-formed
+// register indices within each cluster's file, and a clobber-free replay
+// of the whole schedule through the allocated files (codegen.CheckAlloc).
+func AuditAlloc(s *sched.Schedule, a *codegen.Alloc) error {
+	if s == nil || a == nil {
+		return fmt.Errorf("audit: nil schedule or allocation")
+	}
+	if len(a.NumRegs) != s.Datapath.NumClusters() {
+		return fmt.Errorf("audit: allocation covers %d clusters, datapath has %d",
+			len(a.NumRegs), s.Datapath.NumClusters())
+	}
+	for k, r := range a.Reg {
+		if k.Cluster < 0 || k.Cluster >= len(a.NumRegs) {
+			return fmt.Errorf("audit: register entry for nonexistent cluster %d", k.Cluster)
+		}
+		if r < 0 || r >= a.NumRegs[k.Cluster] {
+			return fmt.Errorf("audit: node %d assigned register c%d.r%d beyond file size %d",
+				k.Node, k.Cluster, r, a.NumRegs[k.Cluster])
+		}
+	}
+	if err := codegen.CheckAlloc(s, a); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	return nil
+}
+
+// AuditPipelined certifies a modulo schedule: a well-formed loop, every
+// steady-state move naming a body node, heading to a real foreign cluster,
+// and issuing no earlier than its producer finishes — then the expanded
+// dependence/capacity verification of modulo.Check over at least the given
+// number of iterations.
+func AuditPipelined(ps *modulo.PipelinedSchedule, iterations int) error {
+	if ps == nil || ps.Loop == nil || ps.Datapath == nil {
+		return fmt.Errorf("audit: nil pipelined schedule, loop or datapath")
+	}
+	if err := ps.Loop.Validate(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	body, dp := ps.Loop.Body, ps.Datapath
+	if len(ps.Start) != body.NumNodes() || len(ps.Cluster) != body.NumNodes() {
+		return fmt.Errorf("audit: pipelined arrays sized %d/%d for %d body nodes",
+			len(ps.Start), len(ps.Cluster), body.NumNodes())
+	}
+	for i, m := range ps.Moves {
+		if m.Prod == nil || body.Node(m.Prod.ID()) != m.Prod {
+			return fmt.Errorf("audit: move %d does not name a loop-body node", i)
+		}
+		if m.Dest < 0 || m.Dest >= dp.NumClusters() {
+			return fmt.Errorf("audit: move %d of %s heads to nonexistent cluster %d", i, m.Prod.Name(), m.Dest)
+		}
+		if m.Dest == ps.Cluster[m.Prod.ID()] {
+			return fmt.Errorf("audit: move %d transfers %s to its own cluster %d", i, m.Prod.Name(), m.Dest)
+		}
+		if fin := ps.Start[m.Prod.ID()] + dp.Latency(m.Prod.Op()); m.Cycle < fin {
+			return fmt.Errorf("audit: move %d puts %s on the bus at cycle %d before it finishes at %d",
+				i, m.Prod.Name(), m.Cycle, fin)
+		}
+	}
+	if err := modulo.Check(ps, iterations); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	return nil
+}
+
+// sameGraph compares two graphs structurally — name, inputs, node
+// sequence (name, op, immediate, operand identity), move metadata and
+// output lists — and describes the first difference.
+func sameGraph(got, want *dfg.Graph) error {
+	if got.Name() != want.Name() {
+		return fmt.Errorf("graph name %q vs %q", got.Name(), want.Name())
+	}
+	if got.NumInputs() != want.NumInputs() {
+		return fmt.Errorf("%d inputs vs %d", got.NumInputs(), want.NumInputs())
+	}
+	for i := 0; i < want.NumInputs(); i++ {
+		if got.InputName(i) != want.InputName(i) {
+			return fmt.Errorf("input %d named %q vs %q", i, got.InputName(i), want.InputName(i))
+		}
+	}
+	if got.NumNodes() != want.NumNodes() {
+		return fmt.Errorf("%d nodes vs %d", got.NumNodes(), want.NumNodes())
+	}
+	operandName := func(g *dfg.Graph, v dfg.Value) string {
+		if v.IsInput() {
+			return "in:" + g.InputName(v.Input())
+		}
+		return v.Node().Name()
+	}
+	for i := 0; i < want.NumNodes(); i++ {
+		gn, wn := got.Node(i), want.Node(i)
+		if gn.Name() != wn.Name() || gn.Op() != wn.Op() || gn.Imm() != wn.Imm() {
+			return fmt.Errorf("node %d is %s/%s(imm %v) vs %s/%s(imm %v)",
+				i, gn.Name(), gn.Op(), gn.Imm(), wn.Name(), wn.Op(), wn.Imm())
+		}
+		if len(gn.Operands()) != len(wn.Operands()) {
+			return fmt.Errorf("node %s has %d operands vs %d", wn.Name(), len(gn.Operands()), len(wn.Operands()))
+		}
+		for j := range wn.Operands() {
+			go_, wo := operandName(got, gn.Operands()[j]), operandName(want, wn.Operands()[j])
+			if go_ != wo {
+				return fmt.Errorf("node %s operand %d is %s vs %s", wn.Name(), j, go_, wo)
+			}
+		}
+		if gn.IsMove() != wn.IsMove() {
+			return fmt.Errorf("node %s move-ness differs", wn.Name())
+		}
+		if wn.IsMove() {
+			gs, ws := gn.TransferFor(), wn.TransferFor()
+			if gs == nil || ws == nil {
+				return fmt.Errorf("move %s lacks producer metadata", wn.Name())
+			}
+			if gs.Name() != ws.Name() {
+				return fmt.Errorf("move %s transfers %s vs %s", wn.Name(), gs.Name(), ws.Name())
+			}
+		}
+	}
+	if len(got.Outputs()) != len(want.Outputs()) {
+		return fmt.Errorf("%d outputs vs %d", len(got.Outputs()), len(want.Outputs()))
+	}
+	for i, wn := range want.Outputs() {
+		if got.Outputs()[i].Name() != wn.Name() {
+			return fmt.Errorf("output %d is %s vs %s", i, got.Outputs()[i].Name(), wn.Name())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"vliwbind/internal/anneal"
+	"vliwbind/internal/audit"
+	"vliwbind/internal/bind"
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/mincut"
+	"vliwbind/internal/pcc"
+)
+
+// fuzzDatapaths are the machines the round-trip harness cycles through.
+// Every cluster has at least one ALU and one multiplier, so every
+// random-graph operation is supported everywhere and a binder error is
+// a finding, not noise (min-cut's homogeneity requirement excepted).
+var fuzzDatapaths = []string{
+	"[1,1|1,1]",
+	"[2,1|1,1]",
+	"[2,2|1,1|2,1]",
+	"[1,1|1,1|1,1]",
+}
+
+// fuzzGraph derives the input graph from the fuzz arguments: ops == 0
+// selects the ARF benchmark (a real kernel in the corpus keeps the
+// harness honest on non-synthetic shapes), anything else a bounded
+// random DAG.
+func fuzzGraph(t *testing.T, seed int64, ops uint8) *dfg.Graph {
+	if ops == 0 {
+		k, err := kernels.ByName("ARF")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k.Build()
+	}
+	return kernels.Random(kernels.RandomConfig{Ops: 4 + int(ops)%29, Seed: seed})
+}
+
+// FuzzBindRoundTrip drives every binder over fuzzed graphs and machines
+// and requires the invariant auditor to certify each produced result
+// end to end. Any divergence between what a binder claims and what the
+// independent re-derivation, simulation and allocation replay find is a
+// real bug in one of them.
+func FuzzBindRoundTrip(f *testing.F) {
+	for algo := uint8(0); algo < 5; algo++ {
+		f.Add(int64(1), uint8(12), uint8(0), algo)
+		f.Add(int64(7), uint8(0), uint8(3), algo) // ops=0 → ARF benchmark
+		f.Add(int64(42), uint8(24), uint8(2), algo)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, ops, dpSel, algoSel uint8) {
+		g := fuzzGraph(t, seed, ops)
+		spec := fuzzDatapaths[int(dpSel)%len(fuzzDatapaths)]
+		dp, err := machine.Parse(spec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			algo string
+			res  *bind.Result
+		)
+		switch algoSel % 5 {
+		case 0:
+			algo = "b-init"
+			res, err = bind.Initial(g, dp, bind.Options{})
+		case 1:
+			algo = "b-iter"
+			res, err = bind.Bind(g, dp, bind.Options{})
+		case 2:
+			algo = "pcc"
+			res, err = pcc.Bind(g, dp, pcc.Options{})
+		case 3:
+			algo = "anneal"
+			res, err = anneal.Bind(g, dp, anneal.Options{Seed: seed})
+		case 4:
+			algo = "mincut"
+			res, err = mincut.Bind(g, dp, mincut.Options{})
+		}
+		if err != nil {
+			if algo == "mincut" && strings.Contains(err.Error(), "homogeneous") {
+				t.Skip("min-cut refuses heterogeneous machines by design")
+			}
+			t.Fatalf("%s on %s (seed %d, ops %d): %v", algo, spec, seed, ops, err)
+		}
+		if err := audit.Audit(res); err != nil {
+			t.Fatalf("%s on %s (seed %d, ops %d): %v", algo, spec, seed, ops, err)
+		}
+	})
+}

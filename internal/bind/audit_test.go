@@ -1,0 +1,60 @@
+// External test package: the auditor imports bind, so wiring it into
+// bind's own tests has to happen from outside the package to avoid an
+// import cycle.
+package bind_test
+
+import (
+	"testing"
+
+	"vliwbind/internal/audit"
+	"vliwbind/internal/bind"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+// TestResultsPassAudit certifies B-INIT, B-ITER, Improve and Evaluate
+// outputs end to end with the independent invariant auditor.
+func TestResultsPassAudit(t *testing.T) {
+	k, err := kernels.ByName("ARF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Build()
+	rg := kernels.Random(kernels.RandomConfig{Ops: 24, Seed: 5})
+	for _, spec := range []string{"[1,1|1,1]", "[2,1|1,1|1,1]"} {
+		dp, err := machine.Parse(spec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name string
+			run  func() (*bind.Result, error)
+		}{
+			{"init", func() (*bind.Result, error) { return bind.Initial(g, dp, bind.Options{}) }},
+			{"iter", func() (*bind.Result, error) { return bind.Bind(g, dp, bind.Options{}) }},
+			{"init-random", func() (*bind.Result, error) { return bind.Initial(rg, dp, bind.Options{}) }},
+			{"improve", func() (*bind.Result, error) {
+				ini, err := bind.Initial(rg, dp, bind.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return bind.Improve(ini, bind.Options{})
+			}},
+			{"evaluate", func() (*bind.Result, error) {
+				binding := make([]int, g.NumOps())
+				for i := range binding {
+					binding[i] = i % dp.NumClusters()
+				}
+				return bind.Evaluate(g, dp, binding)
+			}},
+		} {
+			res, err := tc.run()
+			if err != nil {
+				t.Fatalf("%s %s: %v", spec, tc.name, err)
+			}
+			if err := audit.Audit(res); err != nil {
+				t.Errorf("%s %s: %v", spec, tc.name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// External test package: the auditor imports codegen, so wiring it into
+// codegen's own tests has to happen from outside the package to avoid
+// an import cycle.
+package codegen_test
+
+import (
+	"testing"
+
+	"vliwbind/internal/audit"
+	"vliwbind/internal/bind"
+	"vliwbind/internal/codegen"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+// TestSpillRebindResultsPassAudit certifies that fitting a binding to a
+// finite register file still yields a fully legal, simulation-faithful
+// solution, and that the fitted allocation is clobber-free.
+func TestSpillRebindResultsPassAudit(t *testing.T) {
+	k, err := kernels.ByName("EWF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Build()
+	dp, err := machine.Parse("[2,1|2,1]", machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini, err := bind.Initial(g, dp, bind.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxRegs := range []int{6, 8} {
+		sr, err := codegen.SpillRebind(g, dp, ini.Binding, maxRegs)
+		if err != nil {
+			t.Fatalf("maxRegs=%d: %v", maxRegs, err)
+		}
+		if err := audit.Audit(sr.Result); err != nil {
+			t.Errorf("maxRegs=%d: %v", maxRegs, err)
+		}
+		a, err := codegen.Allocate(sr.Result.Schedule, maxRegs)
+		if err != nil {
+			t.Fatalf("maxRegs=%d: fitted schedule does not allocate: %v", maxRegs, err)
+		}
+		if err := audit.AuditAlloc(sr.Result.Schedule, a); err != nil {
+			t.Errorf("maxRegs=%d allocation: %v", maxRegs, err)
+		}
+	}
+}
+
+// TestAllocationsPassAudit certifies unbounded linear-scan allocations
+// on a binder result.
+func TestAllocationsPassAudit(t *testing.T) {
+	g := kernels.Random(kernels.RandomConfig{Ops: 24, Seed: 2})
+	dp, err := machine.Parse("[1,1|1,1]", machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bind.Bind(g, dp, bind.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := codegen.Allocate(res.Schedule, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.AuditAlloc(res.Schedule, a); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+// External test package: the auditor imports codegen, so the harness
+// certifying SpillRebind with it must live outside the package.
+package codegen_test
+
+import (
+	"testing"
+
+	"vliwbind/internal/audit"
+	"vliwbind/internal/bind"
+	"vliwbind/internal/codegen"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+var spillFuzzDatapaths = []string{"[1,1|1,1]", "[2,1|2,1]"}
+
+// FuzzSpillRebind fits fuzzed bindings to fuzzed register-file sizes
+// and requires the result to (a) pass the full end-to-end audit — the
+// spilled graph must still compute the original function — and (b)
+// actually fit: allocation at the requested size must succeed and
+// replay clobber-free.
+func FuzzSpillRebind(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(4), uint8(0))
+	f.Add(int64(2), uint8(24), uint8(2), uint8(1))
+	f.Add(int64(3), uint8(30), uint8(6), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, ops, regSel, dpSel uint8) {
+		g := kernels.Random(kernels.RandomConfig{Ops: 4 + int(ops)%29, Seed: seed})
+		spec := spillFuzzDatapaths[int(dpSel)%len(spillFuzzDatapaths)]
+		dp, err := machine.Parse(spec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ini, err := bind.Initial(g, dp, bind.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxRegs := 2 + int(regSel)%11
+		sr, err := codegen.SpillRebind(g, dp, ini.Binding, maxRegs)
+		if err != nil {
+			// Infeasible files (live-out taps alone exceeding the file)
+			// are a documented refusal, not a bug.
+			t.Skip(err)
+		}
+		if err := audit.Audit(sr.Result); err != nil {
+			t.Fatalf("maxRegs=%d (seed %d, ops %d, %s): %v", maxRegs, seed, ops, spec, err)
+		}
+		a, err := codegen.Allocate(sr.Result.Schedule, maxRegs)
+		if err != nil {
+			t.Fatalf("SpillRebind claimed fit at %d regs but allocation fails: %v", maxRegs, err)
+		}
+		if err := audit.AuditAlloc(sr.Result.Schedule, a); err != nil {
+			t.Fatalf("maxRegs=%d allocation: %v", maxRegs, err)
+		}
+	})
+}

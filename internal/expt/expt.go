@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vliwbind/internal/anneal"
+	"vliwbind/internal/audit"
 	"vliwbind/internal/bind"
 	"vliwbind/internal/kernels"
 	"vliwbind/internal/machine"
@@ -128,6 +129,18 @@ func RunWith(r Row, opts bind.Options) (Measurement, error) {
 	}
 	m.IterTime = time.Since(t0)
 	m.Iter = LM{imp.L(), imp.Moves()}
+
+	// Certify every measured solution before reporting it: a published
+	// (L, M) pair from an illegal schedule is worse than no result.
+	// Auditing sits outside the timed sections.
+	for _, v := range []struct {
+		algo string
+		res  *bind.Result
+	}{{"pcc", pres}, {"b-init", ini}, {"b-iter", imp}} {
+		if err := audit.Audit(v.res); err != nil {
+			return Measurement{}, fmt.Errorf("expt %s: %s result failed audit: %w", r.Name(), v.algo, err)
+		}
+	}
 	return m, nil
 }
 
@@ -261,6 +274,15 @@ func RunBaselines(r Row) (BaselineMeasurement, error) {
 		return m, err
 	}
 	m.MinCut, m.MinCutCut = LM{mc.L(), mc.Moves()}, mincut.CutSize(g, mc.Binding)
+
+	for _, v := range []struct {
+		algo string
+		res  *bind.Result
+	}{{"b-iter", bi}, {"pcc", p}, {"anneal", sa}, {"mincut", mc}} {
+		if err := audit.Audit(v.res); err != nil {
+			return m, fmt.Errorf("expt %s: %s result failed audit: %w", r.Name(), v.algo, err)
+		}
+	}
 	return m, nil
 }
 

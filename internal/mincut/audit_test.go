@@ -1,0 +1,40 @@
+package mincut
+
+import (
+	"testing"
+
+	"vliwbind/internal/audit"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+// TestResultsPassAudit certifies the min-cut binder's output end to end
+// with the independent invariant auditor (homogeneous machines only, as
+// the method requires).
+func TestResultsPassAudit(t *testing.T) {
+	k, err := kernels.ByName("ARF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := kernels.Random(kernels.RandomConfig{Ops: 20, Seed: 3})
+	for _, spec := range []string{"[1,1|1,1]", "[1,1|1,1|1,1]"} {
+		dp, err := machine.Parse(spec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Bind(k.Build(), dp, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if err := audit.Audit(res); err != nil {
+			t.Errorf("%s ARF: %v", spec, err)
+		}
+		res, err = Bind(rg, dp, Options{})
+		if err != nil {
+			t.Fatalf("%s random: %v", spec, err)
+		}
+		if err := audit.Audit(res); err != nil {
+			t.Errorf("%s random: %v", spec, err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package optbind
+
+import (
+	"testing"
+
+	"vliwbind/internal/audit"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+// TestResultsPassAudit certifies the exhaustive binder's output end to
+// end with the independent invariant auditor — an optimal (L, M) claim
+// from an illegal schedule would be worthless.
+func TestResultsPassAudit(t *testing.T) {
+	for _, spec := range []string{"[1,1|1,1]", "[2,1|1,1]"} {
+		dp, err := machine.Parse(spec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []int64{1, 9} {
+			g := kernels.Random(kernels.RandomConfig{Ops: 10, Seed: seed})
+			res, err := Optimal(g, dp, 0)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", spec, seed, err)
+			}
+			if err := audit.Audit(res); err != nil {
+				t.Errorf("%s seed %d: %v", spec, seed, err)
+			}
+		}
+	}
+}

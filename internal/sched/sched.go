@@ -37,9 +37,11 @@ type Schedule struct {
 	// operations issue (nil for hand-built Schedule values, which fall
 	// back to Start + latency).
 	finish []int
-	// profile caches the full completion profile on first use. Not safe
-	// for concurrent first calls; compute it once before sharing a
-	// Schedule across goroutines.
+	// profile is the full completion profile, computed eagerly by List
+	// so a finished Schedule is immutable and safe to share across
+	// goroutines. Hand-built Schedule values leave it nil; fullProfile
+	// then recomputes per call instead of lazily writing the field,
+	// which would be a data race on a shared Schedule.
 	profile []int
 }
 
@@ -54,25 +56,33 @@ func (s *Schedule) Finish(n *dfg.Node) int {
 // NumMoves is the number of data-transfer operations in the schedule.
 func (s *Schedule) NumMoves() int { return s.Graph.NumMoves() }
 
-// fullProfile computes (once) the length-L completion profile from the
-// finish times the scheduler already recorded; repeated quality-vector
-// constructions over the same schedule reuse it instead of re-walking
-// the node list.
+// fullProfile returns the length-L completion profile. List-produced
+// schedules carry it precomputed; repeated quality-vector constructions
+// reuse that copy without re-walking the node list. For hand-built
+// schedules the profile is recomputed on every call — never cached —
+// so concurrent CompletionProfile calls on a shared Schedule are safe
+// in both cases.
 func (s *Schedule) fullProfile() []int {
-	if s.profile == nil {
-		u := make([]int, s.L)
-		for _, n := range s.Graph.Nodes() {
-			if n.IsMove() {
-				continue
-			}
-			i := s.L - s.Finish(n)
-			if i >= 0 && i < len(u) {
-				u[i]++
-			}
-		}
-		s.profile = u
+	if s.profile != nil {
+		return s.profile
 	}
-	return s.profile
+	return s.computeProfile()
+}
+
+// computeProfile walks the node list and tallies, for each step L−i,
+// the regular (non-move) operations completing there.
+func (s *Schedule) computeProfile() []int {
+	u := make([]int, s.L)
+	for _, n := range s.Graph.Nodes() {
+		if n.IsMove() {
+			continue
+		}
+		i := s.L - s.Finish(n)
+		if i >= 0 && i < len(u) {
+			u[i]++
+		}
+	}
+	return u
 }
 
 // CompletionProfile returns the vector (U_0, U_1, …, U_{depth-1}) where
@@ -237,6 +247,10 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 			}
 		}
 	}
+	// Freeze the completion profile now: schedules are shared read-only
+	// across goroutines (the binding engine's worker pool), so nothing
+	// may be lazily written after List returns.
+	s.profile = s.computeProfile()
 	return s, nil
 }
 
@@ -263,16 +277,33 @@ func totalWork(g *dfg.Graph, dp *machine.Datapath) int {
 	return w
 }
 
-// Check verifies schedule legality: every node issued exactly once, data
-// dependencies respected (operands finish before consumers start), and
-// per-cycle unit usage within each resource's capacity, accounting for
-// data-introduction intervals. It returns nil for a legal schedule.
+// Check verifies schedule legality: every node issued exactly once on an
+// existing cluster and a concrete unit index that exists in its pool, data
+// dependencies respected (operands finish before consumers start), and no
+// two operations occupying the same concrete unit in the same cycle,
+// accounting for data-introduction intervals. Exclusivity is checked per
+// unit index, not per aggregate type capacity, so double-booking one adder
+// while a second sits idle is rejected. It returns nil for a legal schedule.
 func Check(s *Schedule) error {
 	g, dp := s.Graph, s.Datapath
 	for _, n := range g.Nodes() {
 		st := s.Start[n.ID()]
 		if st < 0 {
 			return fmt.Errorf("sched: node %s never scheduled", n.Name())
+		}
+		c := s.Cluster[n.ID()]
+		if c < 0 || c >= dp.NumClusters() {
+			return fmt.Errorf("sched: node %s bound to nonexistent cluster %d", n.Name(), c)
+		}
+		var pool int
+		if n.IsMove() {
+			pool = dp.NumBuses()
+		} else {
+			pool = dp.NumFU(c, n.FUType())
+		}
+		if u := s.Unit[n.ID()]; u < 0 || u >= pool {
+			return fmt.Errorf("sched: node %s on %s unit %d out of range (pool size %d, cluster %d)",
+				n.Name(), n.FUType(), u, pool, c)
 		}
 		for _, p := range n.Preds() {
 			if f := s.Start[p.ID()] + dp.Latency(p.Op()); f > st {
@@ -284,14 +315,17 @@ func Check(s *Schedule) error {
 			return fmt.Errorf("sched: node %s finishes at %d past L=%d", n.Name(), f, s.L)
 		}
 	}
-	// Capacity: a node occupies one unit of its resource during
-	// [start, start+dii-1].
+	// Exclusivity: a node occupies its concrete unit during
+	// [start, start+dii-1]; no other node may hold the same unit in any of
+	// those cycles. With unit indices validated against pool sizes above,
+	// per-unit exclusivity subsumes the aggregate per-type capacity bound.
 	type key struct {
 		cluster int // -1 for the bus
 		fu      dfg.FUType
+		unit    int
 		cycle   int
 	}
-	use := make(map[key]int)
+	occ := make(map[key]*dfg.Node)
 	for _, n := range g.Nodes() {
 		c := s.Cluster[n.ID()]
 		fu := n.FUType()
@@ -299,18 +333,12 @@ func Check(s *Schedule) error {
 			c = -1
 		}
 		for d := 0; d < dp.DII(n.Op()); d++ {
-			k := key{c, fu, s.Start[n.ID()] + d}
-			use[k]++
-			var cap int
-			if n.IsMove() {
-				cap = dp.NumBuses()
-			} else {
-				cap = dp.NumFU(c, fu)
+			k := key{c, fu, s.Unit[n.ID()], s.Start[n.ID()] + d}
+			if prev, ok := occ[k]; ok {
+				return fmt.Errorf("sched: %s and %s both occupy %s unit %d at cycle %d (cluster %d)",
+					prev.Name(), n.Name(), fu, k.unit, k.cycle, c)
 			}
-			if use[k] > cap {
-				return fmt.Errorf("sched: %s capacity exceeded at cycle %d (cluster %d): %d > %d",
-					fu, k.cycle, c, use[k], cap)
-			}
+			occ[k] = n
 		}
 	}
 	return nil
@@ -332,23 +360,35 @@ func Gantt(s *Schedule) string {
 	}
 	cell := func(txt string) string { return fmt.Sprintf(" %-*s", width, txt) }
 
+	// Render out to the last occupied cycle rather than s.L, so a
+	// multi-cycle (dii > 1) op is never silently clipped at column L-1 and
+	// hand-built schedules that left L at zero still show their occupancy.
+	horizon := s.L
+	for _, n := range g.Nodes() {
+		if st := s.Start[n.ID()]; st >= 0 {
+			if end := st + dp.DII(n.Op()); end > horizon {
+				horizon = end
+			}
+		}
+	}
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "schedule %q on %s  L=%d M=%d\n", g.Name(), dp, s.L, s.NumMoves())
 	b.WriteString(strings.Repeat(" ", 12))
-	for t := 0; t < s.L; t++ {
+	for t := 0; t < horizon; t++ {
 		fmt.Fprintf(&b, " %-*d", width, t)
 	}
 	b.WriteByte('\n')
-	row := make([]string, s.L)
+	row := make([]string, horizon)
 	emitRow := func(label string, match func(n *dfg.Node) bool) {
 		for i := range row {
 			row[i] = "."
 		}
 		for _, n := range g.Nodes() {
-			if !match(n) {
+			if !match(n) || s.Start[n.ID()] < 0 {
 				continue
 			}
-			for d := 0; d < dp.DII(n.Op()) && s.Start[n.ID()]+d < s.L; d++ {
+			for d := 0; d < dp.DII(n.Op()); d++ {
 				row[s.Start[n.ID()]+d] = n.Name()
 			}
 		}

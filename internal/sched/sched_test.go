@@ -2,6 +2,7 @@ package sched
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"vliwbind/internal/dfg"
@@ -398,6 +399,168 @@ func TestCompletionProfileExcludesMoves(t *testing.T) {
 	want[wantL-1] = 1
 	if got := s.CompletionProfile(0); !equalInts(got, want) {
 		t.Errorf("profile = %v, want %v", got, want)
+	}
+}
+
+// TestCompletionProfileConcurrent hammers CompletionProfile from many
+// goroutines on a shared Schedule. Run under -race it caught the former
+// lazily-written profile cache: List now freezes the profile before the
+// schedule escapes, and hand-built schedules recompute per call instead of
+// caching.
+func TestCompletionProfileConcurrent(t *testing.T) {
+	g := wideGraph(6)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	want := s.CompletionProfile(0)
+
+	// A second schedule whose profile has never been requested, and a
+	// hand-built copy with no precomputed profile at all.
+	s2 := mustList(t, g, dp, zeros(g.NumNodes()))
+	h := *s
+	h.profile = nil
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				for _, sc := range []*Schedule{s, s2, &h} {
+					if got := sc.CompletionProfile(0); !equalInts(got, want) {
+						t.Errorf("concurrent profile = %v, want %v", got, want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCheckCatchesConcreteUnitDoubleBooking: two independent adds on a
+// two-ALU cluster, tampered so both claim ALU unit 0 in the same cycle.
+// Aggregate per-type usage (2 ops on capacity 2) stays legal, so only
+// per-concrete-unit exclusivity can reject this.
+func TestCheckCatchesConcreteUnitDoubleBooking(t *testing.T) {
+	g := wideGraph(2)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	if s.Start[g.Nodes()[0].ID()] != 0 || s.Start[g.Nodes()[1].ID()] != 0 {
+		t.Fatalf("expected both adds at cycle 0, got starts %v", s.Start)
+	}
+	bad := *s
+	bad.Unit = append([]int(nil), s.Unit...)
+	for i := range bad.Unit {
+		bad.Unit[i] = 0
+	}
+	if err := Check(&bad); err == nil {
+		t.Error("Check missed same-concrete-unit double-booking under type capacity")
+	}
+}
+
+// TestCheckCatchesUnitOutOfRange: unit indices must exist in the pool they
+// name — both for FU pools and for bus channels.
+func TestCheckCatchesUnitOutOfRange(t *testing.T) {
+	g := wideGraph(2)
+	dp := machine.MustParse("[2,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	bad := *s
+	bad.Unit = append([]int(nil), s.Unit...)
+	bad.Unit[g.Nodes()[0].ID()] = 2 // cluster 0 has ALUs 0 and 1 only
+	if err := Check(&bad); err == nil {
+		t.Error("Check missed FU unit index past pool size")
+	}
+	bad.Unit[g.Nodes()[0].ID()] = -1
+	if err := Check(&bad); err == nil {
+		t.Error("Check missed negative unit index")
+	}
+
+	// Move on a bus channel the datapath does not have.
+	b := dfg.NewBuilder("mv")
+	x, y := b.Input("x"), b.Input("y")
+	v0 := b.Named("v0", dfg.OpAdd, 0, x, y)
+	m := b.Move(v0)
+	v1 := b.Named("v1", dfg.OpAdd, 0, m, y)
+	b.Output(v1)
+	mg := b.Graph()
+	mdp := machine.MustParse("[1,1|1,1]", machine.Config{NumBuses: 1})
+	ms := mustList(t, mg, mdp, []int{0, 1, 1})
+	mbad := *ms
+	mbad.Unit = append([]int(nil), ms.Unit...)
+	mbad.Unit[m.Node().ID()] = 1 // only bus0 exists
+	if err := Check(&mbad); err == nil {
+		t.Error("Check missed move on nonexistent bus channel")
+	}
+}
+
+// TestCheckCatchesClusterOutOfRange: a node bound to a cluster the
+// datapath does not have must be rejected, not looked up blindly.
+func TestCheckCatchesClusterOutOfRange(t *testing.T) {
+	g := chainGraph(2)
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1})
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	bad := *s
+	bad.Cluster = append([]int(nil), s.Cluster...)
+	bad.Cluster[g.Nodes()[0].ID()] = 3
+	if err := Check(&bad); err == nil {
+		t.Error("Check missed out-of-range cluster")
+	}
+	bad.Cluster[g.Nodes()[0].ID()] = -1
+	if err := Check(&bad); err == nil {
+		t.Error("Check missed negative cluster")
+	}
+}
+
+// trimTrailingSpace strips trailing blanks per line so golden comparisons
+// are insensitive to padded cells at row ends.
+func trimTrailingSpace(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = strings.TrimRight(lines[i], " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestGanttGoldenNonUnitDII pins the chart for an unpipelined 2-cycle
+// multiply (dii = 2): the op must appear in both occupancy columns, and a
+// hand-built schedule that left L at zero must still render its rows
+// instead of emitting a zero-column chart.
+func TestGanttGoldenNonUnitDII(t *testing.T) {
+	b := dfg.NewBuilder("dii2")
+	x, y := b.Input("x"), b.Input("y")
+	m := b.Named("mm", dfg.OpMul, 0, x, y)
+	b.Output(m)
+	g := b.Graph()
+	dp := machine.MustParse("[1,1]", machine.Config{NumBuses: 1, Mul: machine.ResourceSpec{Lat: 2}})
+
+	s := mustList(t, g, dp, zeros(g.NumNodes()))
+	want := strings.Join([]string{
+		`schedule "dii2" on [1,1]  L=2 M=0`,
+		`             0   1`,
+		`c0.alu0      .   .`,
+		`c0.mul0      mm  mm`,
+		`c0.mem0      .   .`,
+		`bus0         .   .`,
+		``,
+	}, "\n")
+	if got := trimTrailingSpace(Gantt(s)); got != want {
+		t.Errorf("Gantt mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Hand-built schedule with L never set: occupancy must still show.
+	h := &Schedule{Graph: g, Datapath: dp, Start: []int{0}, Cluster: []int{0}, Unit: []int{0}}
+	txt := Gantt(h)
+	if !strings.Contains(txt, "mm") {
+		t.Errorf("Gantt with L=0 hides scheduled op:\n%s", txt)
+	}
+	row := ""
+	for _, line := range strings.Split(txt, "\n") {
+		if strings.HasPrefix(line, "c0.mul0") {
+			row = line
+		}
+	}
+	if got := strings.Count(row, "mm"); got != 2 {
+		t.Errorf("mul row shows %d occupancy cells, want 2:\n%s", got, txt)
 	}
 }
 

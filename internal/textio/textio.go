@@ -33,6 +33,7 @@ func Parse(r io.Reader) (*dfg.Graph, error) {
 	var b *dfg.Builder
 	vals := make(map[string]dfg.Value)
 	var outs []string
+	outSeen := make(map[string]bool)
 	lineNo := 0
 	errf := func(format string, args ...any) error {
 		return fmt.Errorf("textio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
@@ -112,7 +113,16 @@ func Parse(r io.Reader) (*dfg.Graph, error) {
 			if b == nil {
 				return nil, errf("out before dfg")
 			}
-			outs = append(outs, fields[1:]...)
+			// Reject repeats across all out lines: the builder would
+			// silently register the node as an output once, breaking
+			// the input/output correspondence the file claims.
+			for _, name := range fields[1:] {
+				if outSeen[name] {
+					return nil, errf("duplicate output %q", name)
+				}
+				outSeen[name] = true
+				outs = append(outs, name)
+			}
 		default:
 			return nil, errf("unknown directive %q", fields[0])
 		}

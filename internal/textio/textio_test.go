@@ -140,6 +140,26 @@ func TestMultipleOutLines(t *testing.T) {
 	}
 }
 
+// TestDuplicateOutputRejected: repeating a name on out lines used to be
+// silently collapsed by the builder, so the file claimed more live-outs
+// than the graph had. Parse now rejects the repeat outright.
+func TestDuplicateOutputRejected(t *testing.T) {
+	for name, text := range map[string]string{
+		"same line":    "dfg g\nin x\nop a neg x\nout a a\n",
+		"across lines": "dfg g\nin x\nop a neg x\nout a\nout a\n",
+	} {
+		if _, err := ParseString(text); err == nil || !strings.Contains(err.Error(), "duplicate output") {
+			t.Errorf("%s: err = %v, want duplicate-output rejection", name, err)
+		}
+	}
+	// Distinct names over multiple out lines remain legal, and a printed
+	// graph (one mention per output) still reparses cleanly.
+	g := mustParse(t, "dfg g\nin x\nop a neg x\nop b neg a\nout b a\n")
+	if _, err := ParseString(PrintString(g)); err != nil {
+		t.Errorf("round trip broken by duplicate-output check: %v", err)
+	}
+}
+
 func TestPrintImmPrecision(t *testing.T) {
 	b := dfg.NewBuilder("p")
 	x := b.Input("x")

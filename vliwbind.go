@@ -15,8 +15,10 @@
 //     perturbation improvement) — plus the PCC baseline (BindPCC) the
 //     paper compares against and an exact small-graph binder (Optimal);
 //   - schedule inspection (Gantt, CheckSchedule), cycle-accurate
-//     execution on concrete values (Execute, VerifySchedule) and
-//     register-pressure reporting (RegisterPressure);
+//     execution on concrete values (Execute, VerifySchedule),
+//     register-pressure reporting (RegisterPressure) and end-to-end
+//     invariant auditing (AuditResult, AuditSchedule, AuditAllocation,
+//     AuditPipelined);
 //   - the paper's benchmark kernels (Kernels, KernelByName) and both
 //     experiment tables (Table1, Table2, RunExperiment).
 //
@@ -33,6 +35,7 @@ import (
 	"io"
 
 	"vliwbind/internal/anneal"
+	"vliwbind/internal/audit"
 	"vliwbind/internal/bind"
 	"vliwbind/internal/codegen"
 	"vliwbind/internal/dfg"
@@ -212,6 +215,31 @@ func VerifySchedule(s *Schedule, inputs []float64) error { return vliwsim.Verify
 
 // RegisterPressure reports per-cluster live-value demand.
 func RegisterPressure(s *Schedule) *PressureReport { return regpressure.Analyze(s) }
+
+// AuditResult cross-checks a binding result end to end: binding
+// validity, canonical transfer insertion, dependence and per-unit
+// resource legality, cycle-accurate simulation against the reference
+// evaluation, and clobber-free register allocatability. It is
+// deliberately redundant with the binders' own invariants — the point
+// is an independent certificate.
+func AuditResult(res *Result) error { return audit.Audit(res) }
+
+// AuditSchedule certifies a schedule alone: legality (CheckSchedule),
+// a tight makespan claim, and bitwise simulation agreement with the
+// reference dataflow evaluation on probe inputs.
+func AuditSchedule(s *Schedule) error { return audit.AuditSchedule(s) }
+
+// AuditAllocation certifies a register allocation: every value maps to
+// a real register of its cluster and a full replay finds no clobber of
+// a live value.
+func AuditAllocation(s *Schedule, a *RegAlloc) error { return audit.AuditAlloc(s, a) }
+
+// AuditPipelined certifies a modulo schedule: move slots reference real
+// producers on real cycles and clusters, and the expansion over
+// concrete iterations (ModuloCheck) is dependence- and resource-legal.
+func AuditPipelined(ps *PipelinedSchedule, iterations int) error {
+	return audit.AuditPipelined(ps, iterations)
+}
 
 // Benchmarks and experiments.
 type (

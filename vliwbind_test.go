@@ -35,6 +35,54 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	if p := RegisterPressure(res.Schedule); p.Peak <= 0 {
 		t.Error("register pressure report empty")
 	}
+	if err := AuditResult(res); err != nil {
+		t.Errorf("result failed audit: %v", err)
+	}
+}
+
+// TestFacadeAuditWrappers exercises every audit entry point through the
+// facade: whole results, bare schedules, register allocations, and
+// pipelined schedules.
+func TestFacadeAuditWrappers(t *testing.T) {
+	g := KernelMust("ARF")
+	dp, err := ParseDatapath("[1,1|1,1]", DatapathConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := InitialBind(g, dp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditResult(res); err != nil {
+		t.Errorf("AuditResult: %v", err)
+	}
+	if err := AuditSchedule(res.Schedule); err != nil {
+		t.Errorf("AuditSchedule: %v", err)
+	}
+	a, err := AllocateRegisters(res.Schedule, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditAllocation(res.Schedule, a); err != nil {
+		t.Errorf("AuditAllocation: %v", err)
+	}
+
+	lb := NewGraph("iir")
+	x, p := lb.Input("x"), lb.Input("p")
+	s := lb.MulImm(p, 0.5)
+	y := lb.Add(s, x)
+	lb.Output(y)
+	body := lb.Graph()
+	loop := &Loop{Body: body, Carried: []CarriedDep{
+		{From: body.Nodes()[1], To: body.Nodes()[0], Distance: 1},
+	}}
+	ps, err := ModuloPipeline(loop, dp, ModuloOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditPipelined(ps, 4); err != nil {
+		t.Errorf("AuditPipelined: %v", err)
+	}
 }
 
 func TestFacadeBuilderAndTextFormat(t *testing.T) {
