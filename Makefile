@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz-smoke bench bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke chaos-smoke bench bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -32,6 +32,15 @@ fuzz-smoke:
 	$(GO) test ./internal/codegen -run '^$$' -fuzz '^FuzzSpillRebind$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/textio -run '^$$' -fuzz '^FuzzTextioRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/textio -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+
+# Fault-injection sweep for the anytime contract: the seeded chaos
+# schedules and every cancellation/panic-isolation test run under the
+# race detector, then the cancellation fuzzer spends FUZZTIME searching
+# for a cut point that breaks the degradation guarantees.
+chaos-smoke:
+	$(GO) test -race ./internal/bind -run 'Cancel|Degrade|Panic|Retr|Stats' -count 1
+	$(GO) test -race ./internal/audit -run '^TestChaosSweep$$' -count 1
+	$(GO) test ./internal/audit -run '^$$' -fuzz '^FuzzCancelAnytime$$' -fuzztime $(FUZZTIME)
 
 # Regenerate the paper's tables as benchmarks (L/M metrics per row).
 bench:

@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"vliwbind"
 )
@@ -40,17 +42,18 @@ func main() {
 		muls   = flag.Int("muls", 2, "total multiplier budget")
 		maxC   = flag.Int("maxclusters", 4, "maximum number of clusters")
 		buses  = flag.Int("buses", 2, "number of buses")
-		algo   = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
-		par    = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
+		algo    = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
+		par     = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
+		timeout = flag.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *algo, *par); err != nil {
+	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *algo, *par, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, par int) error {
+func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, par int, timeout time.Duration) error {
 	k, err := vliwbind.KernelByName(kernel)
 	if err != nil {
 		return err
@@ -58,11 +61,25 @@ func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, p
 	if alus < 1 || muls < 0 || maxC < 1 {
 		return fmt.Errorf("invalid budget: %d ALUs, %d MULs, %d clusters", alus, muls, maxC)
 	}
+	// One budget is shared across the whole exploration: late design
+	// points see whatever is left after the early ones spent theirs.
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	// One graph serves every design point: bindings never mutate it.
 	g := k.Build()
 	var designs []design
+	expired, degraded := false, 0
+explore:
 	for nc := 1; nc <= maxC; nc++ {
 		for _, spec := range clusterings(alus, muls, nc) {
+			if ctx.Err() != nil {
+				expired = true
+				break explore
+			}
 			dp, err := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{NumBuses: buses})
 			if err != nil {
 				return err
@@ -74,14 +91,23 @@ func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, p
 			var res *vliwbind.Result
 			switch algo {
 			case "init":
-				res, err = vliwbind.InitialBind(g, dp, opts)
+				res, err = vliwbind.InitialBindContext(ctx, g, dp, opts)
 			case "iter":
-				res, err = vliwbind.Bind(g, dp, opts)
+				res, err = vliwbind.BindContext(ctx, g, dp, opts)
 			default:
 				return fmt.Errorf("unknown algorithm %q", algo)
 			}
 			if err != nil {
+				// A budget expiring mid-sweep yields no candidate for this
+				// point; the points already bound still make a table.
+				if ctx.Err() != nil {
+					expired = true
+					break explore
+				}
 				return err
+			}
+			if res.Degraded {
+				degraded++
 			}
 			designs = append(designs, design{
 				spec:     spec,
@@ -108,6 +134,12 @@ func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, p
 			mark = "*"
 		}
 		fmt.Fprintf(w, "%-24s %9d %9d %6d %6d %s\n", d.spec, d.clusters, d.ports, d.l, d.moves, mark)
+	}
+	if degraded > 0 {
+		fmt.Fprintf(w, "note: %d design point(s) bound with a degraded (budget-truncated) search\n", degraded)
+	}
+	if expired {
+		fmt.Fprintf(w, "note: budget expired after %d design point(s); the table is partial\n", len(designs))
 	}
 	return nil
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRunSmallBudget(t *testing.T) {
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "init", 2); err != nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "init", 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,13 +60,13 @@ func TestMarkPareto(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "nope", 2, 2, 2, 2, "init", 0); err == nil {
+	if err := run(io.Discard, "nope", 2, 2, 2, 2, "init", 0, 0); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "init", 0); err == nil {
+	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "init", 0, 0); err == nil {
 		t.Error("empty budget accepted")
 	}
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "frob", 0); err == nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "frob", 0, 0); err == nil {
 		t.Error("unknown algo accepted")
 	}
 }

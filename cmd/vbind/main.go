@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vliwbind"
 )
@@ -38,15 +40,16 @@ func main() {
 		verify   = flag.Bool("verify", true, "execute the schedule cycle-accurately and check outputs")
 		audit    = flag.Bool("audit", false, "run the full invariant auditor on the result (binding, schedule, simulation, allocation)")
 		par      = flag.Int("par", 0, "worker-pool size for init/iter candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
+		timeout  = flag.Duration("timeout", 0, "binding time budget (e.g. 100ms); on expiry the best binding found so far is returned, marked degraded. 0 = no budget")
 	)
 	flag.Parse()
-	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *par, *gantt, *dot, *asm, *pressure, *verify, *audit); err != nil {
+	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *par, *timeout, *gantt, *dot, *asm, *pressure, *verify, *audit); err != nil {
 		fmt.Fprintln(os.Stderr, "vbind:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, par int, gantt, dot, asm, pressure, verify, audit bool) error {
+func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, par int, timeout time.Duration, gantt, dot, asm, pressure, verify, audit bool) error {
 	g, err := loadGraph(dfgPath, kernel)
 	if err != nil {
 		return err
@@ -55,22 +58,28 @@ func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, 
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	var cstats vliwbind.CacheStats
 	opts := vliwbind.Options{Parallelism: par, Stats: &cstats}
 	var res *vliwbind.Result
 	switch algo {
 	case "init":
-		res, err = vliwbind.InitialBind(g, dp, opts)
+		res, err = vliwbind.InitialBindContext(ctx, g, dp, opts)
 	case "iter":
-		res, err = vliwbind.Bind(g, dp, opts)
+		res, err = vliwbind.BindContext(ctx, g, dp, opts)
 	case "pcc":
-		res, err = vliwbind.BindPCC(g, dp, vliwbind.PCCOptions{})
+		res, err = vliwbind.BindPCCContext(ctx, g, dp, vliwbind.PCCOptions{})
 	case "anneal":
-		res, err = vliwbind.BindAnneal(g, dp, vliwbind.AnnealOptions{})
+		res, err = vliwbind.BindAnnealContext(ctx, g, dp, vliwbind.AnnealOptions{})
 	case "mincut":
-		res, err = vliwbind.BindMinCut(g, dp, vliwbind.MinCutOptions{})
+		res, err = vliwbind.BindMinCutContext(ctx, g, dp, vliwbind.MinCutOptions{})
 	case "opt":
-		res, err = vliwbind.Optimal(g, dp, 0)
+		res, err = vliwbind.OptimalContext(ctx, g, dp, 0)
 	default:
 		return fmt.Errorf("unknown algorithm %q (want init, iter, pcc, anneal, mincut or opt)", algo)
 	}
@@ -81,6 +90,9 @@ func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, 
 	fmt.Printf("graph %s: N_V=%d N_CC=%d L_CP=%d\n", g.Name(), stats.NumOps, stats.NumComponents, stats.CriticalPath)
 	fmt.Printf("datapath %s buses=%d lat(move)=%d\n", dp, dp.NumBuses(), dp.MoveLat())
 	fmt.Printf("%s: L=%d moves=%d\n", algo, res.L(), res.Moves())
+	if res.Degraded {
+		fmt.Printf("degraded: budget expired before the search completed (%v); result is the audited best-so-far\n", res.Budget)
+	}
 	if h, ms := cstats.Hits(), cstats.Misses(); h+ms > 0 {
 		fmt.Printf("evaluation cache: %d scheduled, %d served from cache (%.0f%% hit rate)\n",
 			ms, h, 100*float64(h)/float64(h+ms))

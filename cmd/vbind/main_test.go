@@ -8,7 +8,7 @@ import (
 
 func TestRunKernelAllAlgos(t *testing.T) {
 	for _, algo := range []string{"init", "iter", "pcc", "anneal", "mincut"} {
-		if err := run("", "ARF", "[1,1|1,1]", 2, 1, algo, 0, 2, false, false, false, false, true, true); err != nil {
+		if err := run("", "ARF", "[1,1|1,1]", 2, 1, algo, 0, 2, 0, false, false, false, false, true, true); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -17,7 +17,7 @@ func TestRunKernelAllAlgos(t *testing.T) {
 }
 
 func TestRunWithOutputs(t *testing.T) {
-	if err := run("", "EWF", "[2,1|1,1]", 2, 1, "init", 8, 0, true, true, true, true, true, true); err != nil {
+	if err := run("", "EWF", "[2,1|1,1]", 2, 1, "init", 8, 0, 0, true, true, true, true, true, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,7 +29,7 @@ func TestRunDFGFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "[1,1|1,1]", 2, 1, "iter", 0, 1, false, false, false, false, true, true); err != nil {
+	if err := run(path, "", "[1,1|1,1]", 2, 1, "iter", 0, 1, 0, false, false, false, false, true, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +38,7 @@ func TestRunWithSpillFit(t *testing.T) {
 	// A 6-entry file forces EWF to spill (its unbounded demand is 8
 	// with this binding; 5 live-out taps set the floor); the run must
 	// still verify.
-	if err := run("", "EWF", "[2,1|2,1]", 2, 1, "init", 6, 0, false, false, true, true, true, true); err != nil {
+	if err := run("", "EWF", "[2,1|2,1]", 2, 1, "init", 6, 0, 0, false, false, true, true, true, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,18 +48,18 @@ func TestRunErrors(t *testing.T) {
 		name string
 		f    func() error
 	}{
-		{"no input", func() error { return run("", "", "[1,1]", 2, 1, "iter", 0, 0, false, false, false, false, false, false) }},
+		{"no input", func() error { return run("", "", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false) }},
 		{"both inputs", func() error {
-			return run("x.dfg", "ARF", "[1,1]", 2, 1, "iter", 0, 0, false, false, false, false, false, false)
+			return run("x.dfg", "ARF", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false)
 		}},
-		{"unknown kernel", func() error { return run("", "nope", "[1,1]", 2, 1, "iter", 0, 0, false, false, false, false, false, false) }},
-		{"bad datapath", func() error { return run("", "ARF", "zap", 2, 1, "iter", 0, 0, false, false, false, false, false, false) }},
-		{"bad algo", func() error { return run("", "ARF", "[1,1]", 2, 1, "frob", 0, 0, false, false, false, false, false, false) }},
+		{"unknown kernel", func() error { return run("", "nope", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false) }},
+		{"bad datapath", func() error { return run("", "ARF", "zap", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false) }},
+		{"bad algo", func() error { return run("", "ARF", "[1,1]", 2, 1, "frob", 0, 0, 0, false, false, false, false, false, false) }},
 		{"missing file", func() error {
-			return run("/nonexistent.dfg", "", "[1,1]", 2, 1, "iter", 0, 0, false, false, false, false, false, false)
+			return run("/nonexistent.dfg", "", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false)
 		}},
 		{"mincut heterogeneous", func() error {
-			return run("", "ARF", "[2,1|1,1]", 2, 1, "mincut", 0, 0, false, false, false, false, false, false)
+			return run("", "ARF", "[2,1|1,1]", 2, 1, "mincut", 0, 0, 0, false, false, false, false, false, false)
 		}},
 	}
 	for _, tc := range cases {

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"vliwbind"
 )
@@ -27,15 +29,16 @@ func main() {
 		buses   = flag.Int("buses", 2, "number of buses")
 		iters   = flag.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
 		audit   = flag.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
+		timeout = flag.Duration("timeout", 0, "scheduling time budget (e.g. 100ms); a modulo schedule has no partial form, so expiry aborts with an error. 0 = no budget")
 	)
 	flag.Parse()
-	if err := run(*dfgPath, *carried, *dpSpec, *buses, *iters, *audit); err != nil {
+	if err := run(*dfgPath, *carried, *dpSpec, *buses, *iters, *timeout, *audit); err != nil {
 		fmt.Fprintln(os.Stderr, "vliwpipe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dfgPath, carried, dpSpec string, buses, iters int, audit bool) error {
+func run(dfgPath, carried, dpSpec string, buses, iters int, timeout time.Duration, audit bool) error {
 	loop, err := loadLoop(dfgPath, carried)
 	if err != nil {
 		return err
@@ -44,8 +47,14 @@ func run(dfgPath, carried, dpSpec string, buses, iters int, audit bool) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	mii := vliwbind.ModuloMII(loop, dp)
-	ps, err := vliwbind.ModuloPipeline(loop, dp, vliwbind.ModuloOptions{})
+	ps, err := vliwbind.ModuloPipelineContext(ctx, loop, dp, vliwbind.ModuloOptions{})
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRunBuiltinLoop(t *testing.T) {
-	if err := run("", "", "[2,1|2,1]", 2, 0, true); err != nil {
+	if err := run("", "", "[2,1|2,1]", 2, 0, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,23 +19,23 @@ func TestRunCustomLoop(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "y>s:1", "[1,1|1,1]", 2, 4, true); err != nil {
+	if err := run(path, "y>s:1", "[1,1|1,1]", 2, 4, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/missing.dfg", "", "[1,1]", 2, 0, false); err == nil {
+	if err := run("/missing.dfg", "", "[1,1]", 2, 0, 0, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("", "", "zap", 2, 0, false); err == nil {
+	if err := run("", "", "zap", 2, 0, 0, false); err == nil {
 		t.Error("bad datapath accepted")
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "loop.dfg")
 	os.WriteFile(path, []byte("dfg g\nin x\nop a neg x\nout a\n"), 0o644)
 	for _, spec := range []string{"bogus", "a>zz:1", "a>a:0", "a>a:x"} {
-		if err := run(path, spec, "[1,1|1,1]", 2, 0, false); err == nil {
+		if err := run(path, spec, "[1,1|1,1]", 2, 0, 0, false); err == nil {
 			t.Errorf("carried spec %q accepted", spec)
 		}
 	}

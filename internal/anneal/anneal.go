@@ -11,6 +11,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -68,6 +69,17 @@ func cost(e problem.Eval) float64 {
 // the end. The rng consumption sequence is unchanged from the
 // materializing implementation, so seeds reproduce the same walks.
 func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
+	return BindContext(context.Background(), g, dp, opts)
+}
+
+// BindContext is Bind as an anytime algorithm. Annealing tracks the best
+// binding ever observed, so once the initial random partitioning has
+// been evaluated there is always an incumbent: cancellation at any move
+// after that returns the best-so-far tagged Degraded/Budget, while a
+// cancellation before the initial evaluation returns an error wrapping
+// context.Cause. Uncancelled runs are bit-identical to Bind — the rng
+// consumption sequence is untouched.
+func BindContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
 	p, err := problem.New(g, dp)
 	if err != nil {
 		return nil, err
@@ -87,14 +99,29 @@ func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error
 		targets[i] = ts
 		bn[i] = ts[rng.Intn(len(ts))]
 	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("anneal: cancelled before the initial partitioning was evaluated: %w", context.Cause(ctx))
+	}
 	cur, err := ev.Evaluate(bn)
 	if err != nil {
 		return nil, err
 	}
 	curBn, bestBn, best := bn, bn, cur
+	degrade := func() (*bind.Result, error) {
+		res, err := bind.Evaluate(g, dp, bestBn)
+		if err != nil {
+			return nil, err
+		}
+		res.Degraded = true
+		res.Budget = context.Cause(ctx)
+		return res, nil
+	}
 
 	for temp := opts.InitialTemp; temp > opts.MinTemp; temp *= opts.Cooling {
 		for m := 0; m < opts.MovesPerTemp; m++ {
+			if ctx.Err() != nil {
+				return degrade()
+			}
 			id := rng.Intn(g.NumNodes())
 			ts := targets[id]
 			if len(ts) < 2 {

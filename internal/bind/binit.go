@@ -1,7 +1,9 @@
 package bind
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 
@@ -44,19 +46,67 @@ type Options struct {
 	// Parallelism bounds the shared worker pool that evaluates
 	// independent binding candidates: the (L_PR, direction) sweep of the
 	// B-INIT driver and each B-ITER perturbation round. Zero defaults to
-	// runtime.GOMAXPROCS(0); 1 (or negative) restores the exact
-	// sequential pre-engine code path. Any setting produces bit-identical
-	// results — candidates are reduced in enumeration order under the
-	// same lexicographic tie-breaks, never first-goroutine-wins — so the
-	// knob trades only wall-clock time. Values above 1 additionally
-	// enable a memoization cache that never reschedules a binding seen
-	// earlier in the same run (see Stats).
+	// runtime.GOMAXPROCS(0); 1 restores the exact sequential pre-engine
+	// code path; negative values are rejected by Validate. Any setting
+	// produces bit-identical results — candidates are reduced in
+	// enumeration order under the same lexicographic tie-breaks, never
+	// first-goroutine-wins — so the knob trades only wall-clock time.
+	// Values above 1 additionally enable a memoization cache that never
+	// reschedules a binding seen earlier in the same run (see Stats).
 	Parallelism int
-	// Stats, when non-nil, accumulates hit/miss counters of the
+	// Stats, when non-nil, accumulates hit/miss/retry counters of the
 	// schedule-evaluation cache across the run. The cache (and therefore
 	// the counters) is active whenever Parallelism resolves to a value
 	// greater than 1. Safe to share across concurrent runs.
 	Stats *CacheStats
+	// TaskRetries caps how many times the engine re-runs an evaluation
+	// task that failed transiently (a recovered panic, or an error
+	// exposing Transient() bool == true) before surfacing the failure.
+	// Retries back off exponentially (1ms, 2ms, … capped at 8ms) and
+	// respect the run's context. Zero defaults to 2; negative disables
+	// retries.
+	TaskRetries int
+	// Hook, when non-nil, is called at the engine's named seams (the
+	// Hook* constants) — the worker pool, the evaluator, and the memo
+	// cache. It exists for deterministic chaos testing (see
+	// internal/faultinject): a hook may sleep, cancel the run's context,
+	// or panic, and the engine isolates the fault. Leave nil in
+	// production; every call site guards against panics, but hooks run
+	// on the evaluation hot path.
+	Hook func(point string)
+}
+
+// Validate rejects out-of-range option values with a descriptive error
+// before any engine work starts, instead of letting them surface as
+// undefined behavior deep in a sweep. The zero value is always valid.
+func (o Options) Validate() error {
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{{"Alpha", o.Alpha}, {"Beta", o.Beta}, {"Gamma", o.Gamma}} {
+		if w.v < 0 || math.IsNaN(w.v) || math.IsInf(w.v, 0) {
+			return fmt.Errorf("bind: Options.%s is %v; want a finite non-negative weight (0 selects the paper's default)", w.name, w.v)
+		}
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("bind: Options.Parallelism is %d; want >= 0 (0 selects GOMAXPROCS, 1 the sequential path)", o.Parallelism)
+	}
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("bind: Options.MaxIterations is %d; want >= 0 (0 means no cap)", o.MaxIterations)
+	}
+	if o.Seeds < 0 {
+		return fmt.Errorf("bind: Options.Seeds is %d; want >= 0 (0 selects the default)", o.Seeds)
+	}
+	return nil
+}
+
+// prepare validates and then defaults the options; every public entry
+// point goes through it exactly once.
+func (o Options) prepare() (Options, error) {
+	if err := o.Validate(); err != nil {
+		return o, err
+	}
+	return o.withDefaults(), nil
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +130,12 @@ func (o Options) withDefaults() Options {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	case o.Parallelism < 1:
 		o.Parallelism = 1
+	}
+	switch {
+	case o.TaskRetries == 0:
+		o.TaskRetries = 2
+	case o.TaskRetries < 0:
+		o.TaskRetries = 0
 	}
 	return o
 }
@@ -205,7 +261,17 @@ func trcost(v *dfg.Node, c int, bn []int, reverse bool) (cost int, trs []profile
 // on the original graph. Most callers want Initial, which sweeps these
 // parameters and evaluates each candidate.
 func InitialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts Options) ([]int, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.prepare()
+	if err != nil {
+		return nil, err
+	}
+	return initialOnce(g, dp, lpr, reverse, opts)
+}
+
+// initialOnce is InitialOnce on already-prepared options — the form the
+// driver sweep calls once per configuration, so validation is paid once
+// per run instead of once per config.
+func initialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts Options) ([]int, error) {
 	prof, err := profile.New(g, dp, lpr)
 	if err != nil {
 		return nil, err
@@ -256,12 +322,25 @@ func InitialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts
 // the best by (L, moves). The result is the phase-one solution handed to
 // Improve.
 func Initial(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	return InitialContext(context.Background(), g, dp, opts)
+}
+
+// InitialContext is Initial under a context. The driver sweep is the
+// phase that mints the anytime floor, so it is all-or-nothing: a
+// cancellation or deadline that lands before the sweep completes
+// returns an error wrapping context.Cause — there is no certified
+// candidate to degrade to yet. Once InitialContext returns a Result,
+// every later phase can only improve on it.
+func InitialContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
+	opts, err := opts.prepare()
+	if err != nil {
+		return nil, err
+	}
 	en, err := newEngine(g, dp, opts)
 	if err != nil {
 		return nil, err
 	}
-	sols, err := initialSolutions(en, opts)
+	sols, err := initialSolutions(ctx, en, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -274,12 +353,21 @@ func Initial(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) 
 // when the single best initial solution happens to have no boundary
 // operations to perturb.
 func InitialCandidates(g *dfg.Graph, dp *machine.Datapath, opts Options) ([]*Result, error) {
-	opts = opts.withDefaults()
+	return InitialCandidatesContext(context.Background(), g, dp, opts)
+}
+
+// InitialCandidatesContext is InitialCandidates under a context, with
+// the same all-or-nothing sweep semantics as InitialContext.
+func InitialCandidatesContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts Options) ([]*Result, error) {
+	opts, err := opts.prepare()
+	if err != nil {
+		return nil, err
+	}
 	en, err := newEngine(g, dp, opts)
 	if err != nil {
 		return nil, err
 	}
-	sols, err := initialSolutions(en, opts)
+	sols, err := initialSolutions(ctx, en, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +389,12 @@ func InitialCandidates(g *dfg.Graph, dp *machine.Datapath, opts Options) ([]*Res
 // index-ordered slices, which keeps the outcome bit-identical to the
 // sequential sweep. No bound graph is built here — candidates stay
 // (binding, record) pairs until a caller keeps one.
-func initialSolutions(en *engine, opts Options) ([]solution, error) {
+//
+// Cancellation is observed at driver-iteration granularity (each sweep
+// configuration is one pool task) and surfaces as an error wrapping the
+// context cause: the sweep completes whole or not at all, because its
+// full (L, moves) ranking is what certifies the anytime floor.
+func initialSolutions(ctx context.Context, en *engine, opts Options) ([]solution, error) {
 	g, dp := en.p.Graph(), en.p.Datapath()
 	keep := opts.Seeds
 	if keep <= 0 {
@@ -330,32 +423,33 @@ func initialSolutions(en *engine, opts Options) ([]solution, error) {
 		}
 	}
 	bns := make([][]int, len(configs))
-	errs := make([]error, len(configs))
-	en.pool.run(len(configs), func(_, i int) {
-		bns[i], errs[i] = InitialOnce(g, dp, configs[i].lpr, configs[i].reverse, opts)
+	errs := en.runBatch(ctx, len(configs), func(_, i int) error {
+		en.fire(HookSweepConfig)
+		var err error
+		bns[i], err = initialOnce(g, dp, configs[i].lpr, configs[i].reverse, opts)
+		return err
 	})
+	if err := sweepErr(ctx, errs); err != nil {
+		return nil, err
+	}
 	// Dedup in sweep order before scheduling, exactly as the sequential
 	// sweep did, so only distinct bindings pay for an evaluation.
 	var uniq [][]int
 	seen := make(map[string]bool)
 	for i := range configs {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		if key := bindingKey(bns[i]); !seen[key] {
 			seen[key] = true
 			uniq = append(uniq, bns[i])
 		}
 	}
 	recs := make([]*evalRec, len(uniq))
-	evalErrs := make([]error, len(uniq))
-	en.pool.run(len(uniq), func(worker, i int) {
-		recs[i], evalErrs[i] = en.evaluate(worker, uniq[i])
+	evalErrs := en.runBatch(ctx, len(uniq), func(worker, i int) error {
+		var err error
+		recs[i], err = en.evaluate(ctx, worker, uniq[i])
+		return err
 	})
-	for _, err := range evalErrs {
-		if err != nil {
-			return nil, err
-		}
+	if err := sweepErr(ctx, evalErrs); err != nil {
+		return nil, err
 	}
 	sols := make([]solution, len(uniq))
 	for i := range uniq {
@@ -371,4 +465,22 @@ func initialSolutions(en *engine, opts Options) ([]solution, error) {
 		sols = sols[:keep]
 	}
 	return sols, nil
+}
+
+// sweepErr reduces a sweep batch's error slots to the error the driver
+// reports: a cancellation becomes a descriptive error wrapping the
+// context cause (there is no complete candidate to return yet);
+// anything else — including a PanicError whose retries were exhausted —
+// surfaces as-is, first slot wins.
+func sweepErr(ctx context.Context, errs []error) error {
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if canceled(ctx, err) {
+			return fmt.Errorf("bind: cancelled during the B-INIT sweep before the first complete candidate: %w", context.Cause(ctx))
+		}
+		return err
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package bind
 
 import (
+	"context"
 	"fmt"
 
 	"vliwbind/internal/dfg"
@@ -199,12 +200,25 @@ func perturbations(g *dfg.Graph, dp *machine.Datapath, bn []int, opts Options) [
 // tie-break (strictly better quality, or equal quality with fewer
 // moves), which makes the accepted move — and therefore the whole
 // trajectory — bit-identical to the sequential path at any parallelism.
-func improveWith(en *engine, cur solution, quality func(*evalRec) Quality, sideways int, opts Options) (solution, error) {
+//
+// improveWith is an anytime loop: every accepted move keeps quality
+// monotonically non-worsening, so cancellation at any round boundary —
+// or mid-round, in which case the partial round is discarded — returns
+// the current solution with a non-nil cause instead of an error. A
+// panic injected at the round seam (HookIterRound) degrades the same
+// way; only a non-transient evaluation failure aborts with an error.
+func improveWith(ctx context.Context, en *engine, cur solution, quality func(*evalRec) Quality, sideways int, opts Options) (sol solution, cause error, err error) {
 	g, dp := en.p.Graph(), en.p.Datapath()
 	curQ := quality(cur.rec)
 	seen := map[string]bool{bindingKey(cur.bn): true}
 	plateau := 0
 	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		if ctx.Err() != nil {
+			return cur, context.Cause(ctx), nil
+		}
+		if herr := en.fireGuarded(HookIterRound); herr != nil {
+			return cur, herr, nil
+		}
 		// Materialize this round's perturbed bindings, dropping no-ops
 		// and already-visited solutions exactly as the sequential loop
 		// did. seen is read-only for the rest of the round, so the
@@ -225,15 +239,22 @@ func improveWith(en *engine, cur solution, quality func(*evalRec) Quality, sidew
 			bns = append(bns, bn)
 		}
 		recs := make([]*evalRec, len(bns))
-		errs := make([]error, len(bns))
-		en.pool.run(len(bns), func(worker, i int) {
-			recs[i], errs[i] = en.evaluate(worker, bns[i])
+		errs := en.runBatch(ctx, len(bns), func(worker, i int) error {
+			var err error
+			recs[i], err = en.evaluate(ctx, worker, bns[i])
+			return err
 		})
 		bestIdx := -1
 		var bestQ Quality
 		for i, rec := range recs {
 			if errs[i] != nil {
-				return solution{}, errs[i]
+				if canceled(ctx, errs[i]) {
+					// Mid-round cancellation: discard the incomplete
+					// round so the trajectory up to here stays exactly
+					// the deterministic one, and keep the best-so-far.
+					return cur, errs[i], nil
+				}
+				return solution{}, nil, errs[i]
 			}
 			q := quality(rec)
 			if bestIdx < 0 || q.Less(bestQ) ||
@@ -250,12 +271,12 @@ func improveWith(en *engine, cur solution, quality func(*evalRec) Quality, sidew
 		case bestQ.Equal(curQ) && plateau < sideways:
 			plateau++
 		default:
-			return cur, nil
+			return cur, nil, nil
 		}
 		cur, curQ = solution{bn: bns[bestIdx], rec: recs[bestIdx]}, bestQ
 		seen[bindingKey(cur.bn)] = true
 	}
-	return cur, nil
+	return cur, nil, nil
 }
 
 // Improve is phase two of the algorithm (B-ITER, Section 3.2): iterative
@@ -263,10 +284,23 @@ func improveWith(en *engine, cur solution, quality func(*evalRec) Quality, sidew
 // improving, then by Q_M to reduce the number of data transfers without
 // giving back latency.
 func Improve(res *Result, opts Options) (*Result, error) {
+	return ImproveContext(context.Background(), res, opts)
+}
+
+// ImproveContext is Improve as an anytime algorithm: the input result is
+// a certified floor, every accepted perturbation is monotonically
+// non-worsening, and a cancellation, deadline, or isolated fault at any
+// point returns the best solution reached so far — tagged Degraded with
+// the cause in Budget — never an error. The returned binding is always
+// at least as good as the input by (L, moves).
+func ImproveContext(ctx context.Context, res *Result, opts Options) (*Result, error) {
 	if res == nil {
 		return nil, fmt.Errorf("bind: Improve needs a phase-one result")
 	}
-	opts = opts.withDefaults()
+	opts, err := opts.prepare()
+	if err != nil {
+		return nil, err
+	}
 	en, err := newEngine(res.Graph, res.Datapath, opts)
 	if err != nil {
 		return nil, err
@@ -276,12 +310,15 @@ func Improve(res *Result, opts Options) (*Result, error) {
 		bn:  res.Binding,
 		rec: &evalRec{l: res.L(), m: res.Moves(), qu: QualityU(res.Schedule)},
 	}
-	sol, err := improve(en, start, opts)
+	sol, cause, err := improve(ctx, en, start, opts)
 	if err != nil {
 		return nil, err
 	}
-	if sol.rec == start.rec {
+	if cause == nil && sol.rec == start.rec {
 		return res, nil
+	}
+	if cause != nil {
+		return en.materializeDegraded(sol, cause)
 	}
 	return en.materialize(sol)
 }
@@ -291,21 +328,27 @@ func Improve(res *Result, opts Options) (*Result, error) {
 // first perturbation round — the very neighborhood the Q_U pass just
 // finished scoring — comes straight from the cache. Solutions stay
 // virtual throughout; the caller materializes the one it keeps.
-func improve(en *engine, sol solution, opts Options) (solution, error) {
-	cur, err := improveWith(en, sol, qualU, opts.Sideways, opts)
+//
+// A non-nil cause means the improvement was cut short (cancellation or
+// an isolated fault) and sol is the best solution certified before the
+// cut; err is reserved for hard failures with no usable solution.
+func improve(ctx context.Context, en *engine, sol solution, opts Options) (out solution, cause error, err error) {
+	cur, cause, err := improveWith(ctx, en, sol, qualU, opts.Sideways, opts)
 	if err != nil {
-		return solution{}, err
+		return solution{}, nil, err
 	}
-	cur, err = improveWith(en, cur, qualM, 0, opts)
-	if err != nil {
-		return solution{}, err
+	if cause == nil {
+		cur, cause, err = improveWith(ctx, en, cur, qualM, 0, opts)
+		if err != nil {
+			return solution{}, nil, err
+		}
 	}
 	// Keep the better of (phase input, improved): Q_M can only have kept
 	// or reduced moves at equal or better latency, but guard anyway.
 	if cur.rec.l > sol.rec.l || (cur.rec.l == sol.rec.l && cur.rec.m > sol.rec.m) {
-		return sol, nil
+		return sol, cause, nil
 	}
-	return cur, nil
+	return cur, cause, nil
 }
 
 // Bind runs both phases: the swept greedy initial binding followed by
@@ -317,29 +360,58 @@ func improve(en *engine, sol solution, opts Options) (solution, error) {
 // a binding scheduled anywhere in the run is never rescheduled. Nothing
 // is materialized until the single winning binding is known.
 func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	return BindContext(context.Background(), g, dp, opts)
+}
+
+// BindContext is Bind as an anytime algorithm. The B-INIT driver sweep
+// is all-or-nothing: cancellation before it completes returns an error
+// wrapping context.Cause, because no certified candidate exists yet.
+// From the moment the sweep ranks its candidates, the best phase-one
+// solution is the floor, improvement only raises it, and a cancellation,
+// deadline, or isolated fault anywhere in B-ITER returns the best
+// binding found so far tagged Degraded/Budget — guaranteed no worse
+// than plain B-INIT's (L, moves) on the same input. Without cancellation
+// the result is bit-identical to Bind at any Parallelism.
+func BindContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts Options) (*Result, error) {
+	opts, err := opts.prepare()
+	if err != nil {
+		return nil, err
+	}
 	en, err := newEngine(g, dp, opts)
 	if err != nil {
 		return nil, err
 	}
-	sols, err := initialSolutions(en, opts)
+	sols, err := initialSolutions(ctx, en, opts)
 	if err != nil {
 		return nil, err
 	}
-	var best solution
-	have := false
+	if len(sols) == 0 {
+		return nil, fmt.Errorf("bind: driver sweep produced no candidates for %q", g.Name())
+	}
+	// The ranked sweep winner is the anytime floor: from here on the
+	// answer can only get better, so any interruption degrades to best.
+	best := sols[0]
+	var degradedCause error
 	for _, s := range sols {
-		imp, err := improve(en, s, opts)
+		if ctx.Err() != nil {
+			degradedCause = context.Cause(ctx)
+			break
+		}
+		imp, cause, err := improve(ctx, en, s, opts)
 		if err != nil {
 			return nil, err
 		}
-		if !have || imp.rec.l < best.rec.l ||
+		if imp.rec.l < best.rec.l ||
 			(imp.rec.l == best.rec.l && imp.rec.m < best.rec.m) {
-			best, have = imp, true
+			best = imp
+		}
+		if cause != nil {
+			degradedCause = cause
+			break
 		}
 	}
-	if !have {
-		return nil, fmt.Errorf("bind: driver sweep produced no candidates for %q", g.Name())
+	if degradedCause != nil {
+		return en.materializeDegraded(best, degradedCause)
 	}
 	return en.materialize(best)
 }

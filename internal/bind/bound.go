@@ -52,6 +52,17 @@ type Result struct {
 	// Schedule is the list schedule of Bound; its L is the paper's
 	// primary figure of merit.
 	Schedule *sched.Schedule
+	// Degraded reports that the run producing this result was cut short —
+	// by context cancellation, a deadline, or an isolated fault — and this
+	// is the best solution certified up to that point. A degraded result
+	// is a fully valid binding (same invariants as a complete run) and,
+	// for BindContext, never worse than plain B-INIT's (L, moves) on the
+	// same input, because degradation only ever truncates the monotone
+	// improvement phase.
+	Degraded bool
+	// Budget is why the run was cut short: the context cause, or the
+	// recovered fault. Nil unless Degraded.
+	Budget error
 }
 
 // L is the schedule latency of the solution.

@@ -1,8 +1,13 @@
 package bind
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
@@ -21,6 +26,84 @@ import (
 // to the sequential code path: candidates are collected into
 // index-ordered slices and reduced in enumeration order with the same
 // lexicographic tie-breaks, never first-goroutine-wins.
+//
+// The engine is also the fault boundary of the binding stack. Every task
+// runs under a recover that converts a panic into a per-task *PanicError
+// with the goroutine's stack captured, so a fault in one candidate can
+// never take down the pool, leak a worker goroutine, or poison the memo
+// cache (records are inserted only after a fully successful evaluation).
+// Transient task failures are retried with capped exponential backoff,
+// and cancellation is observed between tasks: a cancelled batch drains
+// in microseconds because every undispatched task short-circuits to the
+// context's cause.
+
+// Hook points of the evaluation engine, fired through Options.Hook when
+// it is set. They exist for deterministic fault injection (see
+// internal/faultinject): a test hook may sleep, cancel a context, or
+// panic at any of these seams, and the engine must still either finish
+// cleanly, degrade to the best solution found, or return a descriptive
+// error — never crash, leak a goroutine, or corrupt the cache.
+const (
+	// HookPoolTask fires at the start of every worker-pool task.
+	HookPoolTask = "bind.pool.task"
+	// HookSweepConfig fires once per B-INIT driver configuration
+	// (one (L_PR, direction) greedy pass).
+	HookSweepConfig = "bind.sweep.config"
+	// HookIterRound fires at the top of every B-ITER perturbation round.
+	HookIterRound = "bind.biter.round"
+	// HookEvaluate fires at the entry of every memoized evaluation.
+	HookEvaluate = "bind.engine.evaluate"
+	// HookCompute fires inside a cache miss, immediately before the
+	// virtual schedule runs — a panic here models an evaluator fault.
+	HookCompute = "bind.engine.compute"
+	// HookCacheLookup fires before the memo-cache lookup.
+	HookCacheLookup = "bind.cache.lookup"
+	// HookCacheInsert fires after a successful computation, before its
+	// record is inserted into the memo cache.
+	HookCacheInsert = "bind.cache.insert"
+)
+
+// PanicError is a panic recovered from an evaluation task, converted
+// into an ordinary per-task error: the recovered value plus the stack of
+// the panicking goroutine, captured at the recovery site. The engine
+// treats panics as transient (a fault injector or a data race may well
+// not repeat) and retries them with backoff; a PanicError that reaches a
+// caller means the retries were exhausted.
+type PanicError struct {
+	// Value is the value the task panicked with.
+	Value any
+	// Stack is the formatted stack trace of the panicking goroutine.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("bind: evaluation task panicked: %v", e.Value)
+}
+
+// transient reports whether err is worth retrying: recovered panics are,
+// and so is any error that exposes Transient() bool reporting true (the
+// convention fault injectors and future remote evaluators can use).
+func transient(err error) bool {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	var tr interface{ Transient() bool }
+	return errors.As(err, &tr) && tr.Transient()
+}
+
+// canceled reports whether err stems from ctx being cancelled — either
+// the standard context errors or the custom cause installed with
+// context.WithCancelCause.
+func canceled(ctx context.Context, err error) bool {
+	if err == nil {
+		return false
+	}
+	if cause := context.Cause(ctx); cause != nil && errors.Is(err, cause) {
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // CacheStats accumulates hit/miss counters of the schedule-evaluation
 // cache across a binding run. Hand one to Options.Stats to observe cache
@@ -29,7 +112,7 @@ import (
 // (Parallelism 1 is the exact pre-engine sequential path, which never
 // memoized).
 type CacheStats struct {
-	hits, misses atomic.Int64
+	hits, misses, retries atomic.Int64
 }
 
 // Hits returns how many evaluations were served from the cache without
@@ -37,8 +120,13 @@ type CacheStats struct {
 func (s *CacheStats) Hits() int64 { return s.hits.Load() }
 
 // Misses returns how many evaluations had to synthesize moves and run
-// the list scheduler.
+// the list scheduler. A retried task counts a single miss when it
+// finally succeeds, never one per attempt.
 func (s *CacheStats) Misses() int64 { return s.misses.Load() }
+
+// Retries returns how many transient task failures (recovered panics)
+// the engine re-ran with backoff.
+func (s *CacheStats) Retries() int64 { return s.retries.Load() }
 
 // maxCacheEntries bounds the per-run result cache. Entries are compact
 // (L, M, Q_U) records — no bound graph, no schedule — but an unbounded
@@ -47,6 +135,14 @@ func (s *CacheStats) Misses() int64 { return s.misses.Load() }
 // retained. 2^16 entries is roughly an order of magnitude above the
 // candidate count of the largest benchmark kernel's full B-ITER run.
 const maxCacheEntries = 1 << 16
+
+// Retry policy for transient task failures: up to Options.TaskRetries
+// re-runs, backing off 1ms, 2ms, 4ms… capped at 8ms, each sleep
+// abandoned early if the context ends.
+const (
+	retryBaseDelay = time.Millisecond
+	retryMaxDelay  = 8 * time.Millisecond
+)
 
 // evalRec is everything the binding algorithms consume about a candidate
 // before deciding to keep it: the latency, the move count, and the full
@@ -80,20 +176,40 @@ type recCache struct {
 // an uneven batch keeps every worker busy until the batch drains. Each
 // task receives the index of the worker running it, which the engine
 // uses to hand out per-worker scratch evaluators.
+//
+// run is also the pool's fault and cancellation seam: every task runs
+// under guard (panics become per-task *PanicError values), and the
+// context is consulted before each dispatch, so a cancelled batch fills
+// its remaining error slots with the context cause instead of running.
+// Workers are joined before run returns in every case — a panicking or
+// cancelled batch can never leak a goroutine.
 type workerPool struct {
 	workers int
 }
 
-func (p workerPool) run(n int, task func(worker, i int)) {
+// run executes n independent tasks and returns one error slot per task
+// (nil for clean completions). onPanic, when non-nil, is told which
+// worker's task panicked before the panic is converted to an error —
+// the engine uses it to discard that worker's possibly half-mutated
+// scratch evaluator.
+func (p workerPool) run(ctx context.Context, n int, task func(worker, i int) error, onPanic func(worker int)) []error {
+	errs := make([]error, n)
+	runOne := func(worker, i int) {
+		if ctx.Err() != nil {
+			errs[i] = context.Cause(ctx)
+			return
+		}
+		errs[i] = guard(worker, onPanic, func() error { return task(worker, i) })
+	}
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			task(0, i)
+			runOne(0, i)
 		}
-		return
+		return errs
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -106,11 +222,45 @@ func (p workerPool) run(n int, task func(worker, i int)) {
 				if i >= n {
 					return
 				}
-				task(worker, i)
+				runOne(worker, i)
 			}
 		}(k)
 	}
 	wg.Wait()
+	return errs
+}
+
+// guard runs one task body, converting a panic into a *PanicError with
+// the panicking goroutine's stack captured. The recover happens inside
+// the worker's task loop, so the worker survives and keeps draining the
+// batch.
+func guard(worker int, onPanic func(worker int), f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			if onPanic != nil {
+				onPanic(worker)
+			}
+			err = &PanicError{Value: r, Stack: buf}
+		}
+	}()
+	return f()
+}
+
+// backoffSleep waits out one capped-exponential retry delay, returning
+// early if the context ends first.
+func backoffSleep(ctx context.Context, attempt int) {
+	d := retryBaseDelay << (attempt - 1)
+	if d > retryMaxDelay || d <= 0 {
+		d = retryMaxDelay
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // engine bundles the shared Problem, the worker pool, per-worker scratch
@@ -119,11 +269,13 @@ func (p workerPool) run(n int, task func(worker, i int)) {
 // improvement seed, and both the Q_U and Q_M passes of B-ITER, so a
 // binding evaluated anywhere in the run is never rescheduled.
 type engine struct {
-	p     *problem.Problem
-	pool  workerPool
-	evs   []*problem.Evaluator // per-worker scratch, created lazily
-	cache *recCache            // nil when Parallelism == 1 (pre-engine path)
-	stats *CacheStats          // nil unless the caller asked for counters
+	p          *problem.Problem
+	pool       workerPool
+	evs        []*problem.Evaluator // per-worker scratch, created lazily
+	cache      *recCache            // nil when Parallelism == 1 (pre-engine path)
+	stats      *CacheStats          // nil unless the caller asked for counters
+	hook       func(point string)   // nil unless the caller injects faults
+	maxRetries int                  // transient-failure retries per task
 }
 
 // newEngine builds the evaluation engine for defaulted opts. It fails
@@ -135,15 +287,73 @@ func newEngine(g *dfg.Graph, dp *machine.Datapath, opts Options) (*engine, error
 		return nil, err
 	}
 	en := &engine{
-		p:     p,
-		pool:  workerPool{workers: opts.Parallelism},
-		evs:   make([]*problem.Evaluator, opts.Parallelism),
-		stats: opts.Stats,
+		p:          p,
+		pool:       workerPool{workers: opts.Parallelism},
+		evs:        make([]*problem.Evaluator, opts.Parallelism),
+		stats:      opts.Stats,
+		hook:       opts.Hook,
+		maxRetries: opts.TaskRetries,
 	}
 	if opts.Parallelism > 1 {
 		en.cache = &recCache{m: make(map[string]*evalRec)}
 	}
 	return en, nil
+}
+
+// fire invokes the fault-injection hook at a named seam when one is
+// installed. Callers inside pool tasks rely on guard to absorb a hook
+// panic; callers outside the pool must wrap the call themselves (see
+// fireGuarded).
+func (en *engine) fire(point string) {
+	if en.hook != nil {
+		en.hook(point)
+	}
+}
+
+// fireGuarded fires a hook outside the pool's recover, converting a
+// hook panic into an error instead of letting it unwind the binder.
+func (en *engine) fireGuarded(point string) error {
+	if en.hook == nil {
+		return nil
+	}
+	return guard(-1, nil, func() error { en.hook(point); return nil })
+}
+
+// discardScratch drops a worker's scratch evaluator after a panic: the
+// evaluator may have been mid-schedule when the stack unwound, and a
+// fresh one costs far less than reasoning about its partial state.
+// Worker k's slot is only ever touched by the goroutine currently
+// running worker k's tasks, so the write is unsynchronized by design;
+// -1 (a fireGuarded hook outside the pool) touches nothing.
+func (en *engine) discardScratch(worker int) {
+	if worker >= 0 && worker < len(en.evs) {
+		en.evs[worker] = nil
+	}
+}
+
+// runBatch runs n independent tasks on the pool, then retries any
+// transient failures (recovered panics, injected transient errors)
+// sequentially with capped exponential backoff. Retries re-run the
+// original task closure, so a retried evaluation lands in the same
+// result slot; they run on worker 0's scratch after the pool has fully
+// drained, which keeps the per-worker-evaluator invariant intact.
+func (en *engine) runBatch(ctx context.Context, n int, task func(worker, i int) error) []error {
+	errs := en.pool.run(ctx, n, task, en.discardScratch)
+	for i := range errs {
+		for attempt := 1; attempt <= en.maxRetries && transient(errs[i]); attempt++ {
+			if ctx.Err() != nil {
+				errs[i] = context.Cause(ctx)
+				break
+			}
+			if en.stats != nil {
+				en.stats.retries.Add(1)
+			}
+			backoffSleep(ctx, attempt)
+			i := i
+			errs[i] = guard(0, en.discardScratch, func() error { return task(0, i) })
+		}
+	}
+	return errs
 }
 
 // evaluatorFor returns worker's private scratch evaluator, creating it
@@ -160,6 +370,7 @@ func (en *engine) evaluatorFor(worker int) *problem.Evaluator {
 // compute runs one virtual evaluation on worker's scratch and snapshots
 // the record the binding algorithms need.
 func (en *engine) compute(worker int, bn []int) (*evalRec, error) {
+	en.fire(HookCompute)
 	ev := en.evaluatorFor(worker)
 	e, err := ev.Evaluate(bn)
 	if err != nil {
@@ -169,12 +380,20 @@ func (en *engine) compute(worker int, bn []int) (*evalRec, error) {
 }
 
 // evaluate is compute behind the memoization cache. Records are shared
-// and must be treated as immutable by callers.
-func (en *engine) evaluate(worker int, bn []int) (*evalRec, error) {
+// and must be treated as immutable by callers. A cancelled context
+// short-circuits to its cause before any work; a failed computation is
+// never inserted into the cache, and the miss counter moves only after
+// a fully successful computation — retried tasks count once.
+func (en *engine) evaluate(ctx context.Context, worker int, bn []int) (*evalRec, error) {
+	en.fire(HookEvaluate)
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	if en.cache == nil {
 		return en.compute(worker, bn)
 	}
 	key := bindingKey(bn)
+	en.fire(HookCacheLookup)
 	en.cache.mu.Lock()
 	r, ok := en.cache.m[key]
 	en.cache.mu.Unlock()
@@ -188,6 +407,10 @@ func (en *engine) evaluate(worker int, bn []int) (*evalRec, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The insert hook fires before the counters and the map move: a
+	// panic injected here unwinds with the cache and stats untouched,
+	// so the retry that follows recomputes and counts exactly once.
+	en.fire(HookCacheInsert)
 	if en.stats != nil {
 		en.stats.misses.Add(1)
 	}
@@ -204,4 +427,18 @@ func (en *engine) evaluate(worker int, bn []int) (*evalRec, error) {
 // produces is bit-identical to what the virtual evaluation promised.
 func (en *engine) materialize(sol solution) (*Result, error) {
 	return Evaluate(en.p.Graph(), en.p.Datapath(), sol.bn)
+}
+
+// materializeDegraded materializes a solution that an expiring budget
+// (or an isolated fault) cut short, tagging it with the cause. The
+// solution itself is a fully valid binding — degradation is about how
+// far the search got, never about the legality of what it returns.
+func (en *engine) materializeDegraded(sol solution, cause error) (*Result, error) {
+	res, err := en.materialize(sol)
+	if err != nil {
+		return nil, err
+	}
+	res.Degraded = true
+	res.Budget = cause
+	return res, nil
 }

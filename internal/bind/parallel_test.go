@@ -15,6 +15,7 @@ import (
 
 	"vliwbind/internal/bind"
 	"vliwbind/internal/kernels"
+	"vliwbind/internal/leakcheck"
 	"vliwbind/internal/machine"
 )
 
@@ -44,6 +45,9 @@ func bindAt(t *testing.T, g *kernels.Kernel, dpSpec string, par int, stats *bind
 }
 
 func TestParallelismIsInvisible(t *testing.T) {
+	// Registered on the parent: its cleanup runs after every parallel
+	// subtest has finished, when all pool workers must have joined.
+	leakcheck.Check(t)
 	for _, k := range kernels.All() {
 		k := k
 		for _, dpSpec := range sampleDatapaths {
@@ -77,6 +81,7 @@ func TestParallelismIsInvisible(t *testing.T) {
 // record hits, and hits+misses must cover at least the distinct
 // evaluations the sequential path would have performed.
 func TestCacheCountsHits(t *testing.T) {
+	leakcheck.Check(t)
 	k, err := kernels.ByName("ARF")
 	if err != nil {
 		t.Fatal(err)

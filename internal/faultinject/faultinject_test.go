@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPanicFiresAtExactHit(t *testing.T) {
+	inj := New(Fault{Point: "p", Hit: 3, Kind: Panic})
+	for hit := int64(1); hit <= 5; hit++ {
+		var pv any
+		func() {
+			defer func() { pv = recover() }()
+			inj.At("p")
+		}()
+		if hit == 3 {
+			want := PanicValue{Point: "p", Hit: 3}
+			if pv != want {
+				t.Fatalf("hit %d: recovered %v, want %v", hit, pv, want)
+			}
+		} else if pv != nil {
+			t.Fatalf("hit %d: unexpected panic %v", hit, pv)
+		}
+	}
+	if inj.Count("p") != 5 || inj.Fired() != 1 {
+		t.Fatalf("Count=%d Fired=%d, want 5 and 1", inj.Count("p"), inj.Fired())
+	}
+}
+
+func TestHitZeroFiresEveryCall(t *testing.T) {
+	inj := New(Fault{Point: "p", Kind: Panic})
+	for i := 0; i < 3; i++ {
+		var pv any
+		func() {
+			defer func() { pv = recover() }()
+			inj.At("p")
+		}()
+		if pv == nil {
+			t.Fatalf("call %d: no panic", i)
+		}
+	}
+	if inj.Fired() != 3 {
+		t.Fatalf("Fired=%d, want 3", inj.Fired())
+	}
+}
+
+func TestCancelInstallsCause(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	inj := New(Fault{Point: "p", Hit: 1, Kind: Cancel}).OnCancel(cancel)
+	inj.At("p")
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled")
+	}
+	if !errors.Is(context.Cause(ctx), ErrInjectedCancel) {
+		t.Fatalf("cause = %v, want ErrInjectedCancel", context.Cause(ctx))
+	}
+}
+
+func TestDelaySleeps(t *testing.T) {
+	inj := New(Fault{Point: "p", Hit: 1, Kind: Delay, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	inj.At("p")
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 5ms", d)
+	}
+}
+
+func TestSeededIsReproducibleAndOrderInsensitive(t *testing.T) {
+	points := []string{"a", "b", "c"}
+	shuffled := []string{"c", "a", "b"}
+	a := Seeded(42, points, 8)
+	b := Seeded(42, shuffled, 8)
+	if !reflect.DeepEqual(a.faults, b.faults) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a.faults, b.faults)
+	}
+	c := Seeded(43, points, 8)
+	if reflect.DeepEqual(a.faults, c.faults) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestConcurrentHitsCountExactly(t *testing.T) {
+	inj := New()
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				inj.At("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if inj.Count("p") != goroutines*per || inj.Total() != goroutines*per {
+		t.Fatalf("Count=%d Total=%d, want %d", inj.Count("p"), inj.Total(), goroutines*per)
+	}
+}

@@ -1,0 +1,66 @@
+// Package leakcheck provides a dependency-free goroutine-leak assertion
+// for tests, in the spirit of go.uber.org/goleak: register it at the top
+// of a test and it fails the test at cleanup time if any goroutine
+// created by this module's code is still running. The binding engine's
+// worker pools are strictly batch-scoped — every batch joins its workers
+// before returning, cancelled or not — so any surviving worker goroutine
+// is a shutdown regression.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies goroutines this module created; stacks of pool
+// workers carry "created by vliwbind/..." frames.
+const modulePrefix = "created by vliwbind/"
+
+// Check registers a cleanup on t that fails the test if any goroutine
+// created by this module's packages is still alive once the test (and,
+// for a parent test, all its subtests) has finished. Goroutines are
+// given a grace period to unwind — runtime scheduling may let a test
+// return a few microseconds before its last worker pops its stack — but
+// one that persists past it is reported with its full stack.
+func Check(t testing.TB) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = moduleGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) created by this module still running:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// moduleGoroutines returns the stacks of live goroutines created by this
+// module's code, excluding the calling goroutine.
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, modulePrefix) {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModuleGoroutinesIgnoresForeignStacks(t *testing.T) {
+	// The test binary itself runs plenty of runtime/testing goroutines;
+	// none of them should match the module filter.
+	for _, g := range moduleGoroutines() {
+		t.Errorf("unexpected module goroutine:\n%s", g)
+	}
+}
+
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	Check(t)
+}
+
+func TestFilterMatchesCreatedByFrames(t *testing.T) {
+	stack := "goroutine 7 [running]:\nvliwbind/internal/bind.(*workerPool).run.func1()\n\t/x/eval.go:1\ncreated by vliwbind/internal/bind.(*workerPool).run\n\t/x/eval.go:2"
+	if !strings.Contains(stack, modulePrefix) {
+		t.Fatal("filter does not match a worker-pool stack")
+	}
+}

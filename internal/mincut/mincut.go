@@ -14,6 +14,7 @@
 package mincut
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,18 @@ type Options struct {
 // Bind partitions g across the clusters of dp and evaluates the result
 // with the shared list scheduler. dp must have homogeneous clusters.
 func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
+	return BindContext(context.Background(), g, dp, opts)
+}
+
+// BindContext is Bind as an anytime algorithm. The initial balanced
+// partition is already a complete, valid binding, so from the moment it
+// exists a cancellation or deadline — observed per FM pass and per
+// applied move — returns the current partition tagged Degraded/Budget.
+// Every FM move strictly reduces the cut, so a degraded partition is
+// never worse than the initial one under this baseline's own objective.
+// A cancellation before the initial partition is built returns an error
+// wrapping context.Cause.
+func BindContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
 	if err := dp.CanRun(g); err != nil {
 		return nil, err
 	}
@@ -50,6 +63,10 @@ func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error
 	}
 	capacity := (n+k-1)/k + opts.BalanceSlack
 
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("mincut: cancelled before the initial partition was built: %w", context.Cause(ctx))
+	}
+
 	// Initial balanced partition: breadth-first over components, filling
 	// clusters round-robin so connected regions start out together.
 	bn := initialPartition(g, k, capacity)
@@ -58,6 +75,15 @@ func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error
 	for _, c := range bn {
 		size[c]++
 	}
+	degrade := func() (*bind.Result, error) {
+		res, err := bind.Evaluate(g, dp, bn)
+		if err != nil {
+			return nil, err
+		}
+		res.Degraded = true
+		res.Budget = context.Cause(ctx)
+		return res, nil
+	}
 
 	// FM-style passes: repeatedly apply the best-gain single move that
 	// respects capacity, locking each node once per pass.
@@ -65,6 +91,9 @@ func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error
 		locked := make([]bool, n)
 		improvedAny := false
 		for {
+			if ctx.Err() != nil {
+				return degrade()
+			}
 			bestID, bestDst, bestGain := -1, -1, 0
 			for _, v := range g.Nodes() {
 				if locked[v.ID()] {

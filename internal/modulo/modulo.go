@@ -18,6 +18,7 @@
 package modulo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -196,6 +197,15 @@ type Options struct {
 // Pipeline modulo-schedules the loop on the datapath, returning the
 // first feasible schedule found scanning II upward from MII.
 func Pipeline(l *Loop, dp *machine.Datapath, opts Options) (*PipelinedSchedule, error) {
+	return PipelineContext(context.Background(), l, dp, opts)
+}
+
+// PipelineContext is Pipeline under a context. Unlike the binders, a
+// modulo schedule has no useful partial form — an II attempt either
+// places every operation or fails whole — so cancellation, observed per
+// II attempt and per node placement, always returns an error wrapping
+// context.Cause; there is no degraded schedule to return.
+func PipelineContext(ctx context.Context, l *Loop, dp *machine.Datapath, opts Options) (*PipelinedSchedule, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,8 +222,11 @@ func Pipeline(l *Loop, dp *machine.Datapath, opts Options) (*PipelinedSchedule, 
 		maxII = mii + l.Body.NumNodes() + 8
 	}
 	for ii := mii; ii <= maxII; ii++ {
-		if ps := st.tryII(ii); ps != nil {
+		if ps := st.tryII(ctx, ii); ps != nil {
 			return ps, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("modulo: cancelled during the II scan at II=%d (MII=%d): %w", ii, mii, context.Cause(ctx))
 		}
 	}
 	return nil, fmt.Errorf("modulo: no schedule found up to II=%d (MII=%d)", maxII, mii)
@@ -264,7 +277,9 @@ func newLoopState(l *Loop, dp *machine.Datapath) (*loopState, error) {
 }
 
 // tryII attempts one greedy height-ordered modulo schedule at a fixed II.
-func (st *loopState) tryII(ii int) *PipelinedSchedule {
+// A cancelled context abandons the attempt (nil return, caller reports
+// the cause): a partially placed modulo schedule is not a valid result.
+func (st *loopState) tryII(ctx context.Context, ii int) *PipelinedSchedule {
 	l, dp := st.l, st.dp
 	body := l.Body
 	n := body.NumNodes()
@@ -299,6 +314,9 @@ func (st *loopState) tryII(ii int) *PipelinedSchedule {
 	committedMoves := make(map[int][]pendingMove, n)
 
 	for _, v := range nodes {
+		if ctx.Err() != nil {
+			return nil
+		}
 		placed := false
 		var lastMoves []pendingMove
 		for _, c := range dp.TargetSet(v.Op()) {

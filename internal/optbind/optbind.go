@@ -7,6 +7,7 @@
 package optbind
 
 import (
+	"context"
 	"fmt"
 
 	"vliwbind/internal/bind"
@@ -24,6 +25,15 @@ const DefaultMaxOps = 16
 // maxOps guards against accidental exponential blowups; pass 0 for
 // DefaultMaxOps.
 func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, error) {
+	return OptimalContext(context.Background(), g, dp, maxOps)
+}
+
+// OptimalContext is Optimal as an anytime branch-and-bound: cancellation
+// is polled every few hundred search-tree nodes, and a cancelled search
+// that already holds an incumbent returns it tagged Degraded/Budget — a
+// valid binding, merely not proven optimal. A cancellation before the
+// first leaf is scored returns an error wrapping context.Cause.
+func OptimalContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, error) {
 	if maxOps <= 0 {
 		maxOps = DefaultMaxOps
 	}
@@ -85,8 +95,17 @@ func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, erro
 		return lb
 	}
 
+	// Cancellation is polled every 256 search-tree nodes — often enough
+	// that a deadline stops an exponential search promptly, rarely enough
+	// that the atomic-free counter costs nothing against the evaluator.
+	steps := 0
+	errCancelled := fmt.Errorf("optbind: search cancelled")
 	var rec func(i int) error
 	rec = func(i int) error {
+		steps++
+		if steps&255 == 0 && ctx.Err() != nil {
+			return errCancelled
+		}
 		if i == len(nodes) {
 			e, err := ev.Evaluate(binding)
 			if err != nil {
@@ -119,6 +138,20 @@ func Optimal(g *dfg.Graph, dp *machine.Datapath, maxOps int) (*bind.Result, erro
 		return nil
 	}
 	if err := rec(0); err != nil {
+		if err == errCancelled {
+			if !haveBest {
+				return nil, fmt.Errorf("optbind: cancelled before the first complete assignment was scored: %w", context.Cause(ctx))
+			}
+			// The incumbent is a fully valid binding — degradation means
+			// the search stopped before proving it optimal.
+			res, err := bind.Evaluate(g, dp, bestBn)
+			if err != nil {
+				return nil, err
+			}
+			res.Degraded = true
+			res.Budget = context.Cause(ctx)
+			return res, nil
+		}
 		return nil, err
 	}
 	if !haveBest {

@@ -16,6 +16,7 @@
 package pcc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,24 +46,49 @@ func (o Options) withDefaults() Options {
 // Bind runs the full PCC baseline and returns the best solution across
 // the component-size sweep.
 func Bind(g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
+	return BindContext(context.Background(), g, dp, opts)
+}
+
+// BindContext is Bind as an anytime algorithm. Cancellation is observed
+// per cap in the component-size sweep, per improvement iteration, and
+// per candidate evaluation. Once the first decomposition has been fully
+// evaluated there is always a valid incumbent, so a cancellation or
+// deadline from then on returns the best assignment found so far tagged
+// Degraded/Budget; a cancellation before that returns an error wrapping
+// context.Cause.
+func BindContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts Options) (*bind.Result, error) {
 	opts = opts.withDefaults()
 	if err := dp.CanRun(g); err != nil {
 		return nil, err
 	}
 	var best *bind.Result
+	degrade := func() (*bind.Result, error) {
+		if best == nil {
+			return nil, fmt.Errorf("pcc: cancelled before any decomposition was evaluated: %w", context.Cause(ctx))
+		}
+		best.Degraded = true
+		best.Budget = context.Cause(ctx)
+		return best, nil
+	}
 	for _, cap := range opts.Caps {
+		if ctx.Err() != nil {
+			return degrade()
+		}
 		if cap < 1 {
 			return nil, fmt.Errorf("pcc: invalid component cap %d", cap)
 		}
 		comps := PartialComponents(g, cap)
 		bn := assign(g, dp, comps)
-		res, err := improve(g, dp, comps, bn, opts.MaxIterations)
+		res, cutShort, err := improve(ctx, g, dp, comps, bn, opts.MaxIterations)
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || res.L() < best.L() ||
-			(res.L() == best.L() && res.Moves() < best.Moves()) {
+		if res != nil && (best == nil || res.L() < best.L() ||
+			(res.L() == best.L() && res.Moves() < best.Moves())) {
 			best = res
+		}
+		if cutShort {
+			return degrade()
 		}
 		if cap >= g.NumNodes() {
 			break // larger caps yield the same single decomposition
@@ -233,17 +259,26 @@ func max1(n int) int {
 // the component granularity are what make this Q_M-style search prone to
 // the local minima Section 3.2 of the paper discusses. The returned
 // result is re-evaluated — and materialized — on the real datapath.
-func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, maxIter int) (*bind.Result, error) {
+//
+// Cancellation is observed per improvement iteration and per component.
+// Every accepted move strictly improves (L, M), so cancelling mid-climb
+// returns the current assignment — a valid binding — with cutShort set;
+// cancelling before the initial evaluation completes returns a nil
+// result with cutShort set, since no candidate has been certified.
+func improve(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, maxIter int) (res *bind.Result, cutShort bool, err error) {
+	if ctx.Err() != nil {
+		return nil, true, nil
+	}
 	relaxed := dp.WithBuses(g.NumNodes())
 	p, err := problem.New(g, relaxed)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	ev := p.NewEvaluator()
 	curBn := append([]int(nil), bn...)
 	cur, err := ev.Evaluate(curBn)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if maxIter <= 0 {
 		maxIter = len(comps) * dp.NumClusters()
@@ -256,9 +291,16 @@ func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, 
 		}
 		return true
 	}
+	finish := func(cut bool) (*bind.Result, bool, error) {
+		out, err := bind.Evaluate(g, dp, curBn)
+		return out, cut, err
+	}
 	for iter := 0; iter < maxIter; iter++ {
 		improved := false
 		for _, comp := range comps {
+			if ctx.Err() != nil {
+				return finish(true)
+			}
 			home := curBn[comp[0].ID()]
 			for c := 0; c < dp.NumClusters(); c++ {
 				if c == home || !feasible(comp, c) {
@@ -270,7 +312,7 @@ func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, 
 				}
 				e, err := ev.Evaluate(cand)
 				if err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				if e.L < cur.L || (e.L == cur.L && e.M < cur.M) {
 					curBn, cur = cand, e
@@ -286,5 +328,5 @@ func improve(g *dfg.Graph, dp *machine.Datapath, comps [][]*dfg.Node, bn []int, 
 			break
 		}
 	}
-	return bind.Evaluate(g, dp, curBn)
+	return finish(false)
 }

@@ -1,6 +1,7 @@
 package pcc
 
 import (
+	"context"
 	"testing"
 
 	"vliwbind/internal/bind"
@@ -139,9 +140,12 @@ func TestBindImprovementNeverHurts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := improve(g, dp, comps, bn, 0)
+	res, cutShort, err := improve(context.Background(), g, dp, comps, bn, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if cutShort {
+		t.Fatal("improve reported a cut-short run under a background context")
 	}
 	if res.L() > init.L() || (res.L() == init.L() && res.Moves() > init.Moves()) {
 		t.Errorf("improvement worsened (L,M): (%d,%d) -> (%d,%d)",

@@ -32,7 +32,9 @@
 package vliwbind
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"vliwbind/internal/anneal"
 	"vliwbind/internal/audit"
@@ -180,6 +182,78 @@ func Optimal(g *Graph, dp *Datapath, maxOps int) (*Result, error) {
 	return optbind.Optimal(g, dp, maxOps)
 }
 
+// Anytime (context-aware) binding.
+//
+// Every binder has a context variant that makes it an anytime algorithm:
+// a cancellation or deadline that lands after the binder has certified
+// at least one complete candidate returns the best solution found so
+// far, tagged Result.Degraded with the cause in Result.Budget, instead
+// of an error; a cancellation before the first complete candidate
+// returns an error wrapping context.Cause. The facade audits every
+// degraded result before releasing it, so a degraded binding carries
+// the same end-to-end certificate a complete one does. Uncancelled runs
+// are bit-identical to the plain variants.
+
+// auditDegraded certifies a budget-degraded result before it leaves the
+// facade: degradation is about how far the search got, never about the
+// legality of the binding, and auditing enforces exactly that. Complete
+// results pass through untouched — their certification lives in the
+// test and experiment layers, as before.
+func auditDegraded(res *Result, err error) (*Result, error) {
+	if err != nil || res == nil || !res.Degraded {
+		return res, err
+	}
+	if aerr := audit.Audit(res); aerr != nil {
+		return nil, aerr
+	}
+	return res, nil
+}
+
+// BindContext is Bind as an anytime algorithm: once the B-INIT driver
+// sweep completes, its best candidate is the floor, and interrupting
+// B-ITER at any point returns an audited binding no worse than plain
+// B-INIT's (L, moves) on the same input.
+func BindContext(ctx context.Context, g *Graph, dp *Datapath, opts Options) (*Result, error) {
+	return auditDegraded(bind.BindContext(ctx, g, dp, opts))
+}
+
+// InitialBindContext is InitialBind under a context. The driver sweep
+// mints the anytime floor, so it is all-or-nothing: cancellation before
+// it completes returns an error wrapping context.Cause.
+func InitialBindContext(ctx context.Context, g *Graph, dp *Datapath, opts Options) (*Result, error) {
+	return auditDegraded(bind.InitialContext(ctx, g, dp, opts))
+}
+
+// ImproveBindContext is ImproveBind as an anytime algorithm: the input
+// result is the floor and the returned binding is never worse than it.
+func ImproveBindContext(ctx context.Context, res *Result, opts Options) (*Result, error) {
+	return auditDegraded(bind.ImproveContext(ctx, res, opts))
+}
+
+// BindPCCContext is BindPCC under a context; cancellation after the
+// first decomposition has been evaluated degrades to the best-so-far.
+func BindPCCContext(ctx context.Context, g *Graph, dp *Datapath, opts PCCOptions) (*Result, error) {
+	return auditDegraded(pcc.BindContext(ctx, g, dp, opts))
+}
+
+// BindAnnealContext is BindAnneal under a context; cancellation after
+// the initial partitioning degrades to the best binding observed.
+func BindAnnealContext(ctx context.Context, g *Graph, dp *Datapath, opts AnnealOptions) (*Result, error) {
+	return auditDegraded(anneal.BindContext(ctx, g, dp, opts))
+}
+
+// BindMinCutContext is BindMinCut under a context; cancellation after
+// the initial partition degrades to the current partition.
+func BindMinCutContext(ctx context.Context, g *Graph, dp *Datapath, opts MinCutOptions) (*Result, error) {
+	return auditDegraded(mincut.BindContext(ctx, g, dp, opts))
+}
+
+// OptimalContext is Optimal under a context: a cancelled search holding
+// an incumbent returns it Degraded (valid, just not proven optimal).
+func OptimalContext(ctx context.Context, g *Graph, dp *Datapath, maxOps int) (*Result, error) {
+	return auditDegraded(optbind.OptimalContext(ctx, g, dp, maxOps))
+}
+
 // LatencyLowerBound returns a latency no binding of g on dp can beat.
 func LatencyLowerBound(g *Graph, dp *Datapath) int { return optbind.LowerBound(g, dp) }
 
@@ -291,6 +365,15 @@ func RunExperimentWith(r ExperimentRow, opts Options) (Measurement, error) {
 	return expt.RunWith(r, opts)
 }
 
+// RunExperimentBudgeted measures a row with all three algorithms under
+// one shared per-row time budget: an algorithm whose budget expires
+// contributes its audited best-so-far (L, M) with the matching
+// Measurement Degraded flag set (zero LM when it never certified a
+// candidate). budget <= 0 applies no deadline beyond ctx's own.
+func RunExperimentBudgeted(ctx context.Context, r ExperimentRow, opts Options, budget time.Duration) (Measurement, error) {
+	return expt.RunBudgeted(ctx, r, opts, budget)
+}
+
 // FormatMeasurements renders measurements in the paper's table layout.
 func FormatMeasurements(ms []Measurement) string { return expt.Format(ms) }
 
@@ -369,6 +452,13 @@ func ModuloMII(l *Loop, dp *Datapath) int { return modulo.MII(l, dp) }
 // ModuloPipeline software-pipelines a loop onto the clustered datapath.
 func ModuloPipeline(l *Loop, dp *Datapath, opts ModuloOptions) (*PipelinedSchedule, error) {
 	return modulo.Pipeline(l, dp, opts)
+}
+
+// ModuloPipelineContext is ModuloPipeline under a context. A modulo
+// schedule has no useful partial form, so cancellation always returns
+// an error wrapping context.Cause.
+func ModuloPipelineContext(ctx context.Context, l *Loop, dp *Datapath, opts ModuloOptions) (*PipelinedSchedule, error) {
+	return modulo.PipelineContext(ctx, l, dp, opts)
 }
 
 // ModuloCheck expands a pipelined schedule over concrete iterations and
