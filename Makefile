@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz-smoke chaos-smoke bench bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke bench bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -41,6 +41,15 @@ chaos-smoke:
 	$(GO) test -race ./internal/bind -run 'Cancel|Degrade|Panic|Retr|Stats' -count 1
 	$(GO) test -race ./internal/audit -run '^TestChaosSweep$$' -count 1
 	$(GO) test ./internal/audit -run '^$$' -fuzz '^FuzzCancelAnytime$$' -fuzztime $(FUZZTIME)
+
+# Observability smoke: one traced, metered, explained EWF binding via
+# the real CLI (the journal must come back non-empty), then the vbind
+# test that decodes every JSONL line and reconciles the journal's cache
+# verdicts against the CacheStats counters the run reports.
+obs-smoke:
+	$(GO) run ./cmd/vbind -kernel EWF -algo iter -trace /tmp/vliwbind-obs.jsonl -metrics -explain
+	@test -s /tmp/vliwbind-obs.jsonl || { echo "obs-smoke: trace journal is empty"; exit 1; }
+	$(GO) test ./cmd/vbind -run '^TestObsSmoke$$' -count 1
 
 # Regenerate the paper's tables as benchmarks (L/M metrics per row).
 bench:

@@ -37,23 +37,25 @@ type design struct {
 
 func main() {
 	var (
-		kernel = flag.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
-		alus   = flag.Int("alus", 4, "total ALU budget")
-		muls   = flag.Int("muls", 2, "total multiplier budget")
-		maxC   = flag.Int("maxclusters", 4, "maximum number of clusters")
-		buses  = flag.Int("buses", 2, "number of buses")
+		kernel  = flag.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
+		alus    = flag.Int("alus", 4, "total ALU budget")
+		muls    = flag.Int("muls", 2, "total multiplier budget")
+		maxC    = flag.Int("maxclusters", 4, "maximum number of clusters")
+		buses   = flag.Int("buses", 2, "number of buses")
 		algo    = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
 		par     = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 		timeout = flag.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
+		trace   = flag.String("trace", "", "journal every search event across all design points to FILE as JSON lines")
+		metrics = flag.Bool("metrics", false, "print per-phase timers and search counters after the exploration")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *algo, *par, *timeout); err != nil {
+	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *algo, *par, *timeout, *trace, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, par int, timeout time.Duration) error {
+func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool) error {
 	k, err := vliwbind.KernelByName(kernel)
 	if err != nil {
 		return err
@@ -61,6 +63,23 @@ func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, p
 	if alus < 1 || muls < 0 || maxC < 1 {
 		return fmt.Errorf("invalid budget: %d ALUs, %d MULs, %d clusters", alus, muls, maxC)
 	}
+	var sinks []vliwbind.Observer
+	var journal *vliwbind.TraceJournal
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		journal = vliwbind.NewTraceJournal(f)
+		sinks = append(sinks, journal)
+	}
+	var mtr *vliwbind.Metrics
+	if withMetrics {
+		mtr = vliwbind.NewMetrics()
+		sinks = append(sinks, mtr)
+	}
+	observer := vliwbind.MultiObserver(sinks...)
 	// One budget is shared across the whole exploration: late design
 	// points see whatever is left after the early ones spent theirs.
 	ctx := context.Background()
@@ -87,8 +106,9 @@ explore:
 			if dp.CanRun(g) != nil {
 				continue // e.g. all multipliers missing for a mul-bearing kernel
 			}
-			opts := vliwbind.Options{Parallelism: par}
+			opts := vliwbind.Options{Parallelism: par, Observer: observer}
 			var res *vliwbind.Result
+			t0 := time.Now()
 			switch algo {
 			case "init":
 				res, err = vliwbind.InitialBindContext(ctx, g, dp, opts)
@@ -96,6 +116,10 @@ explore:
 				res, err = vliwbind.BindContext(ctx, g, dp, opts)
 			default:
 				return fmt.Errorf("unknown algorithm %q", algo)
+			}
+			if observer != nil {
+				observer.Event(vliwbind.TraceEvent{Type: "phase", Kernel: kernel,
+					Name: "explore.point[" + spec + "]", DurNs: time.Since(t0).Nanoseconds()})
 			}
 			if err != nil {
 				// A budget expiring mid-sweep yields no candidate for this
@@ -140,6 +164,15 @@ explore:
 	}
 	if expired {
 		fmt.Fprintf(w, "note: budget expired after %d design point(s); the table is partial\n", len(designs))
+	}
+	if mtr != nil {
+		fmt.Fprint(w, mtr.Dump())
+	}
+	if journal != nil {
+		if err := journal.Flush(); err != nil {
+			return fmt.Errorf("trace journal: %w", err)
+		}
+		fmt.Fprintf(w, "trace: %d events written to %s\n", journal.Len(), tracePath)
 	}
 	return nil
 }

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunSmallBudget(t *testing.T) {
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "init", 2, 0); err != nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "init", 2, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,13 +65,41 @@ func TestMarkPareto(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "nope", 2, 2, 2, 2, "init", 0, 0); err == nil {
+	if err := run(io.Discard, "nope", 2, 2, 2, 2, "init", 0, 0, "", false); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "init", 0, 0); err == nil {
+	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "init", 0, 0, "", false); err == nil {
 		t.Error("empty budget accepted")
 	}
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "frob", 0, 0); err == nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "frob", 0, 0, "", false); err == nil {
 		t.Error("unknown algo accepted")
+	}
+}
+
+func TestRunWithTraceAndMetrics(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	var out bytes.Buffer
+	if err := run(&out, "ARF", 2, 1, 2, 2, "init", 2, 0, trace, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("journal line %q does not decode: %v", line, err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Error("trace journal is empty")
+	}
+	for _, want := range []string{"metrics:", "sweep.configs", "trace: "} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
 	}
 }

@@ -6,18 +6,27 @@
 //	vbind -kernel EWF -dp "[2,1|1,1]" -algo iter -gantt
 //	vbind -kernel ARF -dp "[2,1|2,1]" -asm
 //	vbind -dfg kernel.dfg -dp "[1,1|1,1]" -buses 1 -movelat 2 -algo init
+//	vbind -kernel EWF -algo iter -trace /tmp/ewf.jsonl -metrics -explain
 //
 // Algorithms: init (greedy B-INIT driver), iter (full two-phase B-ITER,
 // default), pcc (Partial Component Clustering baseline), anneal
 // (simulated annealing, Leupers), mincut (balanced network partitioning,
 // Capitanio et al.; homogeneous clusters only), opt (exhaustive, small
 // graphs only).
+//
+// Observability: -trace FILE journals every search event (sweep configs,
+// B-ITER rounds, candidate evaluations with cache verdicts) as JSONL,
+// -metrics prints per-phase timers and counters, -explain reports the
+// per-cluster icost breakdown behind each B-INIT choice and each
+// accepted B-ITER move. All three are passive: results are bit-identical
+// with or without them.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,94 +34,172 @@ import (
 )
 
 func main() {
-	var (
-		dfgPath  = flag.String("dfg", "", "path to a .dfg file (mutually exclusive with -kernel)")
-		kernel   = flag.String("kernel", "", "built-in benchmark name (EWF, ARF, FFT, DCT-DIF, DCT-LEE, DCT-DIT, DCT-DIT-2)")
-		dpSpec   = flag.String("dp", "[1,1|1,1]", "datapath clusters in [alus,muls|...] notation")
-		buses    = flag.Int("buses", 2, "number of buses N_B")
-		moveLat  = flag.Int("movelat", 1, "data transfer latency lat(move)")
-		algo     = flag.String("algo", "iter", "binding algorithm: init, iter, pcc, anneal, mincut, opt")
-		gantt    = flag.Bool("gantt", false, "print the schedule as a Gantt chart")
-		dot      = flag.Bool("dot", false, "print the bound graph in Graphviz DOT form")
-		asm      = flag.Bool("asm", false, "allocate registers and print a VLIW assembly listing")
-		pressure = flag.Bool("pressure", false, "print per-cluster register pressure")
-		regs     = flag.Int("regs", 0, "register file size per cluster; 0 = unbounded, otherwise spill code is inserted to fit")
-		verify   = flag.Bool("verify", true, "execute the schedule cycle-accurately and check outputs")
-		audit    = flag.Bool("audit", false, "run the full invariant auditor on the result (binding, schedule, simulation, allocation)")
-		par      = flag.Int("par", 0, "worker-pool size for init/iter candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
-		timeout  = flag.Duration("timeout", 0, "binding time budget (e.g. 100ms); on expiry the best binding found so far is returned, marked degraded. 0 = no budget")
-	)
-	flag.Parse()
-	if err := run(*dfgPath, *kernel, *dpSpec, *buses, *moveLat, *algo, *regs, *par, *timeout, *gantt, *dot, *asm, *pressure, *verify, *audit); err != nil {
-		fmt.Fprintln(os.Stderr, "vbind:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, par int, timeout time.Duration, gantt, dot, asm, pressure, verify, audit bool) error {
-	g, err := loadGraph(dfgPath, kernel)
+// config carries every vbind setting; flag parsing fills one in and the
+// tests construct them directly.
+type config struct {
+	dfgPath, kernel string
+	dpSpec          string
+	buses, moveLat  int
+	algo            string
+	regs, par       int
+	timeout         time.Duration
+	gantt, dot, asm bool
+	pressure        bool
+	verify, audit   bool
+	tracePath       string
+	metrics         bool
+	explain         bool
+}
+
+// realMain parses flags, validates input selection up front, and runs.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vbind", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.dfgPath, "dfg", "", "path to a .dfg file (mutually exclusive with -kernel)")
+	fs.StringVar(&cfg.kernel, "kernel", "", "built-in benchmark name (EWF, ARF, FFT, DCT-DIF, DCT-LEE, DCT-DIT, DCT-DIT-2)")
+	fs.StringVar(&cfg.dpSpec, "dp", "[1,1|1,1]", "datapath clusters in [alus,muls|...] notation")
+	fs.IntVar(&cfg.buses, "buses", 2, "number of buses N_B")
+	fs.IntVar(&cfg.moveLat, "movelat", 1, "data transfer latency lat(move)")
+	fs.StringVar(&cfg.algo, "algo", "iter", "binding algorithm: init, iter, pcc, anneal, mincut, opt")
+	fs.BoolVar(&cfg.gantt, "gantt", false, "print the schedule as a Gantt chart")
+	fs.BoolVar(&cfg.dot, "dot", false, "print the bound graph in Graphviz DOT form")
+	fs.BoolVar(&cfg.asm, "asm", false, "allocate registers and print a VLIW assembly listing")
+	fs.BoolVar(&cfg.pressure, "pressure", false, "print per-cluster register pressure")
+	fs.IntVar(&cfg.regs, "regs", 0, "register file size per cluster; 0 = unbounded, otherwise spill code is inserted to fit")
+	fs.BoolVar(&cfg.verify, "verify", true, "execute the schedule cycle-accurately and check outputs")
+	fs.BoolVar(&cfg.audit, "audit", false, "run the full invariant auditor on the result (binding, schedule, simulation, allocation)")
+	fs.IntVar(&cfg.par, "par", 0, "worker-pool size for init/iter candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "binding time budget (e.g. 100ms); on expiry the best binding found so far is returned, marked degraded. 0 = no budget")
+	fs.StringVar(&cfg.tracePath, "trace", "", "journal every search event to FILE as JSON lines")
+	fs.BoolVar(&cfg.metrics, "metrics", false, "print per-phase timers and search counters after binding")
+	fs.BoolVar(&cfg.explain, "explain", false, "report the icost breakdown behind each B-INIT choice and each accepted B-ITER move")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := validateInput(cfg.dfgPath, cfg.kernel); err != nil {
+		fmt.Fprintln(stderr, "vbind:", err)
+		return 2
+	}
+	if err := run(stdout, cfg); err != nil {
+		fmt.Fprintln(stderr, "vbind:", err)
+		return 1
+	}
+	return 0
+}
+
+// validateInput enforces the -dfg/-kernel contract before any work
+// starts: exactly one of the two must be given. Both and neither are the
+// same usage error, reported in one line.
+func validateInput(dfgPath, kernel string) error {
+	if (dfgPath != "") == (kernel != "") {
+		return fmt.Errorf("usage: exactly one of -dfg FILE or -kernel NAME is required")
+	}
+	return nil
+}
+
+func run(w io.Writer, cfg config) error {
+	if err := validateInput(cfg.dfgPath, cfg.kernel); err != nil {
+		return err
+	}
+	g, err := loadGraph(cfg.dfgPath, cfg.kernel)
 	if err != nil {
 		return err
 	}
-	dp, err := vliwbind.ParseDatapath(dpSpec, vliwbind.DatapathConfig{NumBuses: buses, MoveLat: moveLat})
+	dp, err := vliwbind.ParseDatapath(cfg.dpSpec, vliwbind.DatapathConfig{NumBuses: cfg.buses, MoveLat: cfg.moveLat})
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
-	if timeout > 0 {
+	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
+
+	// Observability sinks, all optional, all passive.
+	var sinks []vliwbind.Observer
+	var journal *vliwbind.TraceJournal
+	var traceFile *os.File
+	if cfg.tracePath != "" {
+		traceFile, err = os.Create(cfg.tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer traceFile.Close()
+		journal = vliwbind.NewTraceJournal(traceFile)
+		sinks = append(sinks, journal)
+	}
+	var metrics *vliwbind.Metrics
+	if cfg.metrics {
+		metrics = vliwbind.NewMetrics()
+		sinks = append(sinks, metrics)
+	}
+	var explain *vliwbind.Explain
+	if cfg.explain {
+		explain = vliwbind.NewExplain()
+		sinks = append(sinks, explain)
+	}
+	observer := vliwbind.MultiObserver(sinks...)
+
 	var cstats vliwbind.CacheStats
-	opts := vliwbind.Options{Parallelism: par, Stats: &cstats}
+	opts := vliwbind.Options{Parallelism: cfg.par, Stats: &cstats, Observer: observer}
 	var res *vliwbind.Result
-	switch algo {
+	t0 := time.Now()
+	switch cfg.algo {
 	case "init":
 		res, err = vliwbind.InitialBindContext(ctx, g, dp, opts)
 	case "iter":
 		res, err = vliwbind.BindContext(ctx, g, dp, opts)
 	case "pcc":
-		res, err = vliwbind.BindPCCContext(ctx, g, dp, vliwbind.PCCOptions{})
+		res, err = vliwbind.BindPCCContext(ctx, g, dp, vliwbind.PCCOptions{Observer: observer})
 	case "anneal":
-		res, err = vliwbind.BindAnnealContext(ctx, g, dp, vliwbind.AnnealOptions{})
+		res, err = vliwbind.BindAnnealContext(ctx, g, dp, vliwbind.AnnealOptions{Observer: observer})
 	case "mincut":
 		res, err = vliwbind.BindMinCutContext(ctx, g, dp, vliwbind.MinCutOptions{})
 	case "opt":
 		res, err = vliwbind.OptimalContext(ctx, g, dp, 0)
 	default:
-		return fmt.Errorf("unknown algorithm %q (want init, iter, pcc, anneal, mincut or opt)", algo)
+		return fmt.Errorf("unknown algorithm %q (want init, iter, pcc, anneal, mincut or opt)", cfg.algo)
+	}
+	if observer != nil {
+		observer.Event(vliwbind.TraceEvent{Type: "phase", Kernel: g.Name(),
+			Name: "vbind." + cfg.algo, DurNs: time.Since(t0).Nanoseconds()})
 	}
 	if err != nil {
 		return err
 	}
 	stats := g.Stats()
-	fmt.Printf("graph %s: N_V=%d N_CC=%d L_CP=%d\n", g.Name(), stats.NumOps, stats.NumComponents, stats.CriticalPath)
-	fmt.Printf("datapath %s buses=%d lat(move)=%d\n", dp, dp.NumBuses(), dp.MoveLat())
-	fmt.Printf("%s: L=%d moves=%d\n", algo, res.L(), res.Moves())
+	fmt.Fprintf(w, "graph %s: N_V=%d N_CC=%d L_CP=%d\n", g.Name(), stats.NumOps, stats.NumComponents, stats.CriticalPath)
+	fmt.Fprintf(w, "datapath %s buses=%d lat(move)=%d\n", dp, dp.NumBuses(), dp.MoveLat())
+	fmt.Fprintf(w, "%s: L=%d moves=%d\n", cfg.algo, res.L(), res.Moves())
 	if res.Degraded {
-		fmt.Printf("degraded: budget expired before the search completed (%v); result is the audited best-so-far\n", res.Budget)
+		fmt.Fprintf(w, "degraded: budget expired before the search completed (%v); result is the audited best-so-far\n", res.Budget)
 	}
 	if h, ms := cstats.Hits(), cstats.Misses(); h+ms > 0 {
-		fmt.Printf("evaluation cache: %d scheduled, %d served from cache (%.0f%% hit rate)\n",
+		fmt.Fprintf(w, "evaluation cache: %d scheduled, %d served from cache (%.0f%% hit rate)\n",
 			ms, h, 100*float64(h)/float64(h+ms))
 	}
-	if regs > 0 {
-		sr, err := vliwbind.BindWithSpills(res.Graph, dp, res.Binding, regs)
+	if cfg.regs > 0 {
+		sr, err := vliwbind.BindWithSpills(res.Graph, dp, res.Binding, cfg.regs)
 		if err != nil {
 			return err
 		}
 		res = sr.Result
-		fmt.Printf("fit to %d-entry register files: %d spills, L=%d (+%d)\n",
-			regs, sr.Spills, res.L(), res.L()-sr.BaseL)
+		fmt.Fprintf(w, "fit to %d-entry register files: %d spills, L=%d (+%d)\n",
+			cfg.regs, sr.Spills, res.L(), res.L()-sr.BaseL)
 	}
-	if audit {
+	if cfg.audit {
 		if err := vliwbind.AuditResult(res); err != nil {
 			return fmt.Errorf("result failed audit: %w", err)
 		}
-		fmt.Println("audited: binding, schedule, simulation and allocation invariants hold")
+		fmt.Fprintln(w, "audited: binding, schedule, simulation and allocation invariants hold")
 	}
-	if verify {
+	if cfg.verify {
 		in := make([]float64, g.NumInputs())
 		for i := range in {
 			in[i] = float64(i + 1)
@@ -120,19 +207,19 @@ func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, 
 		if err := vliwbind.VerifySchedule(res.Schedule, in); err != nil {
 			return fmt.Errorf("schedule failed cycle-accurate verification: %w", err)
 		}
-		fmt.Println("verified: cycle-accurate execution matches reference evaluation")
+		fmt.Fprintln(w, "verified: cycle-accurate execution matches reference evaluation")
 	}
-	if pressure {
+	if cfg.pressure {
 		rep := vliwbind.RegisterPressure(res.Schedule)
-		fmt.Printf("register pressure per cluster: %v (peak %d)\n", rep.MaxLive, rep.Peak)
+		fmt.Fprintf(w, "register pressure per cluster: %v (peak %d)\n", rep.MaxLive, rep.Peak)
 	}
-	if gantt {
-		fmt.Print(vliwbind.Gantt(res.Schedule))
+	if cfg.gantt {
+		fmt.Fprint(w, vliwbind.Gantt(res.Schedule))
 	}
-	if dot {
-		fmt.Print(vliwbind.GraphDot(res.Bound, res.BoundBinding))
+	if cfg.dot {
+		fmt.Fprint(w, vliwbind.GraphDot(res.Bound, res.BoundBinding))
 	}
-	if asm {
+	if cfg.asm {
 		alloc, err := vliwbind.AllocateRegisters(res.Schedule, 0)
 		if err != nil {
 			return err
@@ -140,15 +227,25 @@ func run(dfgPath, kernel, dpSpec string, buses, moveLat int, algo string, regs, 
 		if err := vliwbind.CheckRegisters(res.Schedule, alloc); err != nil {
 			return fmt.Errorf("register allocation failed its own check: %w", err)
 		}
-		fmt.Print(vliwbind.EmitAssembly(res.Schedule, alloc))
+		fmt.Fprint(w, vliwbind.EmitAssembly(res.Schedule, alloc))
+	}
+	if explain != nil {
+		fmt.Fprint(w, explain.Render())
+	}
+	if metrics != nil {
+		fmt.Fprint(w, metrics.Dump())
+	}
+	if journal != nil {
+		if err := journal.Flush(); err != nil {
+			return fmt.Errorf("trace journal: %w", err)
+		}
+		fmt.Fprintf(w, "trace: %d events written to %s\n", journal.Len(), cfg.tracePath)
 	}
 	return nil
 }
 
 func loadGraph(dfgPath, kernel string) (*vliwbind.Graph, error) {
 	switch {
-	case dfgPath != "" && kernel != "":
-		return nil, fmt.Errorf("-dfg and -kernel are mutually exclusive")
 	case dfgPath != "":
 		f, err := os.Open(dfgPath)
 		if err != nil {

@@ -1,14 +1,22 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunKernelAllAlgos(t *testing.T) {
 	for _, algo := range []string{"init", "iter", "pcc", "anneal", "mincut"} {
-		if err := run("", "ARF", "[1,1|1,1]", 2, 1, algo, 0, 2, 0, false, false, false, false, true, true); err != nil {
+		cfg := config{kernel: "ARF", dpSpec: "[1,1|1,1]", buses: 2, moveLat: 1,
+			algo: algo, par: 2, verify: true, audit: true}
+		if err := run(io.Discard, cfg); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -17,7 +25,10 @@ func TestRunKernelAllAlgos(t *testing.T) {
 }
 
 func TestRunWithOutputs(t *testing.T) {
-	if err := run("", "EWF", "[2,1|1,1]", 2, 1, "init", 8, 0, 0, true, true, true, true, true, true); err != nil {
+	cfg := config{kernel: "EWF", dpSpec: "[2,1|1,1]", buses: 2, moveLat: 1,
+		algo: "init", regs: 8, gantt: true, dot: true, asm: true,
+		pressure: true, verify: true, audit: true}
+	if err := run(io.Discard, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,7 +40,9 @@ func TestRunDFGFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", "[1,1|1,1]", 2, 1, "iter", 0, 1, 0, false, false, false, false, true, true); err != nil {
+	cfg := config{dfgPath: path, dpSpec: "[1,1|1,1]", buses: 2, moveLat: 1,
+		algo: "iter", par: 1, verify: true, audit: true}
+	if err := run(io.Discard, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,33 +51,181 @@ func TestRunWithSpillFit(t *testing.T) {
 	// A 6-entry file forces EWF to spill (its unbounded demand is 8
 	// with this binding; 5 live-out taps set the floor); the run must
 	// still verify.
-	if err := run("", "EWF", "[2,1|2,1]", 2, 1, "init", 6, 0, 0, false, false, true, true, true, true); err != nil {
+	cfg := config{kernel: "EWF", dpSpec: "[2,1|2,1]", buses: 2, moveLat: 1,
+		algo: "init", regs: 6, asm: true, pressure: true, verify: true, audit: true}
+	if err := run(io.Discard, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
+	base := config{dpSpec: "[1,1]", buses: 2, moveLat: 1, algo: "iter"}
 	cases := []struct {
 		name string
-		f    func() error
+		mut  func(c config) config
 	}{
-		{"no input", func() error { return run("", "", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false) }},
-		{"both inputs", func() error {
-			return run("x.dfg", "ARF", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false)
-		}},
-		{"unknown kernel", func() error { return run("", "nope", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false) }},
-		{"bad datapath", func() error { return run("", "ARF", "zap", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false) }},
-		{"bad algo", func() error { return run("", "ARF", "[1,1]", 2, 1, "frob", 0, 0, 0, false, false, false, false, false, false) }},
-		{"missing file", func() error {
-			return run("/nonexistent.dfg", "", "[1,1]", 2, 1, "iter", 0, 0, 0, false, false, false, false, false, false)
-		}},
-		{"mincut heterogeneous", func() error {
-			return run("", "ARF", "[2,1|1,1]", 2, 1, "mincut", 0, 0, 0, false, false, false, false, false, false)
-		}},
+		{"no input", func(c config) config { return c }},
+		{"both inputs", func(c config) config { c.dfgPath, c.kernel = "x.dfg", "ARF"; return c }},
+		{"unknown kernel", func(c config) config { c.kernel = "nope"; return c }},
+		{"bad datapath", func(c config) config { c.kernel, c.dpSpec = "ARF", "zap"; return c }},
+		{"bad algo", func(c config) config { c.kernel, c.algo = "ARF", "frob"; return c }},
+		{"missing file", func(c config) config { c.dfgPath = "/nonexistent.dfg"; return c }},
+		{"mincut heterogeneous", func(c config) config { c.kernel, c.dpSpec, c.algo = "ARF", "[2,1|1,1]", "mincut"; return c }},
 	}
 	for _, tc := range cases {
-		if err := tc.f(); err == nil {
+		if err := run(io.Discard, tc.mut(base)); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
+	}
+}
+
+// TestUsageExitCode pins the -dfg/-kernel contract at the CLI boundary:
+// both flags, or neither, must exit 2 with a one-line usage message
+// before any binding work starts.
+func TestUsageExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"neither", []string{"-dp", "[1,1|1,1]"}},
+		{"both", []string{"-kernel", "ARF", "-dfg", "x.dfg"}},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		code := realMain(tc.args, &out, &errb)
+		if code != 2 {
+			t.Errorf("%s: exit code = %d, want 2", tc.name, code)
+		}
+		msg := strings.TrimSpace(errb.String())
+		if !strings.Contains(msg, "exactly one of -dfg FILE or -kernel NAME") {
+			t.Errorf("%s: usage message %q lacks the contract", tc.name, msg)
+		}
+		if strings.Count(msg, "\n") != 0 {
+			t.Errorf("%s: usage message is not one line: %q", tc.name, msg)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%s: usage error wrote to stdout: %q", tc.name, out.String())
+		}
+	}
+}
+
+func TestRealMainSuccess(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-kernel", "ARF", "-algo", "init", "-verify=false"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "init: L=") {
+		t.Errorf("missing result line:\n%s", out.String())
+	}
+}
+
+// event mirrors the journal fields this test consumes.
+type event struct {
+	Type  string `json:"type"`
+	Cache string `json:"cache"`
+}
+
+// TestObsSmoke is the tentpole's acceptance check: on vbind -kernel EWF
+// -algo iter with tracing, metrics and explain enabled, the journal must
+// decode as JSONL and contain at least one sweep-config event, at least
+// one iter-round event, and per-candidate eval events whose cache
+// hit/miss totals equal the CacheStats counters the run reports.
+func TestObsSmoke(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	var out bytes.Buffer
+	cfg := config{kernel: "EWF", dpSpec: "[1,1|1,1]", buses: 2, moveLat: 1,
+		algo: "iter", par: 4, tracePath: trace, metrics: true, explain: true}
+	if err := run(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts := map[string]int64{}
+	var hits, misses int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("journal line %q does not decode: %v", sc.Text(), err)
+		}
+		counts[e.Type]++
+		if e.Type == "eval" {
+			switch e.Cache {
+			case "hit":
+				hits++
+			case "miss":
+				misses++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if counts["sweep.config"] < 1 {
+		t.Errorf("journal has %d sweep.config events, want >= 1", counts["sweep.config"])
+	}
+	if counts["iter.round"] < 1 {
+		t.Errorf("journal has %d iter.round events, want >= 1", counts["iter.round"])
+	}
+	if counts["eval"] < 1 {
+		t.Errorf("journal has %d eval events, want >= 1", counts["eval"])
+	}
+
+	// The run reports CacheStats as "evaluation cache: M scheduled, H
+	// served from cache"; journal totals must match exactly.
+	var statH, statM int64
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "evaluation cache: ") {
+			if _, err := fmt.Sscanf(line, "evaluation cache: %d scheduled, %d served from cache", &statM, &statH); err != nil {
+				t.Fatalf("cannot parse cache line %q: %v", line, err)
+			}
+		}
+	}
+	if statH+statM == 0 {
+		t.Fatalf("run reported no cache activity:\n%s", out.String())
+	}
+	if hits != statH || misses != statM {
+		t.Errorf("journal cache totals (hits=%d misses=%d) != CacheStats (hits=%d misses=%d)",
+			hits, misses, statH, statM)
+	}
+
+	// Metrics and explain sections must have rendered.
+	for _, want := range []string{"metrics:", "cache.hits", "explain:", "B-INIT winning sweep config", "trace: "} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestObserverPassive pins the bit-identical guarantee at the CLI level:
+// the same kernel bound with and without every sink attached reports the
+// same (L, moves).
+func TestObserverPassive(t *testing.T) {
+	resultLine := func(cfg config) string {
+		var out bytes.Buffer
+		if err := run(&out, cfg); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, cfg.algo+": L=") {
+				return line
+			}
+		}
+		t.Fatalf("no result line in:\n%s", out.String())
+		return ""
+	}
+	plain := config{kernel: "ARF", dpSpec: "[1,1|1,1]", buses: 2, moveLat: 1, algo: "iter", par: 2}
+	observed := plain
+	observed.tracePath = filepath.Join(t.TempDir(), "t.jsonl")
+	observed.metrics = true
+	observed.explain = true
+	if a, b := resultLine(plain), resultLine(observed); a != b {
+		t.Errorf("observation changed the result: %q vs %q", a, b)
 	}
 }

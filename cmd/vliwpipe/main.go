@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,19 +31,51 @@ func main() {
 		iters   = flag.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
 		audit   = flag.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
 		timeout = flag.Duration("timeout", 0, "scheduling time budget (e.g. 100ms); a modulo schedule has no partial form, so expiry aborts with an error. 0 = no budget")
+		trace   = flag.String("trace", "", "journal pipeline phase events to FILE as JSON lines")
+		metrics = flag.Bool("metrics", false, "print per-phase timers after scheduling")
 	)
 	flag.Parse()
-	if err := run(*dfgPath, *carried, *dpSpec, *buses, *iters, *timeout, *audit); err != nil {
+	if err := run(os.Stdout, *dfgPath, *carried, *dpSpec, *buses, *iters, *timeout, *audit, *trace, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "vliwpipe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dfgPath, carried, dpSpec string, buses, iters int, timeout time.Duration, audit bool) error {
+func run(w io.Writer, dfgPath, carried, dpSpec string, buses, iters int, timeout time.Duration, audit bool, tracePath string, withMetrics bool) error {
+	// The modulo scheduler has no internal observation seam, so vliwpipe
+	// journals coarse CLI-level phase events (load, pipeline, verify);
+	// -metrics folds the same events into the phase table.
+	var sinks []vliwbind.Observer
+	var journal *vliwbind.TraceJournal
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		journal = vliwbind.NewTraceJournal(f)
+		sinks = append(sinks, journal)
+	}
+	var mtr *vliwbind.Metrics
+	if withMetrics {
+		mtr = vliwbind.NewMetrics()
+		sinks = append(sinks, mtr)
+	}
+	observer := vliwbind.MultiObserver(sinks...)
+	phase := func(name string, t0 time.Time, kernel string) {
+		if observer != nil {
+			observer.Event(vliwbind.TraceEvent{Type: "phase", Kernel: kernel,
+				Name: name, DurNs: time.Since(t0).Nanoseconds()})
+		}
+	}
+
+	t0 := time.Now()
 	loop, err := loadLoop(dfgPath, carried)
 	if err != nil {
 		return err
 	}
+	kernel := loop.Body.Name()
+	phase("vliwpipe.load", t0, kernel)
 	dp, err := vliwbind.ParseDatapath(dpSpec, vliwbind.DatapathConfig{NumBuses: buses})
 	if err != nil {
 		return err
@@ -54,10 +87,13 @@ func run(dfgPath, carried, dpSpec string, buses, iters int, timeout time.Duratio
 		defer cancel()
 	}
 	mii := vliwbind.ModuloMII(loop, dp)
+	t0 = time.Now()
 	ps, err := vliwbind.ModuloPipelineContext(ctx, loop, dp, vliwbind.ModuloOptions{})
+	phase("vliwpipe.pipeline", t0, kernel)
 	if err != nil {
 		return err
 	}
+	t0 = time.Now()
 	if err := vliwbind.ModuloCheck(ps, iters); err != nil {
 		return fmt.Errorf("schedule failed expansion verification: %w", err)
 	}
@@ -66,14 +102,24 @@ func run(dfgPath, carried, dpSpec string, buses, iters int, timeout time.Duratio
 			return fmt.Errorf("schedule failed audit: %w", err)
 		}
 	}
-	fmt.Printf("loop %s on %s: %d ops, %d recurrences\n",
+	phase("vliwpipe.verify", t0, kernel)
+	fmt.Fprintf(w, "loop %s on %s: %d ops, %d recurrences\n",
 		loop.Body.Name(), dp, loop.Body.NumOps(), len(loop.Carried))
-	fmt.Printf("MII = %d (lower bound), achieved II = %d\n", mii, ps.II)
-	fmt.Printf("moves per iteration = %d, iteration span = %d cycles\n",
+	fmt.Fprintf(w, "MII = %d (lower bound), achieved II = %d\n", mii, ps.II)
+	fmt.Fprintf(w, "moves per iteration = %d, iteration span = %d cycles\n",
 		ps.MovesPerIteration(), ps.ScheduleLength())
-	fmt.Println("verified by expanding concrete iterations")
+	fmt.Fprintln(w, "verified by expanding concrete iterations")
 	if audit {
-		fmt.Println("audited: move slots and expanded schedule invariants hold")
+		fmt.Fprintln(w, "audited: move slots and expanded schedule invariants hold")
+	}
+	if mtr != nil {
+		fmt.Fprint(w, mtr.Dump())
+	}
+	if journal != nil {
+		if err := journal.Flush(); err != nil {
+			return fmt.Errorf("trace journal: %w", err)
+		}
+		fmt.Fprintf(w, "trace: %d events written to %s\n", journal.Len(), tracePath)
 	}
 	return nil
 }

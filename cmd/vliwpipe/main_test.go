@@ -1,13 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunBuiltinLoop(t *testing.T) {
-	if err := run("", "", "[2,1|2,1]", 2, 0, 0, true); err != nil {
+	if err := run(io.Discard, "", "", "[2,1|2,1]", 2, 0, 0, true, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,24 +23,57 @@ func TestRunCustomLoop(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "y>s:1", "[1,1|1,1]", 2, 4, 0, true); err != nil {
+	if err := run(io.Discard, path, "y>s:1", "[1,1|1,1]", 2, 4, 0, true, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/missing.dfg", "", "[1,1]", 2, 0, 0, false); err == nil {
+	if err := run(io.Discard, "/missing.dfg", "", "[1,1]", 2, 0, 0, false, "", false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("", "", "zap", 2, 0, 0, false); err == nil {
+	if err := run(io.Discard, "", "", "zap", 2, 0, 0, false, "", false); err == nil {
 		t.Error("bad datapath accepted")
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "loop.dfg")
 	os.WriteFile(path, []byte("dfg g\nin x\nop a neg x\nout a\n"), 0o644)
 	for _, spec := range []string{"bogus", "a>zz:1", "a>a:0", "a>a:x"} {
-		if err := run(path, spec, "[1,1|1,1]", 2, 0, 0, false); err == nil {
+		if err := run(io.Discard, path, spec, "[1,1|1,1]", 2, 0, 0, false, "", false); err == nil {
 			t.Errorf("carried spec %q accepted", spec)
+		}
+	}
+}
+
+func TestRunWithTraceAndMetrics(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	var out bytes.Buffer
+	if err := run(&out, "", "", "[2,1|2,1]", 2, 0, 0, false, trace, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("journal line %q does not decode: %v", line, err)
+		}
+		if e.Type == "phase" {
+			phases++
+		}
+	}
+	if phases < 3 {
+		t.Errorf("journal has %d phase events, want load+pipeline+verify", phases)
+	}
+	for _, want := range []string{"metrics:", "vliwpipe.pipeline", "trace: "} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"vliwbind/internal/bind"
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/obs"
 	"vliwbind/internal/problem"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	MovesPerTemp int
 	// MinTemp stops the annealing. Zero defaults to 0.05.
 	MinTemp float64
+	// Observer, when non-nil, receives one obs.EvAnnealTemp event per
+	// temperature step with the best (L, M) observed so far. Observation
+	// is passive: the rng consumption sequence — and therefore the walk
+	// — is identical with or without it.
+	Observer obs.Observer
 }
 
 func (o Options) withDefaults(numOps int) Options {
@@ -118,6 +124,10 @@ func BindContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts O
 	}
 
 	for temp := opts.InitialTemp; temp > opts.MinTemp; temp *= opts.Cooling {
+		if opts.Observer != nil {
+			opts.Observer.Event(obs.Event{Type: obs.EvAnnealTemp, Phase: "anneal",
+				Kernel: g.Name(), Temp: temp, L: best.L, M: best.M})
+		}
 		for m := 0; m < opts.MovesPerTemp; m++ {
 			if ctx.Err() != nil {
 				return degrade()

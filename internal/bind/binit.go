@@ -9,6 +9,7 @@ import (
 
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/obs"
 	"vliwbind/internal/profile"
 )
 
@@ -74,6 +75,16 @@ type Options struct {
 	// production; every call site guards against panics, but hooks run
 	// on the evaluation hot path.
 	Hook func(point string)
+	// Observer, when non-nil, receives one obs.Event at each of the
+	// engine's observation seams: every sweep configuration, B-INIT
+	// choice, B-ITER round, candidate evaluation (with cache verdict),
+	// pool batch, retry, and degraded exit. Observation is strictly
+	// passive — a run with an Observer attached produces bit-identical
+	// results to one without — and the observer must be safe for
+	// concurrent use, since events fire from worker-pool goroutines.
+	// Leave nil in production unless tracing is wanted; the disabled
+	// path costs one branch per seam.
+	Observer obs.Observer
 }
 
 // Validate rejects out-of-range option values with a descriptive error
@@ -292,6 +303,7 @@ func initialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts
 		var bestCost, bestTr float64
 		var bestTrs []profile.Transfer
 		var bestFU int
+		var choices []obs.ClusterCost // explain breakdown, observer-only
 		for _, c := range ts {
 			tc, trs := trcost(v, c, bn, reverse)
 			fu := prof.FUCost(v, c)
@@ -308,6 +320,20 @@ func initialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts
 			if better {
 				bestC, bestCost, bestTr, bestFU, bestTrs = c, cost, float64(tc), fu, trs
 			}
+			if opts.Observer != nil {
+				choices = append(choices, obs.ClusterCost{
+					Cluster: c, FUCost: fu, BusCost: bus, TrCost: tc, ICost: cost,
+				})
+			}
+		}
+		if opts.Observer != nil {
+			for i := range choices {
+				choices[i].Chosen = choices[i].Cluster == bestC
+			}
+			opts.Observer.Event(obs.Event{
+				Type: obs.EvBInitChoice, Phase: "binit.greedy", Kernel: g.Name(),
+				LPR: lpr, Reverse: reverse, Op: v.Name(), Choices: choices,
+			})
 		}
 		bn[v.ID()] = bestC
 		prof.CommitOp(v, bestC)
@@ -422,11 +448,19 @@ func initialSolutions(ctx context.Context, en *engine, opts Options) ([]solution
 			configs = append(configs, config{lcp + s, rev})
 		}
 	}
+	en.setPhase("binit.sweep")
 	bns := make([][]int, len(configs))
 	errs := en.runBatch(ctx, len(configs), func(_, i int) error {
 		en.fire(HookSweepConfig)
 		var err error
 		bns[i], err = initialOnce(g, dp, configs[i].lpr, configs[i].reverse, opts)
+		if err == nil {
+			// Rank is the 1-based sweep order: with the dedup below
+			// keeping the first occurrence of each binding, the lowest
+			// rank carrying a key identifies the config that minted it.
+			en.emit(obs.Event{Type: obs.EvSweepConfig, Rank: i + 1,
+				LPR: configs[i].lpr, Reverse: configs[i].reverse, Key: keyHex(bns[i])})
+		}
 		return err
 	})
 	if err := sweepErr(ctx, errs); err != nil {
@@ -442,6 +476,7 @@ func initialSolutions(ctx context.Context, en *engine, opts Options) ([]solution
 			uniq = append(uniq, bns[i])
 		}
 	}
+	en.setPhase("binit.eval")
 	recs := make([]*evalRec, len(uniq))
 	evalErrs := en.runBatch(ctx, len(uniq), func(worker, i int) error {
 		var err error
@@ -463,6 +498,10 @@ func initialSolutions(ctx context.Context, en *engine, opts Options) ([]solution
 	})
 	if len(sols) > keep {
 		sols = sols[:keep]
+	}
+	for i, s := range sols {
+		en.emit(obs.Event{Type: obs.EvSweepSeed, Rank: i + 1,
+			Key: keyHex(s.bn), L: s.rec.l, M: s.rec.m, QU: s.rec.qu})
 	}
 	return sols, nil
 }

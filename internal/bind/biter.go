@@ -6,6 +6,7 @@ import (
 
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/obs"
 	"vliwbind/internal/sched"
 )
 
@@ -207,16 +208,23 @@ func perturbations(g *dfg.Graph, dp *machine.Datapath, bn []int, opts Options) [
 // the current solution with a non-nil cause instead of an error. A
 // panic injected at the round seam (HookIterRound) degrades the same
 // way; only a non-transient evaluation failure aborts with an error.
-func improveWith(ctx context.Context, en *engine, cur solution, quality func(*evalRec) Quality, sideways int, opts Options) (sol solution, cause error, err error) {
+func improveWith(ctx context.Context, en *engine, cur solution, pass string, quality func(*evalRec) Quality, sideways int, opts Options) (sol solution, cause error, err error) {
 	g, dp := en.p.Graph(), en.p.Datapath()
+	en.setPhase("biter." + pass)
+	stop := func(round int, verdict string) {
+		en.emit(obs.Event{Type: obs.EvIterStop, Pass: pass, Round: round, Verdict: verdict})
+	}
 	curQ := quality(cur.rec)
 	seen := map[string]bool{bindingKey(cur.bn): true}
 	plateau := 0
-	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+	iter := 0
+	for ; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
 		if ctx.Err() != nil {
+			stop(iter, "cancelled")
 			return cur, context.Cause(ctx), nil
 		}
 		if herr := en.fireGuarded(HookIterRound); herr != nil {
+			stop(iter, "fault")
 			return cur, herr, nil
 		}
 		// Materialize this round's perturbed bindings, dropping no-ops
@@ -238,6 +246,8 @@ func improveWith(ctx context.Context, en *engine, cur solution, quality func(*ev
 			}
 			bns = append(bns, bn)
 		}
+		en.emit(obs.Event{Type: obs.EvIterRound, Pass: pass,
+			Round: iter + 1, Candidates: len(bns)})
 		recs := make([]*evalRec, len(bns))
 		errs := en.runBatch(ctx, len(bns), func(worker, i int) error {
 			var err error
@@ -252,6 +262,7 @@ func improveWith(ctx context.Context, en *engine, cur solution, quality func(*ev
 					// Mid-round cancellation: discard the incomplete
 					// round so the trajectory up to here stays exactly
 					// the deterministic one, and keep the best-so-far.
+					stop(iter+1, "cancelled")
 					return cur, errs[i], nil
 				}
 				return solution{}, nil, errs[i]
@@ -263,19 +274,28 @@ func improveWith(ctx context.Context, en *engine, cur solution, quality func(*ev
 			}
 		}
 		if bestIdx < 0 {
-			break
+			stop(iter+1, "exhausted")
+			return cur, nil, nil
 		}
+		verdict := "better"
 		switch {
 		case bestQ.Less(curQ):
 			plateau = 0
 		case bestQ.Equal(curQ) && plateau < sideways:
 			plateau++
+			verdict = "plateau"
 		default:
+			stop(iter+1, "worse")
 			return cur, nil, nil
 		}
+		en.emit(obs.Event{Type: obs.EvIterAccept, Pass: pass, Round: iter + 1,
+			Verdict: verdict, Key: keyHex(bns[bestIdx]),
+			L: recs[bestIdx].l, M: recs[bestIdx].m,
+			Before: curQ, After: bestQ})
 		cur, curQ = solution{bn: bns[bestIdx], rec: recs[bestIdx]}, bestQ
 		seen[bindingKey(cur.bn)] = true
 	}
+	stop(iter, "max-iterations")
 	return cur, nil, nil
 }
 
@@ -333,12 +353,12 @@ func ImproveContext(ctx context.Context, res *Result, opts Options) (*Result, er
 // an isolated fault) and sol is the best solution certified before the
 // cut; err is reserved for hard failures with no usable solution.
 func improve(ctx context.Context, en *engine, sol solution, opts Options) (out solution, cause error, err error) {
-	cur, cause, err := improveWith(ctx, en, sol, qualU, opts.Sideways, opts)
+	cur, cause, err := improveWith(ctx, en, sol, "qu", qualU, opts.Sideways, opts)
 	if err != nil {
 		return solution{}, nil, err
 	}
 	if cause == nil {
-		cur, cause, err = improveWith(ctx, en, cur, qualM, 0, opts)
+		cur, cause, err = improveWith(ctx, en, cur, "qm", qualM, 0, opts)
 		if err != nil {
 			return solution{}, nil, err
 		}

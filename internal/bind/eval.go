@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/obs"
 	"vliwbind/internal/problem"
 )
 
@@ -44,7 +46,8 @@ import (
 // cleanly, degrade to the best solution found, or return a descriptive
 // error — never crash, leak a goroutine, or corrupt the cache.
 const (
-	// HookPoolTask fires at the start of every worker-pool task.
+	// HookPoolTask fires at the start of every worker-pool task attempt
+	// — once per attempt, so a retried task fires it again.
 	HookPoolTask = "bind.pool.task"
 	// HookSweepConfig fires once per B-INIT driver configuration
 	// (one (L_PR, direction) greedy pass).
@@ -276,6 +279,11 @@ type engine struct {
 	stats      *CacheStats          // nil unless the caller asked for counters
 	hook       func(point string)   // nil unless the caller injects faults
 	maxRetries int                  // transient-failure retries per task
+	obs        obs.Observer         // nil unless the caller observes events
+	kernel     string               // graph name, stamped on every event
+	phase      string               // current engine phase; written only
+	// between pool batches (the WaitGroup join orders the write against
+	// every worker read), so event emission never races on it
 }
 
 // newEngine builds the evaluation engine for defaulted opts. It fails
@@ -293,6 +301,8 @@ func newEngine(g *dfg.Graph, dp *machine.Datapath, opts Options) (*engine, error
 		stats:      opts.Stats,
 		hook:       opts.Hook,
 		maxRetries: opts.TaskRetries,
+		obs:        opts.Observer,
+		kernel:     g.Name(),
 	}
 	if opts.Parallelism > 1 {
 		en.cache = &recCache{m: make(map[string]*evalRec)}
@@ -319,6 +329,28 @@ func (en *engine) fireGuarded(point string) error {
 	return guard(-1, nil, func() error { en.hook(point); return nil })
 }
 
+// emit hands one observability event to the observer, stamping the
+// engine's kernel and current phase onto fields the caller left empty.
+// A nil observer — the production default — costs one branch; emission
+// never alters control flow, which is what keeps observed runs
+// bit-identical to silent ones.
+func (en *engine) emit(e obs.Event) {
+	if en.obs == nil {
+		return
+	}
+	if e.Kernel == "" {
+		e.Kernel = en.kernel
+	}
+	if e.Phase == "" {
+		e.Phase = en.phase
+	}
+	en.obs.Event(e)
+}
+
+// setPhase names the engine phase for subsequent events and pprof
+// labels. Call only between pool batches (see the phase field).
+func (en *engine) setPhase(phase string) { en.phase = phase }
+
 // discardScratch drops a worker's scratch evaluator after a panic: the
 // evaluator may have been mid-schedule when the stack unwound, and a
 // fresh one costs far less than reasoning about its partial state.
@@ -337,10 +369,38 @@ func (en *engine) discardScratch(worker int) {
 // original task closure, so a retried evaluation lands in the same
 // result slot; they run on worker 0's scratch after the pool has fully
 // drained, which keeps the per-worker-evaluator invariant intact.
+//
+// Every task attempt fires HookPoolTask before its body runs (inside
+// the pool's guard, so an injected panic at that seam is an ordinary
+// task fault). With an observer attached, each attempt additionally
+// runs under pprof labels naming the engine phase and kernel, and the
+// whole batch is summarized as one pool.batch event carrying the
+// aggregate queue (submit → start) and execute times.
 func (en *engine) runBatch(ctx context.Context, n int, task func(worker, i int) error) []error {
-	errs := en.pool.run(ctx, n, task, en.discardScratch)
+	attempt := task
+	var queueNs, execNs atomic.Int64
+	var batchStart time.Time
+	if en.obs != nil {
+		batchStart = time.Now()
+		labels := pprof.Labels("bind_phase", en.phase, "bind_kernel", en.kernel)
+		attempt = func(worker, i int) error {
+			en.fire(HookPoolTask)
+			start := time.Now()
+			queueNs.Add(start.Sub(batchStart).Nanoseconds())
+			var err error
+			pprof.Do(ctx, labels, func(context.Context) { err = task(worker, i) })
+			execNs.Add(time.Since(start).Nanoseconds())
+			return err
+		}
+	} else {
+		attempt = func(worker, i int) error {
+			en.fire(HookPoolTask)
+			return task(worker, i)
+		}
+	}
+	errs := en.pool.run(ctx, n, attempt, en.discardScratch)
 	for i := range errs {
-		for attempt := 1; attempt <= en.maxRetries && transient(errs[i]); attempt++ {
+		for a := 1; a <= en.maxRetries && transient(errs[i]); a++ {
 			if ctx.Err() != nil {
 				errs[i] = context.Cause(ctx)
 				break
@@ -348,10 +408,15 @@ func (en *engine) runBatch(ctx context.Context, n int, task func(worker, i int) 
 			if en.stats != nil {
 				en.stats.retries.Add(1)
 			}
-			backoffSleep(ctx, attempt)
+			en.emit(obs.Event{Type: obs.EvRetry, Err: errs[i].Error()})
+			backoffSleep(ctx, a)
 			i := i
-			errs[i] = guard(0, en.discardScratch, func() error { return task(0, i) })
+			errs[i] = guard(0, en.discardScratch, func() error { return attempt(0, i) })
 		}
+	}
+	if en.obs != nil && n > 0 {
+		en.emit(obs.Event{Type: obs.EvPoolBatch, Tasks: n,
+			QueueNs: queueNs.Load(), ExecNs: execNs.Load()})
 	}
 	return errs
 }
@@ -390,7 +455,14 @@ func (en *engine) evaluate(ctx context.Context, worker int, bn []int) (*evalRec,
 		return nil, context.Cause(ctx)
 	}
 	if en.cache == nil {
-		return en.compute(worker, bn)
+		r, err := en.compute(worker, bn)
+		if err != nil {
+			return nil, err
+		}
+		if en.obs != nil {
+			en.emit(obs.Event{Type: obs.EvEval, Key: keyHex(bn), L: r.l, M: r.m, QU: r.qu})
+		}
+		return r, nil
 	}
 	key := bindingKey(bn)
 	en.fire(HookCacheLookup)
@@ -398,8 +470,14 @@ func (en *engine) evaluate(ctx context.Context, worker int, bn []int) (*evalRec,
 	r, ok := en.cache.m[key]
 	en.cache.mu.Unlock()
 	if ok {
+		// The eval event rides right next to the counter move, so a
+		// journal's per-verdict totals always equal the CacheStats a
+		// caller reads after the run.
 		if en.stats != nil {
 			en.stats.hits.Add(1)
+		}
+		if en.obs != nil {
+			en.emit(obs.Event{Type: obs.EvEval, Key: keyHex(bn), L: r.l, M: r.m, QU: r.qu, Cache: "hit"})
 		}
 		return r, nil
 	}
@@ -413,6 +491,9 @@ func (en *engine) evaluate(ctx context.Context, worker int, bn []int) (*evalRec,
 	en.fire(HookCacheInsert)
 	if en.stats != nil {
 		en.stats.misses.Add(1)
+	}
+	if en.obs != nil {
+		en.emit(obs.Event{Type: obs.EvEval, Key: keyHex(bn), L: r.l, M: r.m, QU: r.qu, Cache: "miss"})
 	}
 	en.cache.mu.Lock()
 	if len(en.cache.m) < maxCacheEntries {
@@ -438,6 +519,12 @@ func (en *engine) materializeDegraded(sol solution, cause error) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	msg := ""
+	if cause != nil {
+		msg = cause.Error()
+	}
+	en.emit(obs.Event{Type: obs.EvDegraded, Key: keyHex(sol.bn),
+		L: sol.rec.l, M: sol.rec.m, Err: msg})
 	res.Degraded = true
 	res.Budget = cause
 	return res, nil

@@ -1,5 +1,7 @@
 package bind
 
+import "encoding/hex"
+
 // bindingKey serializes a binding into a compact string key: one byte
 // per operation holding its cluster index plus one, so the unbound
 // marker -1 also round-trips. The key doubles as the B-ITER
@@ -14,4 +16,16 @@ func bindingKey(bn []int) string {
 		buf[i] = byte(c + 1)
 	}
 	return string(buf)
+}
+
+// keyHex renders a binding as the hex form of its bindingKey — the
+// printable, stable identifier observability events carry, so a journal
+// line and a CacheStats counter refer to the same candidate by the same
+// name. Off the hot path: only emitted events pay for it.
+func keyHex(bn []int) string {
+	buf := make([]byte, len(bn))
+	for i, c := range bn {
+		buf[i] = byte(c + 1)
+	}
+	return hex.EncodeToString(buf)
 }

@@ -20,8 +20,19 @@ import (
 	"vliwbind/internal/kernels"
 	"vliwbind/internal/machine"
 	"vliwbind/internal/mincut"
+	"vliwbind/internal/obs"
 	"vliwbind/internal/pcc"
 )
+
+// phaseEvent reports one finished algorithm stage of a row to the
+// options' observer, so an experiment trace carries the same coarse
+// timings the Measurement records.
+func phaseEvent(o obs.Observer, row, algo string, took time.Duration) {
+	if o != nil {
+		o.Event(obs.Event{Type: obs.EvPhase, Kernel: row,
+			Name: "expt." + algo, DurNs: took.Nanoseconds()})
+	}
+}
 
 // LM is a (schedule latency, data transfers) result pair, the unit in
 // which the paper reports every experiment.
@@ -115,12 +126,13 @@ func RunWith(r Row, opts bind.Options) (Measurement, error) {
 	m := Measurement{Row: r}
 
 	t0 := time.Now()
-	pres, err := pcc.Bind(g, dp, pcc.Options{})
+	pres, err := pcc.Bind(g, dp, pcc.Options{Observer: opts.Observer})
 	if err != nil {
 		return Measurement{}, fmt.Errorf("expt %s: pcc: %w", r.Name(), err)
 	}
 	m.PCCTime = time.Since(t0)
 	m.PCC = LM{pres.L(), pres.Moves()}
+	phaseEvent(opts.Observer, r.Name(), "pcc", m.PCCTime)
 
 	t0 = time.Now()
 	ini, err := bind.Initial(g, dp, opts)
@@ -129,6 +141,7 @@ func RunWith(r Row, opts bind.Options) (Measurement, error) {
 	}
 	m.InitTime = time.Since(t0)
 	m.Init = LM{ini.L(), ini.Moves()}
+	phaseEvent(opts.Observer, r.Name(), "b-init", m.InitTime)
 
 	t0 = time.Now()
 	imp, err := bind.Bind(g, dp, opts)
@@ -137,6 +150,7 @@ func RunWith(r Row, opts bind.Options) (Measurement, error) {
 	}
 	m.IterTime = time.Since(t0)
 	m.Iter = LM{imp.L(), imp.Moves()}
+	phaseEvent(opts.Observer, r.Name(), "b-iter", m.IterTime)
 
 	// Certify every measured solution before reporting it: a published
 	// (L, M) pair from an illegal schedule is worse than no result.
@@ -181,6 +195,7 @@ func RunBudgeted(ctx context.Context, r Row, opts bind.Options, budget time.Dura
 	// result — degraded or not — is audited before its (L, M) is kept.
 	record := func(algo string, res *bind.Result, err error, lm *LM, deg *bool, took *time.Duration, t0 time.Time) error {
 		*took = time.Since(t0)
+		phaseEvent(opts.Observer, r.Name(), algo, *took)
 		if err != nil {
 			if errors.Is(err, context.Cause(ctx)) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				*deg = true
@@ -197,7 +212,7 @@ func RunBudgeted(ctx context.Context, r Row, opts bind.Options, budget time.Dura
 	}
 
 	t0 := time.Now()
-	pres, err := pcc.BindContext(ctx, g, dp, pcc.Options{})
+	pres, err := pcc.BindContext(ctx, g, dp, pcc.Options{Observer: opts.Observer})
 	if err := record("pcc", pres, err, &m.PCC, &m.PCCDegraded, &m.PCCTime, t0); err != nil {
 		return Measurement{}, err
 	}

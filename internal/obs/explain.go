@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Explain collects the events that attribute a binding decision to its
+// costs — the per-cluster icost breakdown behind every greedy B-INIT
+// choice and the before/after quality vectors of every accepted B-ITER
+// move — and renders them as a human-readable report. It answers the
+// two questions the raw (L, M) numbers cannot: why did B-INIT put this
+// operation on that cluster, and what did each B-ITER move actually buy.
+type Explain struct {
+	mu       sync.Mutex
+	choices  map[[2]int][]Event // B-INIT choices per (L_PR, reverse) config
+	configs  []Event            // sweep.config events (Rank = sweep order)
+	seeds    []Event            // ranked kept seeds
+	accepts  []Event            // accepted B-ITER moves, in trajectory order
+	stops    []Event            // improvement-pass terminations
+	degraded []Event
+}
+
+// NewExplain returns an empty explain collector.
+func NewExplain() *Explain {
+	return &Explain{choices: make(map[[2]int][]Event)}
+}
+
+func configKey(e Event) [2]int {
+	rev := 0
+	if e.Reverse {
+		rev = 1
+	}
+	return [2]int{e.LPR, rev}
+}
+
+// Event implements Observer.
+func (x *Explain) Event(e Event) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	switch e.Type {
+	case EvBInitChoice:
+		// Choices of one sweep configuration arrive in binding order
+		// (each greedy pass runs on a single goroutine); configurations
+		// interleave across workers, hence the per-config grouping.
+		x.choices[configKey(e)] = append(x.choices[configKey(e)], e)
+	case EvSweepConfig:
+		x.configs = append(x.configs, e)
+	case EvSweepSeed:
+		x.seeds = append(x.seeds, e)
+	case EvIterAccept:
+		x.accepts = append(x.accepts, e)
+	case EvIterStop:
+		x.stops = append(x.stops, e)
+	case EvDegraded:
+		x.degraded = append(x.degraded, e)
+	}
+}
+
+// winner returns the sweep configuration that produced the best-ranked
+// phase-one seed: the earliest config (in sweep order) whose binding
+// key matches the rank-1 seed — exactly the dedup rule the driver
+// applies, so the reported choices are the ones behind the kept seed.
+func (x *Explain) winner() (Event, bool) {
+	var best Event
+	found := false
+	for _, s := range x.seeds {
+		if s.Rank == 1 {
+			best, found = s, true
+			break
+		}
+	}
+	if !found {
+		return Event{}, false
+	}
+	var win Event
+	winOK := false
+	for _, c := range x.configs {
+		if c.Key != best.Key {
+			continue
+		}
+		if !winOK || c.Rank < win.Rank {
+			win, winOK = c, true
+		}
+	}
+	return win, winOK
+}
+
+func dirName(reverse bool) string {
+	if reverse {
+		return "reverse"
+	}
+	return "forward"
+}
+
+// Render produces the explain report. It is deterministic for a
+// deterministic run: choices are grouped per configuration and kept in
+// binding order, and accepted moves follow the improvement trajectory.
+func (x *Explain) Render() string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("explain:\n")
+	if win, ok := x.winner(); ok {
+		fmt.Fprintf(&b, "  B-INIT winning sweep config: L_PR=%d %s (key %s)\n",
+			win.LPR, dirName(win.Reverse), win.Key)
+		b.WriteString("  per-operation icost breakdown (chosen cluster marked *):\n")
+		for _, c := range x.choices[configKey(win)] {
+			fmt.Fprintf(&b, "    %-8s", c.Op)
+			for i, ch := range c.Choices {
+				if i > 0 {
+					b.WriteString(" |")
+				}
+				mark := " "
+				if ch.Chosen {
+					mark = "*"
+				}
+				fmt.Fprintf(&b, " c%d%s fu=%d bus=%d tr=%d icost=%.2f",
+					ch.Cluster, mark, ch.FUCost, ch.BusCost, ch.TrCost, ch.ICost)
+			}
+			b.WriteByte('\n')
+		}
+	} else {
+		b.WriteString("  no B-INIT sweep observed (algorithm without a driver sweep, or tracing attached too late)\n")
+	}
+	if len(x.seeds) > 0 {
+		sort.SliceStable(x.seeds, func(i, j int) bool { return x.seeds[i].Rank < x.seeds[j].Rank })
+		b.WriteString("  phase-one seeds kept for improvement:\n")
+		for _, s := range x.seeds {
+			fmt.Fprintf(&b, "    rank %d: L=%d M=%d Q_U=%v key=%s\n", s.Rank, s.L, s.M, s.QU, s.Key)
+		}
+	}
+	if len(x.accepts) == 0 {
+		b.WriteString("  B-ITER accepted no moves\n")
+	} else {
+		b.WriteString("  B-ITER accepted moves (quality before -> after):\n")
+		for _, a := range x.accepts {
+			fmt.Fprintf(&b, "    %s round %d [%s]: L=%d M=%d  %v -> %v  key=%s\n",
+				a.Pass, a.Round, a.Verdict, a.L, a.M, a.Before, a.After, a.Key)
+		}
+	}
+	for _, s := range x.stops {
+		fmt.Fprintf(&b, "  %s pass ended after round %d: %s\n", s.Pass, s.Round, s.Verdict)
+	}
+	for _, d := range x.degraded {
+		fmt.Fprintf(&b, "  degraded exit: %s\n", d.Err)
+	}
+	return b.String()
+}

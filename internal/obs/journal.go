@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Journal is the JSONL event sink: one JSON object per line, in
+// emission order, each stamped with a sequence number and a monotonic
+// timestamp relative to the journal's creation. Events arrive from
+// worker-pool goroutines concurrently; the journal serializes them
+// under a mutex (encoding cost is trivial next to the list schedule
+// every miss pays for).
+//
+// Write errors are sticky: the first one is retained, later events are
+// dropped, and Flush reports it — a CLI can keep binding even when its
+// trace file fills up.
+type Journal struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	seq   int64
+	err   error
+}
+
+// NewJournal starts a journal writing to w. The caller owns w and
+// closes it after Flush.
+func NewJournal(w io.Writer) *Journal {
+	bw := bufio.NewWriter(w)
+	return &Journal{
+		w:     bw,
+		enc:   json.NewEncoder(bw),
+		start: time.Now(),
+	}
+}
+
+// Event implements Observer: stamp, encode, append.
+func (j *Journal) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.seq++
+	e.Seq = j.seq
+	e.TNs = time.Since(j.start).Nanoseconds()
+	if err := j.enc.Encode(e); err != nil {
+		j.err = err
+	}
+}
+
+// Len returns how many events have been journaled so far.
+func (j *Journal) Len() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Flush drains the buffer to the underlying writer and returns the
+// first error the journal encountered, if any.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}

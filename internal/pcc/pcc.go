@@ -23,6 +23,7 @@ import (
 	"vliwbind/internal/bind"
 	"vliwbind/internal/dfg"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/obs"
 	"vliwbind/internal/problem"
 )
 
@@ -34,6 +35,10 @@ type Options struct {
 	// MaxIterations caps the phase-two improvement iterations per
 	// decomposition; zero means until no improving move exists.
 	MaxIterations int
+	// Observer, when non-nil, receives one obs.EvPCCCap event per
+	// component-size cap with the (L, M) its improved assignment
+	// reached. Observation is passive and never changes results.
+	Observer obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +87,10 @@ func BindContext(ctx context.Context, g *dfg.Graph, dp *machine.Datapath, opts O
 		res, cutShort, err := improve(ctx, g, dp, comps, bn, opts.MaxIterations)
 		if err != nil {
 			return nil, err
+		}
+		if res != nil && opts.Observer != nil {
+			opts.Observer.Event(obs.Event{Type: obs.EvPCCCap, Phase: "pcc.sweep",
+				Kernel: g.Name(), Cap: cap, L: res.L(), M: res.Moves()})
 		}
 		if res != nil && (best == nil || res.L() < best.L() ||
 			(res.L() == best.L() && res.Moves() < best.Moves())) {

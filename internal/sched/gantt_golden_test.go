@@ -1,0 +1,115 @@
+package sched
+
+// Golden and alignment tests for the Gantt renderer on charts the small
+// examples never reach: schedules past cycle 100, datapaths with more
+// than ten units per cluster, and horizons whose cycle numbers are wider
+// than every op name. Cell width must come from the widest label a
+// column can hold — node names AND header cycle numbers — or the columns
+// shear exactly where a chart gets big enough to need reading tools.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+var updateGantt = flag.Bool("update-gantt", false, "rewrite testdata/gantt_wide.golden from the current renderer")
+
+// wideSchedule hand-builds a schedule on an 11-ALU cluster (unit labels
+// reach c0.alu10) with occupancy out to cycle 100 (three-digit header).
+func wideSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	b := dfg.NewBuilder("wide")
+	x := b.Input("x")
+	const units = 11
+	ops := make([]dfg.Value, units)
+	for i := range ops {
+		ops[i] = b.Named("a"+strconv.Itoa(i), dfg.OpAdd, 0, x, x)
+	}
+	far := b.Named("far", dfg.OpAdd, 0, ops[0], ops[0])
+	b.Output(far)
+	g := b.Graph()
+	dp := machine.MustParse("[11,1]", machine.Config{NumBuses: 1})
+
+	start := make([]int, units+1)
+	cluster := make([]int, units+1)
+	unit := make([]int, units+1)
+	for i := 0; i < units; i++ {
+		start[i], unit[i] = i, i
+	}
+	start[units], unit[units] = 100, 0 // "far" lands at cycle 100
+	return &Schedule{Graph: g, Datapath: dp, Start: start, Cluster: cluster, Unit: unit, L: 101}
+}
+
+// TestGanttGoldenWideChart pins the full chart for L >= 100 on a
+// >= 10-unit datapath. Regenerate with -update-gantt after an intended
+// renderer change and review the diff for column alignment.
+func TestGanttGoldenWideChart(t *testing.T) {
+	got := trimTrailingSpace(Gantt(wideSchedule(t)))
+	path := filepath.Join("testdata", "gantt_wide.golden")
+	if *updateGantt {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-gantt)", err)
+	}
+	if got != string(want) {
+		t.Errorf("Gantt wide chart drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGanttColumnsAlignedAtWideCycles puts occupancy at cycles 1000 and
+// 1001 with one-character op names: the four-digit cycle numbers are now
+// the widest cell content, and every column after them shears unless the
+// cell width accounts for the header.
+func TestGanttColumnsAlignedAtWideCycles(t *testing.T) {
+	b := dfg.NewBuilder("far")
+	x := b.Input("x")
+	w := b.Named("w", dfg.OpAdd, 0, x, x)
+	v := b.Named("v", dfg.OpAdd, 0, w, w)
+	b.Output(v)
+	g := b.Graph()
+	dp := machine.MustParse("[1,0]", machine.Config{NumBuses: 1})
+	s := &Schedule{Graph: g, Datapath: dp,
+		Start: []int{1000, 1001}, Cluster: []int{0, 0}, Unit: []int{0, 0}}
+
+	lines := strings.Split(Gantt(s), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("chart too short:\n%s", strings.Join(lines, "\n"))
+	}
+	header := lines[1]
+	var aluRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "c0.alu0") {
+			aluRow = l
+		}
+	}
+	if aluRow == "" {
+		t.Fatalf("no c0.alu0 row:\n%s", strings.Join(lines, "\n"))
+	}
+	for _, probe := range []struct {
+		cycle, op string
+	}{{"1000", "w"}, {"1001", "v"}} {
+		hc := strings.Index(header, probe.cycle)
+		oc := strings.Index(aluRow, probe.op)
+		if hc < 0 || oc < 0 {
+			t.Fatalf("probe %s/%s missing from chart", probe.cycle, probe.op)
+		}
+		if hc != oc {
+			t.Errorf("op %s at column %d but its cycle header %s at column %d: columns sheared",
+				probe.op, oc, probe.cycle, hc)
+		}
+	}
+}

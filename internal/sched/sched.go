@@ -10,6 +10,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"vliwbind/internal/dfg"
@@ -349,16 +350,6 @@ func Check(s *Schedule) error {
 // tools and examples.
 func Gantt(s *Schedule) string {
 	g, dp := s.Graph, s.Datapath
-	width := 0
-	for _, n := range g.Nodes() {
-		if len(n.Name()) > width {
-			width = len(n.Name())
-		}
-	}
-	if width < 3 {
-		width = 3
-	}
-	cell := func(txt string) string { return fmt.Sprintf(" %-*s", width, txt) }
 
 	// Render out to the last occupied cycle rather than s.L, so a
 	// multi-cycle (dii > 1) op is never silently clipped at column L-1 and
@@ -372,9 +363,47 @@ func Gantt(s *Schedule) string {
 		}
 	}
 
+	// One column per cycle, each wide enough for the widest thing a cell
+	// can hold: any node name, or the largest cycle number in the header
+	// — short-named ops on a long schedule must not shear the columns.
+	width := 0
+	for _, n := range g.Nodes() {
+		if len(n.Name()) > width {
+			width = len(n.Name())
+		}
+	}
+	if horizon > 0 {
+		if d := len(strconv.Itoa(horizon - 1)); d > width {
+			width = d
+		}
+	}
+	if width < 3 {
+		width = 3
+	}
+	cell := func(txt string) string { return fmt.Sprintf(" %-*s", width, txt) }
+
+	// The row-label gutter likewise grows with the widest resource label
+	// (double-digit clusters, units or buses), never below the 12 columns
+	// the small charts have always used.
+	labelW := 12
+	for c := 0; c < dp.NumClusters(); c++ {
+		for _, ft := range dfg.ComputeFUTypes() {
+			if n := dp.NumFU(c, ft); n > 0 {
+				if l := len(fmt.Sprintf("c%d.%s%d", c, ft, n-1)) + 1; l > labelW {
+					labelW = l
+				}
+			}
+		}
+	}
+	if nb := dp.NumBuses(); nb > 0 {
+		if l := len(fmt.Sprintf("bus%d", nb-1)) + 1; l > labelW {
+			labelW = l
+		}
+	}
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "schedule %q on %s  L=%d M=%d\n", g.Name(), dp, s.L, s.NumMoves())
-	b.WriteString(strings.Repeat(" ", 12))
+	b.WriteString(strings.Repeat(" ", labelW))
 	for t := 0; t < horizon; t++ {
 		fmt.Fprintf(&b, " %-*d", width, t)
 	}
@@ -392,7 +421,7 @@ func Gantt(s *Schedule) string {
 				row[s.Start[n.ID()]+d] = n.Name()
 			}
 		}
-		fmt.Fprintf(&b, "%-12s", label)
+		fmt.Fprintf(&b, "%-*s", labelW, label)
 		for _, r := range row {
 			b.WriteString(cell(r))
 		}

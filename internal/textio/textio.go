@@ -34,6 +34,9 @@ func Parse(r io.Reader) (*dfg.Graph, error) {
 	vals := make(map[string]dfg.Value)
 	var outs []string
 	outSeen := make(map[string]bool)
+	// Output names resolve only after the whole file is read, so the
+	// deferred errors below need the line each name appeared on.
+	outLine := make(map[string]int)
 	lineNo := 0
 	errf := func(format string, args ...any) error {
 		return fmt.Errorf("textio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
@@ -121,6 +124,7 @@ func Parse(r io.Reader) (*dfg.Graph, error) {
 					return nil, errf("duplicate output %q", name)
 				}
 				outSeen[name] = true
+				outLine[name] = lineNo
 				outs = append(outs, name)
 			}
 		default:
@@ -136,10 +140,10 @@ func Parse(r io.Reader) (*dfg.Graph, error) {
 	for _, name := range outs {
 		v, ok := vals[name]
 		if !ok {
-			return nil, fmt.Errorf("textio: unknown output %q", name)
+			return nil, fmt.Errorf("textio: line %d: unknown output %q", outLine[name], name)
 		}
 		if !v.IsNode() {
-			return nil, fmt.Errorf("textio: output %q is an input, not an op", name)
+			return nil, fmt.Errorf("textio: line %d: output %q is an input, not an op", outLine[name], name)
 		}
 		b.Output(v)
 	}

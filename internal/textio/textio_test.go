@@ -120,6 +120,38 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorPositions pins the 1-based line number in parse errors,
+// counting blank and comment lines the way an editor does. The deferred
+// output-resolution errors (raised only after the whole file is read)
+// must point at the out line the name appeared on, not at end-of-file.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name, text        string
+		wantPos, wantWhat string
+	}{
+		{"dup dfg", "dfg a\ndfg b\n", "line 2", "duplicate dfg"},
+		{"unknown op after comment", "# header\ndfg g\nin x\nop v1 frob x\n", "line 4", "frob"},
+		{"blank lines counted", "dfg g\n\n\nin x\n\nop v1 add x z\n", "line 6", "unknown operand"},
+		{"comment lines counted", "dfg g\n# one\n# two\nin x\nop v1 add x\n", "line 5", "operands"},
+		{"unknown directive", "dfg g\nin x\n\nzap v1\n", "line 4", "unknown directive"},
+		{"unknown output names its out line", "dfg g\nin x\nop a neg x\n\nout z\n", "line 5", "unknown output"},
+		{"input as output names its out line", "# hdr\ndfg g\nin x\nop a neg x\nout a\nout x\n", "line 6", "is an input"},
+		{"dup output across a comment", "dfg g\nin x\nop a neg x\nout a\n# gap\nout a\n", "line 6", "duplicate output"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.text)
+			if err == nil {
+				t.Fatal("parse succeeded, want positioned error")
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, c.wantPos) || !strings.Contains(msg, c.wantWhat) {
+				t.Errorf("err = %q, want it to name %q and %q", msg, c.wantPos, c.wantWhat)
+			}
+		})
+	}
+}
+
 func TestCommentsAndBlanks(t *testing.T) {
 	g, err := ParseString("# header\n\ndfg g\n  # indented comment\nin x\n\nop v1 neg x\nout v1\n")
 	if err != nil {

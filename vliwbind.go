@@ -46,6 +46,7 @@ import (
 	"vliwbind/internal/machine"
 	"vliwbind/internal/mincut"
 	"vliwbind/internal/modulo"
+	"vliwbind/internal/obs"
 	"vliwbind/internal/optbind"
 	"vliwbind/internal/pcc"
 	"vliwbind/internal/regpressure"
@@ -151,6 +152,44 @@ type (
 	// to more than 1; results are bit-identical at any setting.
 	CacheStats = bind.CacheStats
 )
+
+// Observability. The obs layer is strictly passive: attaching any sink
+// through Options.Observer (or PCCOptions.Observer / AnnealOptions.
+// Observer) leaves every binder's result bit-identical; it only records
+// what the search did. See DESIGN.md §11 for the event schema.
+type (
+	// Observer consumes observability events; implementations must be
+	// safe for concurrent use (events fire from worker-pool goroutines).
+	Observer = obs.Observer
+	// TraceEvent is one observability record (the JSONL journal writes
+	// one per line).
+	TraceEvent = obs.Event
+	// TraceJournal is the JSONL event sink.
+	TraceJournal = obs.Journal
+	// Metrics accumulates per-phase monotonic timers and event counters,
+	// with a text Dump and an in-process Snapshot API.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics instance.
+	MetricsSnapshot = obs.Snapshot
+	// Explain collects B-INIT icost breakdowns and B-ITER move
+	// before/after quality vectors and renders them as a report.
+	Explain = obs.Explain
+)
+
+// NewTraceJournal starts a JSONL journal writing to w; pass it as an
+// Observer and call Flush when the run ends.
+func NewTraceJournal(w io.Writer) *TraceJournal { return obs.NewJournal(w) }
+
+// NewMetrics returns an empty metrics accumulator usable both directly
+// and as an Observer.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewExplain returns an empty explain-mode collector.
+func NewExplain() *Explain { return obs.NewExplain() }
+
+// MultiObserver fans events out to several sinks, dropping nils; it
+// returns nil when no sink remains.
+func MultiObserver(sinks ...Observer) Observer { return obs.Multi(sinks...) }
 
 // Bind runs the full two-phase algorithm (B-INIT driver + B-ITER).
 func Bind(g *Graph, dp *Datapath, opts Options) (*Result, error) { return bind.Bind(g, dp, opts) }
