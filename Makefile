@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke bench bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke bench bench-json bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -29,6 +29,7 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/audit -run '^$$' -fuzz '^FuzzBindRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bind -run '^$$' -fuzz '^FuzzEvaluatorDifferential$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bind -run '^$$' -fuzz '^FuzzDeltaEvaluatorDifferential$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/codegen -run '^$$' -fuzz '^FuzzSpillRebind$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/textio -run '^$$' -fuzz '^FuzzTextioRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/textio -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
@@ -51,9 +52,26 @@ obs-smoke:
 	@test -s /tmp/vliwbind-obs.jsonl || { echo "obs-smoke: trace journal is empty"; exit 1; }
 	$(GO) test ./cmd/vbind -run '^TestObsSmoke$$' -count 1
 
-# Regenerate the paper's tables as benchmarks (L/M metrics per row).
-bench:
+# Regenerate the paper's tables as benchmarks (L/M metrics per row) and
+# refresh the committed perf-trajectory file. The trajectory runs the
+# key delta-evaluation benchmarks — the per-candidate pair in
+# internal/problem and the full B-ITER on/off pairs in internal/bind —
+# and distills their medians into the benchstat-compatible
+# BENCH_pr6.json (see cmd/benchjson), gated on the PR's acceptance
+# floor: ≥3x per-candidate speedup on the delta-hit path and zero
+# allocs/op on it. CI checks the file is present and non-empty.
+BENCHCOUNT ?= 6
+bench: bench-json
 	$(GO) test -bench=. -benchmem
+
+bench-json:
+	$(GO) test ./internal/problem -run '^$$' -bench 'BenchmarkEvaluate(DeltaHit|FullPerturbed)$$' -benchmem -count $(BENCHCOUNT) > /tmp/vliwbind-bench-pr6.txt
+	$(GO) test ./internal/bind -run '^$$' -bench 'BenchmarkBITER' -benchmem -benchtime 3x -count 3 >> /tmp/vliwbind-bench-pr6.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr6.json \
+		-gate 'BenchmarkEvaluateFullPerturbed/BenchmarkEvaluateDeltaHit>=3.0' \
+		-zero 'BenchmarkEvaluateDeltaHit' \
+		/tmp/vliwbind-bench-pr6.txt
+	@echo "wrote BENCH_pr6.json"
 
 # Sequential-vs-parallel engine comparison on the largest kernel.
 bench-parallel:

@@ -184,6 +184,10 @@ func run(w io.Writer, cfg config) error {
 		fmt.Fprintf(w, "evaluation cache: %d scheduled, %d served from cache (%.0f%% hit rate)\n",
 			ms, h, 100*float64(h)/float64(h+ms))
 	}
+	if dh, df := cstats.DeltaHits(), cstats.DeltaFallbacks(); dh+df > 0 {
+		fmt.Fprintf(w, "delta evaluation: %d incremental, %d full fallbacks (%.0f%% delta rate)\n",
+			dh, df, 100*float64(dh)/float64(dh+df))
+	}
 	if cfg.regs > 0 {
 		sr, err := vliwbind.BindWithSpills(res.Graph, dp, res.Binding, cfg.regs)
 		if err != nil {

@@ -1,0 +1,146 @@
+package bind
+
+// White-box reconciliation contract for the incremental-evaluation
+// seams: while an incumbent snapshot is armed, every computation goes
+// through the delta path exactly once, emits exactly one eval.delta
+// event, and lands in exactly one of the two CacheStats delta counters.
+// Journal totals, hook firings and atomic counters must always agree —
+// the observability layer's promise is that a reader of any one of the
+// three reconstructs the other two.
+
+import (
+	"sync"
+	"testing"
+
+	"vliwbind/internal/faultinject"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/obs"
+)
+
+// countingObserver tallies delta-related events by type and verdict.
+type countingObserver struct {
+	mu        sync.Mutex
+	snapshots int
+	snapErrs  int
+	hits      int
+	fallbacks int
+	badVerd   []string
+}
+
+func (c *countingObserver) Event(e obs.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Type {
+	case obs.EvDeltaSnapshot:
+		c.snapshots++
+		if e.Err != "" {
+			c.snapErrs++
+		}
+	case obs.EvEvalDelta:
+		switch e.Verdict {
+		case "hit":
+			c.hits++
+		case "fallback-window", "fallback-error":
+			c.fallbacks++
+		default:
+			c.badVerd = append(c.badVerd, e.Verdict)
+		}
+	}
+}
+
+// TestDeltaStatsEventsReconcile runs the full two-phase binder at
+// Parallelism 1 and 4 and requires, at each setting: (a) the armed
+// subset of computations is exactly HookDeltaCompute's firing count and
+// exactly DeltaHits+DeltaFallbacks; (b) one eval.delta event per armed
+// computation, with verdict tallies matching the counters one to one;
+// (c) one delta.snapshot event per HookDeltaSnapshot firing and no
+// capture faults on a clean run; (d) the delta path actually fires
+// (DeltaHits > 0) so the contract is not vacuous. ForceDelta bypasses
+// the profitability gate — ARF is far too small to be admitted
+// naturally, and this test is about the accounting seams, not payoff.
+func TestDeltaStatsEventsReconcile(t *testing.T) {
+	k, err := kernels.ByName("ARF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Build()
+	mdp := machine.MustParse("[2,1|2,1]", machine.Config{})
+
+	for _, par := range []int{1, 4} {
+		inj := faultinject.New() // no faults: pure hit counter
+		var stats CacheStats
+		var co countingObserver
+		if _, err := Bind(g, mdp, Options{Parallelism: par, ForceDelta: true, Hook: inj.At, Stats: &stats, Observer: &co}); err != nil {
+			t.Fatalf("Parallelism %d: %v", par, err)
+		}
+
+		armed := inj.Count(HookDeltaCompute)
+		if got := stats.DeltaHits() + stats.DeltaFallbacks(); got != armed {
+			t.Errorf("par %d: DeltaHits+DeltaFallbacks = %d, want %d (one verdict per armed computation)",
+				par, got, armed)
+		}
+		if got := int64(co.hits + co.fallbacks); got != armed {
+			t.Errorf("par %d: %d eval.delta events, want %d (one per armed computation)",
+				par, got, armed)
+		}
+		if int64(co.hits) != stats.DeltaHits() {
+			t.Errorf("par %d: %d hit-verdict events but DeltaHits=%d", par, co.hits, stats.DeltaHits())
+		}
+		if int64(co.fallbacks) != stats.DeltaFallbacks() {
+			t.Errorf("par %d: %d fallback-verdict events but DeltaFallbacks=%d",
+				par, co.fallbacks, stats.DeltaFallbacks())
+		}
+		if len(co.badVerd) != 0 {
+			t.Errorf("par %d: eval.delta events with unknown verdicts: %v", par, co.badVerd)
+		}
+		if got := int64(co.snapshots); got != inj.Count(HookDeltaSnapshot) {
+			t.Errorf("par %d: %d delta.snapshot events, want %d (one per capture seam firing)",
+				par, got, inj.Count(HookDeltaSnapshot))
+		}
+		if co.snapErrs != 0 {
+			t.Errorf("par %d: %d snapshot captures faulted on a clean run", par, co.snapErrs)
+		}
+		if stats.DeltaHits() == 0 {
+			t.Errorf("par %d: delta path never hit; the reconciliation contract is vacuous", par)
+		}
+		// Armed computations never exceed total computations: every
+		// armed compute is a (cache-miss) compute.
+		if par > 1 && armed > stats.Misses() {
+			t.Errorf("par %d: %d armed computations exceed %d cache misses", par, armed, stats.Misses())
+		}
+	}
+}
+
+// TestNoDeltaDisablesEverySeam pins the kill switch: with
+// Options.NoDelta the snapshot is never captured, the delta seams never
+// fire, no delta events are emitted, and both counters stay zero.
+func TestNoDeltaDisablesEverySeam(t *testing.T) {
+	k, err := kernels.ByName("ARF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := k.Build()
+	mdp := machine.MustParse("[2,1|2,1]", machine.Config{})
+
+	inj := faultinject.New()
+	var stats CacheStats
+	var co countingObserver
+	if _, err := Bind(g, mdp, Options{Parallelism: 4, NoDelta: true, Hook: inj.At, Stats: &stats, Observer: &co}); err != nil {
+		t.Fatal(err)
+	}
+	if c := inj.Count(HookDeltaSnapshot); c != 0 {
+		t.Errorf("NoDelta fired HookDeltaSnapshot %d times, want 0", c)
+	}
+	if c := inj.Count(HookDeltaCompute); c != 0 {
+		t.Errorf("NoDelta fired HookDeltaCompute %d times, want 0", c)
+	}
+	if co.snapshots != 0 || co.hits != 0 || co.fallbacks != 0 {
+		t.Errorf("NoDelta emitted delta events: snapshots=%d hits=%d fallbacks=%d",
+			co.snapshots, co.hits, co.fallbacks)
+	}
+	if stats.DeltaHits() != 0 || stats.DeltaFallbacks() != 0 {
+		t.Errorf("NoDelta recorded delta counters: hits=%d fallbacks=%d",
+			stats.DeltaHits(), stats.DeltaFallbacks())
+	}
+}

@@ -1,0 +1,126 @@
+// External test package: the delta-evaluation fuzzer drives the
+// incremental path exactly the way B-ITER does — an incumbent snapshot
+// plus a walk of one/two-op boundary moves — and cross-checks every
+// step against both the full virtual evaluator and the materialized
+// bind.Evaluate path.
+package bind_test
+
+import (
+	"testing"
+
+	"vliwbind/internal/bind"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/problem"
+)
+
+// FuzzDeltaEvaluatorDifferential checks the bit-identity contract of
+// incremental (delta) candidate evaluation: for any graph, datapath,
+// incumbent binding and sequence of boundary moves, the delta path must
+// return exactly the cost, Q_U vector and start cycles of a full
+// evaluation — a delta hit saves work, never changes the answer. Every
+// accepted step re-captures the snapshot the way the B-ITER driver
+// does, and the walk's final winner is additionally materialized with
+// bind.Evaluate to pin the whole stack end to end.
+func FuzzDeltaEvaluatorDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(0), uint64(0), uint64(1))
+	f.Add(int64(7), uint8(20), uint8(1), uint64(9876), uint64(2718281828))
+	f.Add(int64(42), uint8(30), uint8(2), uint64(31415926), uint64(16180339887))
+	f.Fuzz(func(t *testing.T, seed int64, ops, dpSel uint8, bindSeed, moveSeed uint64) {
+		g := kernels.Random(kernels.RandomConfig{Ops: 4 + int(ops)%29, Seed: seed})
+		spec := evalFuzzDatapaths[int(dpSel)%len(evalFuzzDatapaths)]
+		dp, err := machine.Parse(spec, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		binding := make([]int, g.NumOps())
+		x := bindSeed
+		for i := range binding {
+			x = x*6364136223846793005 + 1442695040888963407
+			binding[i] = int(x>>33) % dp.NumClusters()
+		}
+
+		p, err := problem.New(g, dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devAl := p.NewEvaluator()
+		snap := new(problem.Snapshot)
+		if _, err := devAl.Evaluate(binding); err != nil {
+			t.Skip("incumbent rejected; no snapshot to walk from")
+		}
+		if err := snap.Capture(devAl, binding); err != nil {
+			t.Fatalf("capture of a successfully evaluated incumbent failed: %v", err)
+		}
+
+		full := p.NewEvaluator()
+		cand := make([]int, len(binding))
+		x = moveSeed
+		for step := 0; step < 24; step++ {
+			copy(cand, binding)
+			// One or two boundary re-bindings, like a B-ITER move.
+			x = x*6364136223846793005 + 1442695040888963407
+			n := 1 + int(x>>33)%2
+			for j := 0; j < n; j++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				op := int(x>>33) % len(cand)
+				x = x*6364136223846793005 + 1442695040888963407
+				cand[op] = int(x>>33) % dp.NumClusters()
+			}
+
+			wantEval, wantErr := full.Evaluate(cand)
+			gotEval, verdict, gotErr := devAl.EvaluateDelta(snap, cand)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("step %d: full err=%v, delta err=%v (verdict %s)", step, wantErr, gotErr, verdict)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("step %d: full err %q, delta err %q", step, wantErr, gotErr)
+				}
+				continue
+			}
+			if gotEval != wantEval {
+				t.Fatalf("step %d (%s): delta (%d,%d) vs full (%d,%d)",
+					step, verdict, gotEval.L, gotEval.M, wantEval.L, wantEval.M)
+			}
+			gotQ, wantQ := devAl.AppendQualityU(nil), full.AppendQualityU(nil)
+			if len(gotQ) != len(wantQ) {
+				t.Fatalf("step %d: Q_U length %d vs %d", step, len(gotQ), len(wantQ))
+			}
+			for i := range gotQ {
+				if gotQ[i] != wantQ[i] {
+					t.Fatalf("step %d: Q_U[%d] %v vs %v", step, i, gotQ, wantQ)
+				}
+			}
+			gotS, wantS := devAl.AppendStarts(nil), full.AppendStarts(nil)
+			if len(gotS) != len(wantS) {
+				t.Fatalf("step %d: start-vector length %d vs %d", step, len(gotS), len(wantS))
+			}
+			for i := range gotS {
+				if gotS[i] != wantS[i] {
+					t.Fatalf("step %d: start[%d] %d vs %d", step, i, gotS[i], wantS[i])
+				}
+			}
+
+			// Accept improving or equal candidates and re-arm, the way
+			// the improvement loop re-captures after every acceptance.
+			if gotEval.L <= snap.L() {
+				copy(binding, cand)
+				if err := snap.Capture(devAl, binding); err != nil {
+					t.Fatalf("step %d: re-capture failed: %v", step, err)
+				}
+			}
+		}
+
+		// The walk's winner must materialize to the same figures of
+		// merit through the real bound-graph scheduler.
+		res, err := bind.Evaluate(g, dp, binding)
+		if err != nil {
+			t.Fatalf("winner binding rejected by materialization: %v", err)
+		}
+		if res.L() != snap.L() || res.Moves() != snap.Moves() {
+			t.Fatalf("winner materializes to (%d,%d), snapshot holds (%d,%d)",
+				res.L(), res.Moves(), snap.L(), snap.Moves())
+		}
+	})
+}

@@ -1,0 +1,502 @@
+package problem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+	"vliwbind/internal/machine"
+)
+
+// checkDeltaAgainstFull evaluates bn through the delta path (against
+// snap) on devAl and through the full path on a fresh evaluator, then
+// asserts every observable a binder consumes is bit-identical: the Eval
+// pair, the full Q_U vector, and the per-bound-node start cycles.
+func checkDeltaAgainstFull(t *testing.T, p *Problem, devAl *Evaluator, snap *Snapshot, bn []int) DeltaVerdict {
+	t.Helper()
+	full := p.NewEvaluator()
+	wantEval, wantErr := full.Evaluate(bn)
+	gotEval, verdict, gotErr := devAl.EvaluateDelta(snap, bn)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("binding %v: full err=%v, delta err=%v (verdict %s)", bn, wantErr, gotErr, verdict)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("binding %v: full err %q, delta err %q", bn, wantErr, gotErr)
+		}
+		return verdict
+	}
+	if gotEval != wantEval {
+		t.Fatalf("binding %v: delta eval %+v (verdict %s), full eval %+v", bn, gotEval, verdict, wantEval)
+	}
+	wantQU := full.AppendQualityU(nil)
+	gotQU := devAl.AppendQualityU(nil)
+	if len(wantQU) != len(gotQU) {
+		t.Fatalf("binding %v: delta Q_U len %d, full %d", bn, len(gotQU), len(wantQU))
+	}
+	for i := range wantQU {
+		if gotQU[i] != wantQU[i] {
+			t.Fatalf("binding %v (verdict %s): Q_U diverges at %d: delta %v, full %v",
+				bn, verdict, i, gotQU, wantQU)
+		}
+	}
+	wantStarts := full.AppendStarts(nil)
+	gotStarts := devAl.AppendStarts(nil)
+	if len(wantStarts) != len(gotStarts) {
+		t.Fatalf("binding %v: delta has %d bound nodes, full %d", bn, len(gotStarts), len(wantStarts))
+	}
+	for i := range wantStarts {
+		if gotStarts[i] != wantStarts[i] {
+			t.Fatalf("binding %v (verdict %s): start[%d] = %d via delta, %d via full",
+				bn, verdict, i, gotStarts[i], wantStarts[i])
+		}
+	}
+	return verdict
+}
+
+// randomLegalBinding fills bn with a uniformly random legal binding.
+func randomLegalBinding(rng *rand.Rand, g *dfg.Graph, dp *machine.Datapath, bn []int) {
+	for _, n := range g.Nodes() {
+		ts := dp.TargetSet(n.Op())
+		bn[n.ID()] = ts[rng.Intn(len(ts))]
+	}
+}
+
+// perturbBoundary applies a random one- or two-op boundary move to bn,
+// exactly the perturbation shape B-ITER explores.
+func perturbBoundary(rng *rand.Rand, g *dfg.Graph, dp *machine.Datapath, bn []int) {
+	nMoves := 1 + rng.Intn(2)
+	for i := 0; i < nMoves; i++ {
+		n := g.Node(rng.Intn(g.NumNodes()))
+		ts := dp.TargetSet(n.Op())
+		bn[n.ID()] = ts[rng.Intn(len(ts))]
+	}
+}
+
+// TestDeltaEvaluatorMatchesFull is the delta path's central differential
+// test: on every benchmark kernel × datapath shape, walk a random
+// sequence of boundary moves from a random incumbent, evaluating each
+// candidate both incrementally and from scratch. Periodically "accept"
+// the candidate and re-capture the snapshot, the way B-ITER does.
+func TestDeltaEvaluatorMatchesFull(t *testing.T) {
+	for _, k := range kernels.All() {
+		g := k.Build()
+		for di, dp := range diffDatapaths {
+			t.Run(fmt.Sprintf("%s/dp%d", k.Name, di), func(t *testing.T) {
+				p, err := New(g, dp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				devAl := p.NewEvaluator()
+				snapEv := p.NewEvaluator()
+				var snap Snapshot
+				rng := rand.New(rand.NewSource(int64(di)*7919 + int64(g.NumNodes())))
+				trials := 40
+				if testing.Short() {
+					trials = 8
+				}
+				inc := make([]int, g.NumNodes())
+				cand := make([]int, g.NumNodes())
+				hits := 0
+				randomLegalBinding(rng, g, dp, inc)
+				if _, err := snapEv.Evaluate(inc); err != nil {
+					t.Fatal(err)
+				}
+				if err := snap.Capture(snapEv, inc); err != nil {
+					t.Fatal(err)
+				}
+				for trial := 0; trial < trials; trial++ {
+					copy(cand, inc)
+					perturbBoundary(rng, g, dp, cand)
+					if checkDeltaAgainstFull(t, p, devAl, &snap, cand).Hit() {
+						hits++
+					}
+					if trial%5 == 4 { // accept: the candidate becomes the incumbent
+						copy(inc, cand)
+						if _, err := snapEv.Evaluate(inc); err != nil {
+							t.Fatal(err)
+						}
+						if err := snap.Capture(snapEv, inc); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if hits == 0 && !testing.Short() {
+					t.Errorf("no delta hit in %d boundary-move trials; incremental path is dead weight", trials)
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaEvaluatorMatchesFullOnRandomGraphs widens the differential
+// net to synthetic DAGs, including snapshot reuse across captures.
+func TestDeltaEvaluatorMatchesFullOnRandomGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped with -short")
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		g := kernels.Random(kernels.RandomConfig{
+			Ops:      12 + int(seed)*6,
+			Locality: 0.25 + float64(seed%4)*0.2,
+			Seed:     seed,
+		})
+		dp := diffDatapaths[int(seed)%len(diffDatapaths)]
+		p, err := New(g, dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devAl := p.NewEvaluator()
+		snapEv := p.NewEvaluator()
+		var snap Snapshot
+		rng := rand.New(rand.NewSource(seed * 104729))
+		inc := make([]int, g.NumNodes())
+		cand := make([]int, g.NumNodes())
+		randomLegalBinding(rng, g, dp, inc)
+		if _, err := snapEv.Evaluate(inc); err != nil {
+			t.Fatal(err)
+		}
+		if err := snap.Capture(snapEv, inc); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 25; trial++ {
+			copy(cand, inc)
+			perturbBoundary(rng, g, dp, cand)
+			checkDeltaAgainstFull(t, p, devAl, &snap, cand)
+			if trial%4 == 3 {
+				copy(inc, cand)
+				if _, err := snapEv.Evaluate(inc); err != nil {
+					t.Fatal(err)
+				}
+				if err := snap.Capture(snapEv, inc); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// chainGraph builds a single dependence chain of n adds: the worst case
+// for delta evaluation, because every node is downstream of the first.
+func chainGraph(n int) *dfg.Graph {
+	b := dfg.NewBuilder("chain")
+	v := b.Add(b.Input("a"), b.Input("b"))
+	for i := 1; i < n; i++ {
+		v = b.Add(v, b.Input(fmt.Sprintf("c%d", i)))
+	}
+	b.Output(v)
+	return b.Graph()
+}
+
+// wideGraph builds w independent two-op chains feeding one final sum
+// tree of adds — lots of parallelism, so moving one op leaves most of
+// the schedule untouched.
+func wideGraph(w int) *dfg.Graph {
+	b := dfg.NewBuilder("wide")
+	var tips []dfg.Value
+	for i := 0; i < w; i++ {
+		x := b.Add(b.Input(fmt.Sprintf("a%d", i)), b.Input(fmt.Sprintf("b%d", i)))
+		tips = append(tips, b.Add(x, b.Input(fmt.Sprintf("c%d", i))))
+	}
+	v := tips[0]
+	for _, tip := range tips[1:] {
+		v = b.Add(v, tip)
+	}
+	b.Output(v)
+	return b.Graph()
+}
+
+// TestDeltaFallbackBoundary pins the verdict at the cone boundary with
+// directed cases: when the moved op's window reaches back to cycle 0 on
+// a serial chain, the cached region is fully invalidated and the delta
+// path must report a window fallback; when the move only touches a
+// late, local region of a wide graph, it must report a hit. Either way
+// the cost is checked bit-identical by checkDeltaAgainstFull.
+func TestDeltaFallbackBoundary(t *testing.T) {
+	dp := machine.MustParse("[2,1|2,1]", machine.Config{NumBuses: 2})
+
+	t.Run("root-move-escapes-window", func(t *testing.T) {
+		g := chainGraph(12)
+		p := Must(g, dp)
+		devAl, snapEv := p.NewEvaluator(), p.NewEvaluator()
+		inc := make([]int, g.NumNodes()) // all on cluster 0
+		if _, err := snapEv.Evaluate(inc); err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := snap.Capture(snapEv, inc); err != nil {
+			t.Fatal(err)
+		}
+		cand := append([]int(nil), inc...)
+		cand[0] = 1 // move the chain's root: ASAP 0, everything downstream shifts
+		v := checkDeltaAgainstFull(t, p, devAl, &snap, cand)
+		if v != DeltaFallbackWindow {
+			t.Errorf("root move on a serial chain: verdict %s, want %s", v, DeltaFallbackWindow)
+		}
+	})
+
+	t.Run("leaf-move-stays-in-window", func(t *testing.T) {
+		g := wideGraph(8)
+		p := Must(g, dp)
+		devAl, snapEv := p.NewEvaluator(), p.NewEvaluator()
+		inc := make([]int, g.NumNodes())
+		for i := range inc {
+			inc[i] = i % 2 // spread load across both clusters
+		}
+		if _, err := snapEv.Evaluate(inc); err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := snap.Capture(snapEv, inc); err != nil {
+			t.Fatal(err)
+		}
+		// Move the final sum node — the deepest op, whose ASAP window
+		// starts well after cycle 0, so the incumbent prefix survives.
+		cand := append([]int(nil), inc...)
+		last := g.NumNodes() - 1
+		cand[last] = 1 - cand[last]
+		v := checkDeltaAgainstFull(t, p, devAl, &snap, cand)
+		if v != DeltaHit {
+			t.Errorf("leaf move on a wide graph: verdict %s, want %s", v, DeltaHit)
+		}
+	})
+
+	t.Run("identical-binding-is-pure-prefix", func(t *testing.T) {
+		g := wideGraph(4)
+		p := Must(g, dp)
+		devAl, snapEv := p.NewEvaluator(), p.NewEvaluator()
+		inc := make([]int, g.NumNodes())
+		for i := range inc {
+			inc[i] = (i / 3) % 2
+		}
+		if _, err := snapEv.Evaluate(inc); err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := snap.Capture(snapEv, inc); err != nil {
+			t.Fatal(err)
+		}
+		v := checkDeltaAgainstFull(t, p, devAl, &snap, inc)
+		if v != DeltaHit {
+			t.Errorf("re-evaluating the incumbent: verdict %s, want %s", v, DeltaHit)
+		}
+	})
+
+	t.Run("no-snapshot-runs-full", func(t *testing.T) {
+		g := wideGraph(4)
+		p := Must(g, dp)
+		devAl := p.NewEvaluator()
+		bn := make([]int, g.NumNodes())
+		v := checkDeltaAgainstFull(t, p, devAl, nil, bn)
+		if v != DeltaNone {
+			t.Errorf("nil snapshot: verdict %s, want %s", v, DeltaNone)
+		}
+		var empty Snapshot
+		if v := checkDeltaAgainstFull(t, p, devAl, &empty, bn); v != DeltaNone {
+			t.Errorf("never-captured snapshot: verdict %s, want %s", v, DeltaNone)
+		}
+	})
+
+	t.Run("foreign-snapshot-runs-full", func(t *testing.T) {
+		g := wideGraph(4)
+		pA, pB := Must(g, dp), Must(g, dp) // distinct Problem instances
+		evA, evB := pA.NewEvaluator(), pB.NewEvaluator()
+		bn := make([]int, g.NumNodes())
+		if _, err := evB.Evaluate(bn); err != nil {
+			t.Fatal(err)
+		}
+		var snapB Snapshot
+		if err := snapB.Capture(evB, bn); err != nil {
+			t.Fatal(err)
+		}
+		if v := checkDeltaAgainstFull(t, pA, evA, &snapB, bn); v != DeltaNone {
+			t.Errorf("snapshot from another Problem: verdict %s, want %s", v, DeltaNone)
+		}
+	})
+
+	t.Run("invalidated-snapshot-runs-full", func(t *testing.T) {
+		g := wideGraph(4)
+		p := Must(g, dp)
+		devAl, snapEv := p.NewEvaluator(), p.NewEvaluator()
+		bn := make([]int, g.NumNodes())
+		if _, err := snapEv.Evaluate(bn); err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := snap.Capture(snapEv, bn); err != nil {
+			t.Fatal(err)
+		}
+		snap.Invalidate()
+		if v := checkDeltaAgainstFull(t, p, devAl, &snap, bn); v != DeltaNone {
+			t.Errorf("invalidated snapshot: verdict %s, want %s", v, DeltaNone)
+		}
+	})
+}
+
+// TestDeltaInvalidBindingErrors: the delta path must reproduce the full
+// path's validation errors verbatim, not mask them behind a fallback.
+func TestDeltaInvalidBindingErrors(t *testing.T) {
+	dp := machine.MustParse("[2,1|1,0]", machine.Config{})
+	g := kernels.All()[0].Build()
+	p := Must(g, dp)
+	devAl, snapEv := p.NewEvaluator(), p.NewEvaluator()
+	inc := make([]int, g.NumNodes())
+	if _, err := snapEv.Evaluate(inc); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := snap.Capture(snapEv, inc); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]int(nil), inc...)
+	bad[0] = 99
+	checkDeltaAgainstFull(t, p, devAl, &snap, bad)
+	checkDeltaAgainstFull(t, p, devAl, &snap, make([]int, 1))
+	// A multiply forced onto the mul-less cluster 1, if the kernel has one.
+	for _, n := range g.Nodes() {
+		if n.FUType() == dfg.FUMul {
+			bad2 := append([]int(nil), inc...)
+			bad2[n.ID()] = 1
+			checkDeltaAgainstFull(t, p, devAl, &snap, bad2)
+			break
+		}
+	}
+}
+
+// TestSnapshotCaptureGuards pins Capture's refusal conditions.
+func TestSnapshotCaptureGuards(t *testing.T) {
+	dp := machine.MustParse("[2,1|2,1]", machine.Config{})
+	g := wideGraph(3)
+	p := Must(g, dp)
+	ev := p.NewEvaluator()
+	var snap Snapshot
+
+	if err := snap.Capture(ev, make([]int, g.NumNodes())); err == nil {
+		t.Error("captured from an evaluator that never evaluated")
+	}
+	if snap.Valid() {
+		t.Error("failed capture left the snapshot valid")
+	}
+	bn := make([]int, g.NumNodes())
+	if _, err := ev.Evaluate(bn); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Capture(ev, bn[:1]); err == nil {
+		t.Error("captured a mis-sized binding")
+	}
+	if err := snap.Capture(nil, bn); err == nil {
+		t.Error("captured from a nil evaluator")
+	}
+	if _, err := ev.Evaluate(make([]int, 1)); err == nil {
+		t.Fatal("bad evaluate unexpectedly succeeded")
+	}
+	if err := snap.Capture(ev, bn); err == nil {
+		t.Error("captured after a failed evaluation")
+	}
+	if _, err := ev.Evaluate(bn); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Capture(ev, bn); err != nil {
+		t.Errorf("capture after a clean evaluation failed: %v", err)
+	}
+	if !snap.Valid() || snap.L() == 0 || snap.NumBoundNodes() != g.NumNodes() {
+		t.Errorf("snapshot metadata wrong: valid=%v L=%d nodes=%d", snap.Valid(), snap.L(), snap.NumBoundNodes())
+	}
+}
+
+// TestSnapshotBusyMirror checks the occupancy bitset against the
+// captured schedule: every issue slot is marked, rows cover the global
+// unit pool, and a second capture fully resets the matrix.
+func TestSnapshotBusyMirror(t *testing.T) {
+	dp := machine.MustParse("[1,1|1,1]", machine.Config{NumBuses: 1})
+	g := wideGraph(4)
+	p := Must(g, dp)
+	ev := p.NewEvaluator()
+	bn := make([]int, g.NumNodes())
+	for i := range bn {
+		bn[i] = i % 2
+	}
+	if _, err := ev.Evaluate(bn); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := snap.Capture(ev, bn); err != nil {
+		t.Fatal(err)
+	}
+	busy := snap.Busy()
+	total := 0
+	for r := 0; r < busy.Rows(); r++ {
+		for c := 0; c < busy.Cols(); c++ {
+			if busy.Get(r, c) {
+				total++
+			}
+		}
+	}
+	// Every bound node occupies exactly dii(op) cells; with lat=dii=1
+	// everywhere (the default machine) that is one cell per bound node.
+	if total != snap.NumBoundNodes() {
+		t.Errorf("busy mirror has %d cells set, want %d (one per bound node)", total, snap.NumBoundNodes())
+	}
+
+	// Re-capture on an all-on-one-cluster binding: fewer bound nodes
+	// (no moves), and no stale cells may survive the reset.
+	for i := range bn {
+		bn[i] = 0
+	}
+	if _, err := ev.Evaluate(bn); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Capture(ev, bn); err != nil {
+		t.Fatal(err)
+	}
+	busy = snap.Busy()
+	total = 0
+	for r := 0; r < busy.Rows(); r++ {
+		for c := 0; c < busy.Cols(); c++ {
+			if busy.Get(r, c) {
+				total++
+			}
+		}
+	}
+	if total != snap.NumBoundNodes() {
+		t.Errorf("after re-capture: %d cells set, want %d", total, snap.NumBoundNodes())
+	}
+}
+
+// TestDeltaHitPathAllocsNothing: the acceptance bar for the fast path —
+// once the replay scratch exists, a delta-hit evaluation performs zero
+// heap allocations.
+func TestDeltaHitPathAllocsNothing(t *testing.T) {
+	dp := machine.MustParse("[2,1|2,1]", machine.Config{NumBuses: 2})
+	g := wideGraph(8)
+	p := Must(g, dp)
+	devAl, snapEv := p.NewEvaluator(), p.NewEvaluator()
+	inc := make([]int, g.NumNodes())
+	for i := range inc {
+		inc[i] = i % 2
+	}
+	if _, err := snapEv.Evaluate(inc); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := snap.Capture(snapEv, inc); err != nil {
+		t.Fatal(err)
+	}
+	cand := append([]int(nil), inc...)
+	last := g.NumNodes() - 1
+	cand[last] = 1 - cand[last]
+	// Warm up: allocates the replay scratch on first use.
+	if _, v, err := devAl.EvaluateDelta(&snap, cand); err != nil || !v.Hit() {
+		t.Fatalf("warm-up delta eval: verdict %v, err %v", v, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := devAl.EvaluateDelta(&snap, cand); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("delta-hit path allocates %.1f times per evaluation, want 0", allocs)
+	}
+}

@@ -47,6 +47,7 @@ type Evaluator struct {
 	vID      []int32 // original node ID; for moves, the producer's ID
 	vIsMove  []bool
 	vCluster []int32 // moves carry their destination cluster
+	vLat     []int32 // latency per virtual node, flattened by buildVirtual
 
 	// Dependence structure in CSR form, rebuilt per call.
 	predStart []int32
@@ -59,21 +60,31 @@ type Evaluator struct {
 	asap, alap []int32
 	earliest   []int32
 	start      []int32
+	unit       []int32 // global unit-pool index each node issued on
 	pending    []int32
 
 	ready, wake []int32
 	unitFree    []int32
 
-	lastL   int32
-	profile []int32
-	sorter  sort.Interface
+	lastL        int32
+	lastTarget   int32
+	lastOK       bool  // last Evaluate/EvaluateDelta completed successfully
+	lastBypassed int32 // sorted-loop issues bypassed by the last delta eval
+	profile      []int32
+	sorter       sort.Interface
+	eligN        int32 // eligible-prefix length for eligSorter (delta path)
+	eligSorter   sort.Interface
+
+	// delta is the scratch of EvaluateDelta (see delta.go), allocated on
+	// first use so evaluators that never go incremental pay nothing.
+	delta *replayState
 }
 
 // NewEvaluator creates an evaluator with scratch sized for the problem's
 // worst case (every dependence crossing clusters).
 func (p *Problem) NewEvaluator() *Evaluator {
-	maxV := p.n + len(p.preds)     // every pred edge spawns at most one move
-	maxE := 2 * len(p.preds)       // original edges + one edge per move
+	maxV := p.n + len(p.preds) // every pred edge spawns at most one move
+	maxE := 2 * len(p.preds)   // original edges + one edge per move
 	e := &Evaluator{
 		p:         p,
 		moveTab:   make([]int32, p.n*p.clusters),
@@ -82,6 +93,7 @@ func (p *Problem) NewEvaluator() *Evaluator {
 		vID:       make([]int32, maxV),
 		vIsMove:   make([]bool, maxV),
 		vCluster:  make([]int32, maxV),
+		vLat:      make([]int32, maxV),
 		predStart: make([]int32, maxV+1),
 		preds:     make([]int32, 0, maxE),
 		succStart: make([]int32, maxV+1),
@@ -91,24 +103,21 @@ func (p *Problem) NewEvaluator() *Evaluator {
 		alap:      make([]int32, maxV),
 		earliest:  make([]int32, maxV),
 		start:     make([]int32, maxV),
+		unit:      make([]int32, maxV),
 		pending:   make([]int32, maxV),
 		ready:     make([]int32, 0, maxV),
 		wake:      make([]int32, 0, maxV),
 		unitFree:  make([]int32, p.unitPoolLen),
 	}
 	e.sorter = (*readyOrder)(e) // one interface value, reused by every sort
+	e.eligSorter = (*eligOrder)(e)
 	return e
 }
 
 // Problem returns the immutable problem this evaluator schedules against.
 func (e *Evaluator) Problem() *Problem { return e.p }
 
-func (e *Evaluator) latOf(k int32) int32 {
-	if e.vIsMove[k] {
-		return e.p.moveLat
-	}
-	return e.p.lat[e.vID[k]]
-}
+func (e *Evaluator) latOf(k int32) int32 { return e.vLat[k] }
 
 func (e *Evaluator) diiOf(k int32) int32 {
 	if e.vIsMove[k] {
@@ -148,8 +157,26 @@ func (o *readyOrder) Len() int { return len(o.ready) }
 func (o *readyOrder) Swap(i, j int) { o.ready[i], o.ready[j] = o.ready[j], o.ready[i] }
 
 func (o *readyOrder) Less(i, j int) bool {
-	e := (*Evaluator)(o)
-	a, b := o.ready[i], o.ready[j]
+	return (*Evaluator)(o).priorityLess(o.ready[i], o.ready[j])
+}
+
+// eligOrder sorts only the eligible prefix ready[:eligN]. The delta
+// path partitions the ops issuable this cycle to the front first (see
+// partitionEligible): ops whose earliest lies beyond the current cycle
+// cannot issue, so their order never affects a decision and sorting
+// them is wasted work.
+type eligOrder Evaluator
+
+func (o *eligOrder) Len() int { return int(o.eligN) }
+
+func (o *eligOrder) Swap(i, j int) { o.ready[i], o.ready[j] = o.ready[j], o.ready[i] }
+
+func (o *eligOrder) Less(i, j int) bool {
+	return (*Evaluator)(o).priorityLess(o.ready[i], o.ready[j])
+}
+
+// priorityLess is the paper's priority ranking on two virtual nodes.
+func (e *Evaluator) priorityLess(a, b int32) bool {
 	if e.alap[a] != e.alap[b] {
 		return e.alap[a] < e.alap[b]
 	}
@@ -169,29 +196,54 @@ func (o *readyOrder) Less(i, j int) bool {
 // start cycles) remain readable via AppendQualityU / AppendStarts until
 // the next Evaluate on this evaluator.
 func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
+	e.lastOK = false
+	e.lastBypassed = 0
+	if err := e.validate(bn); err != nil {
+		return Eval{}, err
+	}
+	if err := e.buildVirtual(bn); err != nil {
+		return Eval{}, err
+	}
+	e.buildSucc()
+	target := e.computeWindows()
+	unscheduled, L := e.resetSchedule()
+	L, err := e.scheduleFrom(0, target, unscheduled, L, nil)
+	if err != nil {
+		return Eval{}, err
+	}
+	e.lastL, e.lastTarget = L, target
+	e.lastOK = true
+	return Eval{L: int(L), M: e.nMoves}, nil
+}
+
+// validate mirrors sched.List's checks on the bound graph; moves need no
+// extra check because their destination is always a consumer's (already
+// validated) cluster.
+func (e *Evaluator) validate(bn []int) error {
 	p := e.p
 	if len(bn) != p.n {
-		return Eval{}, fmt.Errorf("problem: binding has %d entries for %d nodes", len(bn), p.n)
+		return fmt.Errorf("problem: binding has %d entries for %d nodes", len(bn), p.n)
 	}
-	// Validation mirrors sched.List's checks on the bound graph; moves
-	// need no extra check because their destination is always a consumer's
-	// (already validated) cluster.
 	for id := 0; id < p.n; id++ {
 		c := bn[id]
 		if c < 0 || c >= p.clusters {
-			return Eval{}, fmt.Errorf("problem: node %s bound to invalid cluster %d", p.g.Node(id).Name(), c)
+			return fmt.Errorf("problem: node %s bound to invalid cluster %d", p.g.Node(id).Name(), c)
 		}
 		if p.poolLen[c*dfg.NumFUTypes+int(p.fut[id])] == 0 {
 			n := p.g.Node(id)
-			return Eval{}, fmt.Errorf("problem: node %s (%s) bound to cluster %d with no %s units",
+			return fmt.Errorf("problem: node %s (%s) bound to cluster %d with no %s units",
 				n.Name(), n.Op(), c, n.FUType())
 		}
 	}
+	return nil
+}
 
-	// Phase 1: synthesize the bound graph virtually, in exactly
-	// BuildBound's node order — for each original node in topological
-	// order, first the not-yet-existing moves its cross-cluster operands
-	// need (in first-use order), then the node itself.
+// buildVirtual is phase 1: synthesize the bound graph virtually, in
+// exactly BuildBound's node order — for each original node in
+// topological order, first the not-yet-existing moves its cross-cluster
+// operands need (in first-use order), then the node itself.
+func (e *Evaluator) buildVirtual(bn []int) error {
+	p := e.p
 	e.gen++
 	if e.gen <= 0 { // generation counter wrapped; invalidate explicitly
 		for i := range e.moveGen {
@@ -213,11 +265,12 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 				continue
 			}
 			if p.numBuses == 0 {
-				return Eval{}, fmt.Errorf("problem: binding needs moves but datapath has no buses")
+				return fmt.Errorf("problem: binding needs moves but datapath has no buses")
 			}
 			e.vID[nv] = pr
 			e.vIsMove[nv] = true
 			e.vCluster[nv] = c
+			e.vLat[nv] = p.moveLat
 			e.predStart[nv] = int32(len(e.preds))
 			e.preds = append(e.preds, e.vOf[pr])
 			e.moveGen[slot] = e.gen
@@ -228,6 +281,7 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 		e.vID[nv] = id
 		e.vIsMove[nv] = false
 		e.vCluster[nv] = c
+		e.vLat[nv] = p.lat[id]
 		e.predStart[nv] = int32(len(e.preds))
 		for _, pr := range p.predsOf(id) {
 			if int32(bn[pr]) == c {
@@ -241,10 +295,16 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 	}
 	e.predStart[nv] = int32(len(e.preds))
 	e.nv, e.nMoves = int(nv), nMoves
+	return nil
+}
 
-	// Successor CSR: pred lists are distinct per consumer, so each succ
-	// list is distinct too, appended in consumer-creation order — the
-	// same shape dfg.Node.Succs has on the materialized bound graph.
+// buildSucc derives the successor CSR: pred lists are distinct per
+// consumer, so each succ list is distinct too, appended in
+// consumer-creation order — the same shape dfg.Node.Succs has on the
+// materialized bound graph. On return succCnt holds each node's
+// successor count.
+func (e *Evaluator) buildSucc() {
+	nv := int32(e.nv)
 	cnt := e.succCnt[:nv]
 	for i := range cnt {
 		cnt[i] = 0
@@ -264,11 +324,15 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 			cnt[pr]++
 		}
 	}
+}
 
-	// Phase 2: ASAP/ALAP of the virtual bound graph at its critical path,
-	// matching dfg.Analyze(bound, lat, 0). ALAP comes from a reverse pass
-	// relaxing predecessors: when node k is reached its own ALAP is final,
-	// because every successor (higher index) has already pushed its bound.
+// computeWindows is phase 2: ASAP/ALAP of the virtual bound graph at its
+// critical path, matching dfg.Analyze(bound, lat, 0). ALAP comes from a
+// reverse pass relaxing predecessors: when node k is reached its own
+// ALAP is final, because every successor (higher index) has already
+// pushed its bound. Returns the critical-path target.
+func (e *Evaluator) computeWindows() int32 {
+	nv := int32(e.nv)
 	target := int32(0)
 	for k := int32(0); k < nv; k++ {
 		s := int32(0)
@@ -282,8 +346,9 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 			target = fin
 		}
 	}
-	for k := int32(0); k < nv; k++ {
-		e.alap[k] = target
+	al := e.alap[:nv]
+	for i := range al {
+		al[i] = target
 	}
 	for k := nv - 1; k >= 0; k-- {
 		a := e.alap[k] - e.latOf(k)
@@ -294,8 +359,15 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 			}
 		}
 	}
+	return target
+}
 
-	// Phase 3: list-schedule, mirroring sched.List cycle for cycle.
+// resetSchedule initializes phase-3 state for a from-scratch schedule:
+// clear resource tables, no node issued, sources ready (ALAP-held when
+// they are loads). Returns the unscheduled count and the initial L.
+func (e *Evaluator) resetSchedule() (unscheduled, L int32) {
+	p := e.p
+	nv := int32(e.nv)
 	for i := range e.unitFree {
 		e.unitFree[i] = 0
 	}
@@ -312,14 +384,41 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 			e.ready = append(e.ready, k)
 		}
 	}
-	totalWork := p.baseWork + int32(nMoves)*(p.moveDII+p.moveLat)
-	unscheduled := nv
-	L := int32(0)
-	for cycle := int32(0); unscheduled > 0; cycle++ {
+	return nv, 0
+}
+
+// scheduleFrom is phase 3: the list-scheduling cycle loop, mirroring
+// sched.List cycle for cycle. A full evaluation enters with first == 0
+// and resetSchedule's state; a delta replay (see delta.go) enters at the
+// first cycle any perturbed node could issue, with the incumbent's
+// prefix state already installed and a non-nil replay tracker. The
+// tracker observes issues and may terminate the loop early by
+// fast-forwarding from the incumbent — it never influences which node
+// issues where, so the decision sequence is the full path's by
+// construction.
+func (e *Evaluator) scheduleFrom(first, target, unscheduled, L int32, rp *replayState) (int32, error) {
+	p := e.p
+	totalWork := p.baseWork + int32(e.nMoves)*(p.moveDII+p.moveLat)
+	for cycle := first; unscheduled > 0; cycle++ {
 		if cycle > target+totalWork+1 {
-			return Eval{}, fmt.Errorf("problem: no progress by cycle %d; resource model inconsistent", cycle)
+			return 0, fmt.Errorf("problem: no progress by cycle %d; resource model inconsistent", cycle)
 		}
-		sort.Sort(e.sorter)
+		if rp != nil {
+			rp.atCycleTop(e, cycle)
+			if rp.converged(e, cycle) {
+				return rp.fastForward(e, cycle, L), nil
+			}
+			ne := rp.partitionEligible(e, cycle)
+			if n, nl, ok := rp.oracleAdvance(e, cycle, L, ne); ok {
+				unscheduled -= n
+				L = nl
+				continue
+			}
+			e.eligN = ne
+			sort.Sort(e.eligSorter)
+		} else {
+			sort.Sort(e.sorter)
+		}
 		issuedAny := true
 		for issuedAny {
 			issuedAny = false
@@ -332,11 +431,14 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 					continue
 				}
 				var pool []int32
+				var base int32
 				if e.vIsMove[k] {
 					pool = e.unitFree[p.busOff:]
+					base = p.busOff
 				} else {
 					key := e.vCluster[k]*int32(dfg.NumFUTypes) + p.fut[e.vID[k]]
 					pool = e.unitFree[p.poolOff[key] : p.poolOff[key]+p.poolLen[key]]
+					base = p.poolOff[key]
 				}
 				u := freeUnit32(pool, cycle)
 				if u < 0 {
@@ -346,6 +448,10 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 				}
 				pool[u] = cycle + e.diiOf(k)
 				e.start[k] = cycle
+				e.unit[k] = base + int32(u)
+				if rp != nil {
+					rp.onIssue(e, k, cycle, base+int32(u))
+				}
 				if fin := cycle + e.latOf(k); fin > L {
 					L = fin
 				}
@@ -364,18 +470,29 @@ func (e *Evaluator) Evaluate(bn []int) (Eval, error) {
 							ev = e.alap[s]
 						}
 						e.earliest[s] = ev
+						if rp != nil {
+							rp.noteReady(e, s)
+						}
 						e.wake = append(e.wake, s)
 					}
 				}
 			}
 			e.ready = append(e.ready[:w], e.wake...)
+			if rp != nil {
+				// Every latency and DII is ≥ 1 (machine.New enforces
+				// it), so an issue never frees a unit nor wakes a
+				// successor within its own cycle: a second pass cannot
+				// issue anything. The full path keeps the extra pass to
+				// mirror sched.List literally; it issues nothing and
+				// its re-sort changes no decision.
+				break
+			}
 			if issuedAny {
 				sort.Sort(e.sorter)
 			}
 		}
 	}
-	e.lastL = L
-	return Eval{L: int(L), M: nMoves}, nil
+	return L, nil
 }
 
 // freeUnit32 is sched.List's unit selection: the unit free at the cycle

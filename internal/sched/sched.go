@@ -320,29 +320,57 @@ func Check(s *Schedule) error {
 	// [start, start+dii-1]; no other node may hold the same unit in any of
 	// those cycles. With unit indices validated against pool sizes above,
 	// per-unit exclusivity subsumes the aggregate per-type capacity bound.
-	type key struct {
-		cluster int // -1 for the bus
-		fu      dfg.FUType
-		unit    int
-		cycle   int
+	// Occupancy is tracked in a dense per-unit × per-cycle bitset — the
+	// same resource mirror incremental evaluation snapshots use — so a
+	// clash probe is one masked word test instead of a map lookup.
+	rowOf, rows := unitRows(dp)
+	maxCycle := 0
+	for _, n := range g.Nodes() {
+		if end := s.Start[n.ID()] + dp.DII(n.Op()); end > maxCycle {
+			maxCycle = end
+		}
 	}
-	occ := make(map[key]*dfg.Node)
+	var occ BitMatrix
+	occ.Reset(rows, maxCycle)
 	for _, n := range g.Nodes() {
 		c := s.Cluster[n.ID()]
-		fu := n.FUType()
 		if n.IsMove() {
 			c = -1
 		}
-		for d := 0; d < dp.DII(n.Op()); d++ {
-			k := key{c, fu, s.Unit[n.ID()], s.Start[n.ID()] + d}
-			if prev, ok := occ[k]; ok {
-				return fmt.Errorf("sched: %s and %s both occupy %s unit %d at cycle %d (cluster %d)",
-					prev.Name(), n.Name(), fu, k.unit, k.cycle, c)
-			}
-			occ[k] = n
+		st, dii := s.Start[n.ID()], dp.DII(n.Op())
+		if occ.SetRange(rowOf(c, n.FUType(), s.Unit[n.ID()]), st, st+dii) {
+			return fmt.Errorf("sched: %s and an earlier operation both occupy %s unit %d within cycles [%d, %d) (cluster %d)",
+				n.Name(), n.FUType(), s.Unit[n.ID()], st, st+dii, c)
 		}
 	}
 	return nil
+}
+
+// unitRows lays the datapath's concrete units out as consecutive bitset
+// rows — every functional unit of every cluster, then the shared bus
+// channels — and returns the (cluster, fu, unit) → row mapping along
+// with the total row count. Moves pass cluster −1 to address the bus
+// pool.
+func unitRows(dp *machine.Datapath) (rowOf func(cluster int, fu dfg.FUType, unit int) int, rows int) {
+	off := make([]int, dp.NumClusters()*dfg.NumFUTypes)
+	for c := 0; c < dp.NumClusters(); c++ {
+		for t := 1; t < dfg.NumFUTypes; t++ {
+			ft := dfg.FUType(t)
+			if ft == dfg.FUBus {
+				continue
+			}
+			off[c*dfg.NumFUTypes+t] = rows
+			rows += dp.NumFU(c, ft)
+		}
+	}
+	busOff := rows
+	rows += dp.NumBuses()
+	return func(cluster int, fu dfg.FUType, unit int) int {
+		if cluster < 0 {
+			return busOff + unit
+		}
+		return off[cluster*dfg.NumFUTypes+int(fu)] + unit
+	}, rows
 }
 
 // Gantt renders the schedule as a per-resource text chart: one row per
