@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke bench bench-json bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke bench bench-json bench-json-pr7 bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -25,7 +25,10 @@ race:
 # Short fuzzing pass over every native harness (the checked-in corpora
 # under testdata/fuzz run on every plain `go test` already; this spends
 # FUZZTIME per harness searching for new inputs). The Go fuzz engine
-# accepts one -fuzz target per invocation, hence one line each.
+# accepts one -fuzz target per invocation, hence one line each. The
+# bind/audit harness datapath tables include ring and point-to-point
+# machines (one with multi-hop routes), so every pass here fuzzes the
+# routed-interconnect paths alongside the shared bus.
 fuzz-smoke:
 	$(GO) test ./internal/audit -run '^$$' -fuzz '^FuzzBindRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bind -run '^$$' -fuzz '^FuzzEvaluatorDifferential$$' -fuzztime $(FUZZTIME)
@@ -35,9 +38,10 @@ fuzz-smoke:
 	$(GO) test ./internal/textio -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 
 # Fault-injection sweep for the anytime contract: the seeded chaos
-# schedules and every cancellation/panic-isolation test run under the
-# race detector, then the cancellation fuzzer spends FUZZTIME searching
-# for a cut point that breaks the degradation guarantees.
+# schedules (which sweep a ring machine alongside the shared-bus ones)
+# and every cancellation/panic-isolation test run under the race
+# detector, then the cancellation fuzzer spends FUZZTIME searching for
+# a cut point that breaks the degradation guarantees.
 chaos-smoke:
 	$(GO) test -race ./internal/bind -run 'Cancel|Degrade|Panic|Retr|Stats' -count 1
 	$(GO) test -race ./internal/audit -run '^TestChaosSweep$$' -count 1
@@ -50,6 +54,8 @@ chaos-smoke:
 obs-smoke:
 	$(GO) run ./cmd/vbind -kernel EWF -algo iter -trace /tmp/vliwbind-obs.jsonl -metrics -explain
 	@test -s /tmp/vliwbind-obs.jsonl || { echo "obs-smoke: trace journal is empty"; exit 1; }
+	$(GO) run ./cmd/vbind -kernel EWF -dp '[1,1|1,1|1,1]' -topology ring -algo iter -trace /tmp/vliwbind-obs-ring.jsonl -metrics
+	@test -s /tmp/vliwbind-obs-ring.jsonl || { echo "obs-smoke: ring trace journal is empty"; exit 1; }
 	$(GO) test ./cmd/vbind -run '^TestObsSmoke$$' -count 1
 
 # Regenerate the paper's tables as benchmarks (L/M metrics per row) and
@@ -61,7 +67,7 @@ obs-smoke:
 # floor: ≥3x per-candidate speedup on the delta-hit path and zero
 # allocs/op on it. CI checks the file is present and non-empty.
 BENCHCOUNT ?= 6
-bench: bench-json
+bench: bench-json bench-json-pr7
 	$(GO) test -bench=. -benchmem
 
 bench-json:
@@ -72,6 +78,23 @@ bench-json:
 		-zero 'BenchmarkEvaluateDeltaHit' \
 		/tmp/vliwbind-bench-pr6.txt
 	@echo "wrote BENCH_pr6.json"
+
+# Route-aware interconnect trajectory. Re-runs the shared-bus
+# delta-hit/full pair on the refactored evaluator — the pr6 gate passing
+# again on the new code is the no-regression proof against
+# BENCH_pr6.json (benchjson gates are within-file ratios, so the
+# cross-PR comparison is expressed by re-asserting the same floor) —
+# and adds the routed-topology evaluation benchmarks, which must stay
+# allocation-free like the shared-bus path.
+bench-json-pr7:
+	$(GO) test ./internal/problem -run '^$$' -bench 'BenchmarkEvaluate(DeltaHit|FullPerturbed|Virtual|Ring|P2P)$$' -benchmem -count $(BENCHCOUNT) > /tmp/vliwbind-bench-pr7.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr7.json \
+		-gate 'BenchmarkEvaluateFullPerturbed/BenchmarkEvaluateDeltaHit>=3.0' \
+		-zero 'BenchmarkEvaluateDeltaHit' \
+		-zero 'BenchmarkEvaluateRing' \
+		-zero 'BenchmarkEvaluateP2P' \
+		/tmp/vliwbind-bench-pr7.txt
+	@echo "wrote BENCH_pr7.json"
 
 # Sequential-vs-parallel engine comparison on the largest kernel.
 bench-parallel:

@@ -42,6 +42,8 @@ func main() {
 		muls    = flag.Int("muls", 2, "total multiplier budget")
 		maxC    = flag.Int("maxclusters", 4, "maximum number of clusters")
 		buses   = flag.Int("buses", 2, "number of buses")
+		topo    = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
+		linkCap = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
 		algo    = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
 		par     = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 		timeout = flag.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
@@ -49,13 +51,13 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print per-phase timers and search counters after the exploration")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *algo, *par, *timeout, *trace, *metrics); err != nil {
+	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *topo, *linkCap, *algo, *par, *timeout, *trace, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kernel string, alus, muls, maxC, buses int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool) error {
+func run(w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, linkCap int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool) error {
 	k, err := vliwbind.KernelByName(kernel)
 	if err != nil {
 		return err
@@ -99,7 +101,7 @@ explore:
 				expired = true
 				break explore
 			}
-			dp, err := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{NumBuses: buses})
+			dp, err := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{NumBuses: buses, Topology: topo, LinkCap: linkCap})
 			if err != nil {
 				return err
 			}

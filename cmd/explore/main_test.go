@@ -11,7 +11,7 @@ import (
 )
 
 func TestRunSmallBudget(t *testing.T) {
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "init", 2, 0, "", false); err != nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -65,13 +65,13 @@ func TestMarkPareto(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "nope", 2, 2, 2, 2, "init", 0, 0, "", false); err == nil {
+	if err := run(io.Discard, "nope", 2, 2, 2, 2, "", 0, "init", 0, 0, "", false); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "init", 0, 0, "", false); err == nil {
+	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "", 0, "init", 0, 0, "", false); err == nil {
 		t.Error("empty budget accepted")
 	}
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "frob", 0, 0, "", false); err == nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "frob", 0, 0, "", false); err == nil {
 		t.Error("unknown algo accepted")
 	}
 }
@@ -79,7 +79,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithTraceAndMetrics(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, "ARF", 2, 1, 2, 2, "init", 2, 0, trace, true); err != nil {
+	if err := run(&out, "ARF", 2, 1, 2, 2, "", 0, "init", 2, 0, trace, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"vliwbind"
@@ -43,6 +44,8 @@ type config struct {
 	dfgPath, kernel string
 	dpSpec          string
 	buses, moveLat  int
+	topology        string
+	linkCap         int
 	algo            string
 	regs, par       int
 	timeout         time.Duration
@@ -64,7 +67,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.kernel, "kernel", "", "built-in benchmark name (EWF, ARF, FFT, DCT-DIF, DCT-LEE, DCT-DIT, DCT-DIT-2)")
 	fs.StringVar(&cfg.dpSpec, "dp", "[1,1|1,1]", "datapath clusters in [alus,muls|...] notation")
 	fs.IntVar(&cfg.buses, "buses", 2, "number of buses N_B")
-	fs.IntVar(&cfg.moveLat, "movelat", 1, "data transfer latency lat(move)")
+	fs.IntVar(&cfg.moveLat, "movelat", 1, "data transfer latency lat(move); per hop on routed topologies")
+	fs.StringVar(&cfg.topology, "topology", "", "interconnect topology: bus (default), p2p, ring, none")
+	fs.IntVar(&cfg.linkCap, "linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
 	fs.StringVar(&cfg.algo, "algo", "iter", "binding algorithm: init, iter, pcc, anneal, mincut, opt")
 	fs.BoolVar(&cfg.gantt, "gantt", false, "print the schedule as a Gantt chart")
 	fs.BoolVar(&cfg.dot, "dot", false, "print the bound graph in Graphviz DOT form")
@@ -110,7 +115,10 @@ func run(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
-	dp, err := vliwbind.ParseDatapath(cfg.dpSpec, vliwbind.DatapathConfig{NumBuses: cfg.buses, MoveLat: cfg.moveLat})
+	dp, err := vliwbind.ParseDatapath(cfg.dpSpec, vliwbind.DatapathConfig{
+		NumBuses: cfg.buses, MoveLat: cfg.moveLat,
+		Topology: cfg.topology, LinkCap: cfg.linkCap,
+	})
 	if err != nil {
 		return err
 	}
@@ -176,7 +184,20 @@ func run(w io.Writer, cfg config) error {
 	stats := g.Stats()
 	fmt.Fprintf(w, "graph %s: N_V=%d N_CC=%d L_CP=%d\n", g.Name(), stats.NumOps, stats.NumComponents, stats.CriticalPath)
 	fmt.Fprintf(w, "datapath %s buses=%d lat(move)=%d\n", dp, dp.NumBuses(), dp.MoveLat())
+	if dp.Topology() != vliwbind.TopoBus {
+		fmt.Fprintf(w, "interconnect %s: %d links x %d channels, max route %d hops\n",
+			dp.Topology(), dp.NumLinks(), dp.LinkCapacity(0), dp.MaxHops())
+	}
 	fmt.Fprintf(w, "%s: L=%d moves=%d\n", cfg.algo, res.L(), res.Moves())
+	if res.Moves() > 0 {
+		var occ strings.Builder
+		for l, n := range res.Schedule.LinkOccupancy() {
+			if n > 0 {
+				fmt.Fprintf(&occ, " %s=%d", dp.LinkName(l), n)
+			}
+		}
+		fmt.Fprintf(w, "link occupancy:%s\n", occ.String())
+	}
 	if res.Degraded {
 		fmt.Fprintf(w, "degraded: budget expired before the search completed (%v); result is the audited best-so-far\n", res.Budget)
 	}

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"vliwbind"
 )
 
 func TestRunKernelAllAlgos(t *testing.T) {
@@ -124,17 +126,22 @@ func TestRealMainSuccess(t *testing.T) {
 type event struct {
 	Type  string `json:"type"`
 	Cache string `json:"cache"`
+	Hops  int    `json:"hops"`
+	Links []int  `json:"links"`
 }
 
 // TestObsSmoke is the tentpole's acceptance check: on vbind -kernel EWF
-// -algo iter with tracing, metrics and explain enabled, the journal must
-// decode as JSONL and contain at least one sweep-config event, at least
-// one iter-round event, and per-candidate eval events whose cache
-// hit/miss totals equal the CacheStats counters the run reports.
+// -algo iter on a ring interconnect with tracing, metrics and explain
+// enabled, the journal must decode as JSONL and contain at least one
+// sweep-config event, at least one iter-round event, per-candidate eval
+// events whose cache hit/miss totals equal the CacheStats counters the
+// run reports, and one route.pick event per transfer whose per-link
+// aggregation equals the link-occupancy line of the final schedule.
 func TestObsSmoke(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	var out bytes.Buffer
-	cfg := config{kernel: "EWF", dpSpec: "[1,1|1,1]", buses: 2, moveLat: 1,
+	cfg := config{kernel: "EWF", dpSpec: "[1,1|1,1|1,1]", buses: 2, moveLat: 1,
+		topology: "ring", linkCap: 1,
 		algo: "iter", par: 4, tracePath: trace, metrics: true, explain: true}
 	if err := run(&out, cfg); err != nil {
 		t.Fatal(err)
@@ -146,6 +153,7 @@ func TestObsSmoke(t *testing.T) {
 	}
 	defer f.Close()
 	counts := map[string]int64{}
+	linkTotals := map[int]int64{}
 	var hits, misses int64
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -161,6 +169,14 @@ func TestObsSmoke(t *testing.T) {
 				hits++
 			case "miss":
 				misses++
+			}
+		}
+		if e.Type == "route.pick" {
+			if len(e.Links) != e.Hops {
+				t.Errorf("route.pick carries %d links for %d hops", len(e.Links), e.Hops)
+			}
+			for _, l := range e.Links {
+				linkTotals[l]++
 			}
 		}
 	}
@@ -193,6 +209,45 @@ func TestObsSmoke(t *testing.T) {
 	if hits != statH || misses != statM {
 		t.Errorf("journal cache totals (hits=%d misses=%d) != CacheStats (hits=%d misses=%d)",
 			hits, misses, statH, statM)
+	}
+
+	// Every transfer of the materialized winner emits exactly one
+	// route.pick, so the journal count must equal the reported move
+	// count and the per-link aggregation must equal the occupancy line.
+	var moves int64
+	occLine := ""
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.HasPrefix(line, "iter: L=") {
+			var l int64
+			if _, err := fmt.Sscanf(line, "iter: L=%d moves=%d", &l, &moves); err != nil {
+				t.Fatalf("cannot parse result line %q: %v", line, err)
+			}
+		}
+		if strings.HasPrefix(line, "link occupancy:") {
+			occLine = strings.TrimPrefix(line, "link occupancy:")
+		}
+	}
+	if moves == 0 {
+		t.Fatalf("EWF on three ring clusters bound without transfers:\n%s", out.String())
+	}
+	if counts["route.pick"] != moves {
+		t.Errorf("journal has %d route.pick events, result reports %d moves", counts["route.pick"], moves)
+	}
+	dp, err := vliwbind.ParseDatapath(cfg.dpSpec, vliwbind.DatapathConfig{
+		NumBuses: cfg.buses, MoveLat: cfg.moveLat,
+		Topology: cfg.topology, LinkCap: cfg.linkCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for l := 0; l < dp.NumLinks(); l++ {
+		if n := linkTotals[l]; n > 0 {
+			fmt.Fprintf(&want, " %s=%d", dp.LinkName(l), n)
+		}
+	}
+	if occLine != want.String() {
+		t.Errorf("link occupancy line %q != journal route.pick aggregation %q", occLine, want.String())
 	}
 
 	// Metrics and explain sections must have rendered.

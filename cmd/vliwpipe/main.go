@@ -28,6 +28,8 @@ func main() {
 		carried = flag.String("carried", "", "comma-separated carried deps \"from>to:distance\"")
 		dpSpec  = flag.String("dp", "[2,1|2,1]", "datapath clusters")
 		buses   = flag.Int("buses", 2, "number of buses")
+		topo    = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
+		linkCap = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
 		iters   = flag.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
 		audit   = flag.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
 		timeout = flag.Duration("timeout", 0, "scheduling time budget (e.g. 100ms); a modulo schedule has no partial form, so expiry aborts with an error. 0 = no budget")
@@ -35,13 +37,13 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print per-phase timers after scheduling")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dfgPath, *carried, *dpSpec, *buses, *iters, *timeout, *audit, *trace, *metrics); err != nil {
+	if err := run(os.Stdout, *dfgPath, *carried, *dpSpec, *buses, *topo, *linkCap, *iters, *timeout, *audit, *trace, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "vliwpipe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dfgPath, carried, dpSpec string, buses, iters int, timeout time.Duration, audit bool, tracePath string, withMetrics bool) error {
+func run(w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, linkCap, iters int, timeout time.Duration, audit bool, tracePath string, withMetrics bool) error {
 	// The modulo scheduler has no internal observation seam, so vliwpipe
 	// journals coarse CLI-level phase events (load, pipeline, verify);
 	// -metrics folds the same events into the phase table.
@@ -76,7 +78,7 @@ func run(w io.Writer, dfgPath, carried, dpSpec string, buses, iters int, timeout
 	}
 	kernel := loop.Body.Name()
 	phase("vliwpipe.load", t0, kernel)
-	dp, err := vliwbind.ParseDatapath(dpSpec, vliwbind.DatapathConfig{NumBuses: buses})
+	dp, err := vliwbind.ParseDatapath(dpSpec, vliwbind.DatapathConfig{NumBuses: buses, Topology: topo, LinkCap: linkCap})
 	if err != nil {
 		return err
 	}

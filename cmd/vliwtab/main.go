@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "which table to regenerate: 1, 2, 3 (five-binder baseline comparison), or 0 for 1+2")
+		table  = flag.Int("table", 0, "which table to regenerate: 1, 2, 3 (five-binder baseline comparison), 4 (interconnect topology comparison), or 0 for 1+2")
 		kernel = flag.String("kernel", "", "restrict to one benchmark (Table 1 only)")
 		md     = flag.Bool("md", false, "emit a Markdown table (EXPERIMENTS.md format)")
 		par    = flag.Int("par", 0, "worker-pool size for B-INIT/B-ITER candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (table values are identical at any setting)")
@@ -34,6 +34,19 @@ func main() {
 }
 
 func run(table int, kernel string, md bool, par int) error {
+	if table == 4 {
+		var ms []vliwbind.TopologyMeasurement
+		for _, kernel := range vliwbind.TopologyKernels() {
+			m, err := vliwbind.RunTopologyComparison(kernel)
+			if err != nil {
+				return err
+			}
+			ms = append(ms, m)
+			fmt.Fprintf(os.Stderr, "done %s\n", kernel)
+		}
+		fmt.Print(vliwbind.FormatTopologies(ms))
+		return nil
+	}
 	if table == 3 {
 		var ms []vliwbind.BaselineMeasurement
 		for _, r := range vliwbind.BaselineRows() {

@@ -103,7 +103,7 @@ func TestChaosSweep(t *testing.T) {
 		{"ARF", fuzzGraph(t, 0, 0)},
 		{"rand17", fuzzGraph(t, 17, 13)},
 	}
-	dps := []string{"[1,1|1,1]", "[2,1|1,1]"}
+	dps := []string{"[1,1|1,1]", "[2,1|1,1]", "[1,1|1,1|1,1]@ring:1"}
 	opts := bind.Options{Parallelism: 4}
 	for _, gc := range graphs {
 		for _, spec := range dps {

@@ -23,6 +23,9 @@ var fuzzDatapaths = []string{
 	"[2,1|1,1]",
 	"[2,2|1,1|2,1]",
 	"[1,1|1,1|1,1]",
+	"[1,1|1,1|1,1]@ring:1",
+	"[2,1|1,1]@p2p",
+	"[1,1|1,1|1,1|1,1]@ring:1", // 4-cluster ring: multi-hop routes
 }
 
 // fuzzGraph derives the input graph from the fuzz arguments: ops == 0
@@ -50,6 +53,9 @@ func FuzzBindRoundTrip(f *testing.F) {
 		f.Add(int64(1), uint8(12), uint8(0), algo)
 		f.Add(int64(7), uint8(0), uint8(3), algo) // ops=0 → ARF benchmark
 		f.Add(int64(42), uint8(24), uint8(2), algo)
+		f.Add(int64(11), uint8(16), uint8(4), algo) // 3-cluster ring
+		f.Add(int64(13), uint8(0), uint8(5), algo)  // ARF on point-to-point
+		f.Add(int64(17), uint8(20), uint8(6), algo) // 4-cluster ring, multi-hop
 	}
 	f.Fuzz(func(t *testing.T, seed int64, ops, dpSel, algoSel uint8) {
 		g := fuzzGraph(t, seed, ops)

@@ -263,14 +263,15 @@ func TestTrcostFigure3(t *testing.T) {
 	bn[v1.Node().ID()] = A
 	bn[v2.Node().ID()] = A
 
-	costB, trsB := trcost(v.Node(), B, bn, false)
+	dp2 := machine.MustParse("[2,1|2,1]", machine.Config{})
+	costB, trsB := trcost(v.Node(), B, dp2, bn, false)
 	if costB != 2 {
 		t.Errorf("trcost(v,B) = %d, want 2 (dd=1 + cc=1)", costB)
 	}
 	if len(trsB) != 1 || trsB[0].Prod != v1.Node() || trsB[0].Dest != B {
 		t.Errorf("transfers for B = %+v, want one v1->B", trsB)
 	}
-	costA, trsA := trcost(v.Node(), A, bn, false)
+	costA, trsA := trcost(v.Node(), A, dp2, bn, false)
 	if costA != 0 || len(trsA) != 0 {
 		t.Errorf("trcost(v,A) = %d with %d transfers, want 0/0", costA, len(trsA))
 	}
@@ -290,14 +291,15 @@ func TestTrcostReverse(t *testing.T) {
 	b.Output(c2)
 	g := b.Graph()
 	bn := []int{-1, 1, 1}
-	cost, trs := trcost(v.Node(), 0, bn, true)
+	dp2 := machine.MustParse("[2,1|2,1]", machine.Config{})
+	cost, trs := trcost(v.Node(), 0, dp2, bn, true)
 	if cost != 1 || len(trs) != 1 {
 		t.Errorf("reverse trcost = %d (%d transfers), want 1/1", cost, len(trs))
 	}
 	if trs[0].Prod != v.Node() || trs[0].Dest != 1 {
 		t.Errorf("reverse transfer = %+v, want v -> cluster 1", trs[0])
 	}
-	cost0, _ := trcost(v.Node(), 1, bn, true)
+	cost0, _ := trcost(v.Node(), 1, dp2, bn, true)
 	if cost0 != 0 {
 		t.Errorf("reverse trcost same cluster = %d, want 0", cost0)
 	}

@@ -221,18 +221,27 @@ func orderNodes(g *dfg.Graph, times *dfg.Times, lat dfg.LatencyFn, reverse bool)
 // binding (-1 for unbound nodes).
 //
 // Forward direction: the direct component counts bound producers in other
-// clusters (one transfer each); the common-consumer component adds one for
-// each consumer of v that already has a bound producer elsewhere — that
-// transfer will exist no matter where the consumer lands. The reverse
-// direction mirrors producers and consumers: v's result must reach each
-// distinct cluster its bound consumers occupy, and the look-ahead counts
-// operands shared with already-bound consumers.
-func trcost(v *dfg.Node, c int, bn []int, reverse bool) (cost int, trs []profile.Transfer) {
+// clusters (one transfer each, weighted by the route's hop count — one on
+// every single-hop topology, so the paper's counting is unchanged there);
+// the common-consumer component adds one for each consumer of v that
+// already has a bound producer elsewhere — that transfer will exist no
+// matter where the consumer lands. The reverse direction mirrors
+// producers and consumers: v's result must reach each distinct cluster
+// its bound consumers occupy, and the look-ahead counts operands shared
+// with already-bound consumers. Look-ahead components involve an unbound
+// endpoint, so no route is known and they count the one-hop minimum.
+func trcost(v *dfg.Node, c int, dp *machine.Datapath, bn []int, reverse bool) (cost int, trs []profile.Transfer) {
+	hops := func(src, dst int) int {
+		if r := dp.Route(src, dst); r != nil {
+			return len(r)
+		}
+		return 1
+	}
 	if !reverse {
 		for _, u := range v.Preds() {
 			if bu := bn[u.ID()]; bu >= 0 && bu != c {
-				cost++
-				trs = append(trs, profile.Transfer{Prod: u, Cons: v, Dest: c})
+				cost += hops(bu, c)
+				trs = append(trs, profile.Transfer{Prod: u, Cons: v, Src: bu, Dest: c})
 			}
 		}
 		// Common-consumer look-ahead: for each yet-unbound consumer of v
@@ -261,8 +270,8 @@ func trcost(v *dfg.Node, c int, bn []int, reverse bool) (cost int, trs []profile
 		if bu := bn[u.ID()]; bu >= 0 && bu != c {
 			if _, ok := seen[bu]; !ok {
 				seen[bu] = u
-				cost++
-				trs = append(trs, profile.Transfer{Prod: v, Cons: u, Dest: bu})
+				cost += hops(c, bu)
+				trs = append(trs, profile.Transfer{Prod: v, Cons: u, Src: c, Dest: bu})
 			}
 		}
 	}
@@ -324,7 +333,7 @@ func initialOnce(g *dfg.Graph, dp *machine.Datapath, lpr int, reverse bool, opts
 		var bestFU int
 		var choices []obs.ClusterCost // explain breakdown, observer-only
 		for _, c := range ts {
-			tc, trs := trcost(v, c, bn, reverse)
+			tc, trs := trcost(v, c, dp, bn, reverse)
 			fu := prof.FUCost(v, c)
 			bus := prof.BusCost(trs)
 			cost := float64(fu)*opts.Alpha*float64(dp.DII(v.Op())) +

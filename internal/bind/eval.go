@@ -634,7 +634,40 @@ func (en *engine) evaluate(ctx context.Context, worker int, bn []int) (*evalRec,
 // list schedule — for a solution the caller keeps. The schedule it
 // produces is bit-identical to what the virtual evaluation promised.
 func (en *engine) materialize(sol solution) (*Result, error) {
-	return Evaluate(en.p.Graph(), en.p.Datapath(), sol.bn)
+	res, err := Evaluate(en.p.Graph(), en.p.Datapath(), sol.bn)
+	if err != nil {
+		return nil, err
+	}
+	en.emitRoutePicks(res)
+	return res, nil
+}
+
+// emitRoutePicks journals one route.pick event per data transfer of the
+// materialized winner: endpoint clusters, hop count, and the link ids
+// the route rides. Emitted only for the final schedule — candidate
+// evaluations stay silent — so aggregating the journal's route.pick
+// events per link reproduces the winner's link occupancy exactly.
+func (en *engine) emitRoutePicks(res *Result) {
+	if en.obs == nil {
+		return
+	}
+	dp := res.Datapath
+	for _, n := range res.Bound.Nodes() {
+		if !n.IsMove() {
+			continue
+		}
+		src := n.TransferFor()
+		if src == nil {
+			continue
+		}
+		from, to := res.Schedule.Cluster[src.ID()], res.Schedule.Cluster[n.ID()]
+		route := dp.Route(from, to)
+		if route == nil {
+			route = []int{0} // degenerate same-cluster transfer: link 0, like the scheduler
+		}
+		en.emit(obs.Event{Type: obs.EvRoutePick, Op: n.Name(),
+			Src: from, Dst: to, Hops: len(route), Links: append([]int(nil), route...)})
+	}
 }
 
 // materializeDegraded materializes a solution that an expiring budget

@@ -12,7 +12,14 @@ import (
 	"vliwbind/internal/problem"
 )
 
-var evalFuzzDatapaths = []string{"[1,1|1,1]", "[2,1|1,1]", "[2,2|1,1|2,1]"}
+var evalFuzzDatapaths = []string{
+	"[1,1|1,1]",
+	"[2,1|1,1]",
+	"[2,2|1,1|2,1]",
+	"[1,1|1,1|1,1]@ring:1",
+	"[2,1|1,1]@p2p",
+	"[1,1|1,1|1,1|1,1]@ring:1", // multi-hop: full path only; delta capture refuses it
+}
 
 // FuzzEvaluatorDifferential checks the central performance claim of the
 // virtual evaluator: for any binding of any graph, its (L, M), Q_U
@@ -24,6 +31,9 @@ func FuzzEvaluatorDifferential(f *testing.F) {
 	f.Add(int64(1), uint8(12), uint8(0), uint64(0))
 	f.Add(int64(7), uint8(20), uint8(1), uint64(9876))
 	f.Add(int64(42), uint8(30), uint8(2), uint64(31415926))
+	f.Add(int64(11), uint8(18), uint8(3), uint64(271828))    // 3-cluster ring
+	f.Add(int64(13), uint8(22), uint8(4), uint64(1618033))   // point-to-point
+	f.Add(int64(17), uint8(26), uint8(5), uint64(141421356)) // 4-cluster ring, multi-hop moves
 	f.Fuzz(func(t *testing.T, seed int64, ops, dpSel uint8, bindSeed uint64) {
 		g := kernels.Random(kernels.RandomConfig{Ops: 4 + int(ops)%29, Seed: seed})
 		spec := evalFuzzDatapaths[int(dpSel)%len(evalFuzzDatapaths)]

@@ -20,18 +20,27 @@ func (t *Times) Mobility(v *Node) int { return t.ALAP[v.id] - t.ASAP[v.id] }
 // critical path it is raised to the critical path, so mobilities are never
 // negative. Pass target 0 to analyze at exactly the critical path.
 func Analyze(g *Graph, lat LatencyFn, target int) *Times {
+	return AnalyzeNodes(g, func(n *Node) int { return lat(n.op) }, target)
+}
+
+// AnalyzeNodes is Analyze with a per-node latency function, for latency
+// models where two nodes of the same operation type take different
+// times — a bound graph on a routed interconnect, where a move's
+// latency depends on the clusters its route joins, is the motivating
+// case. Analyze(g, lat, t) ≡ AnalyzeNodes(g, n ↦ lat(n.Op()), t).
+func AnalyzeNodes(g *Graph, lat func(*Node) int, target int) *Times {
 	order := TopoOrder(g)
 	asap := make([]int, len(g.nodes))
 	cp := 0
 	for _, n := range order {
 		s := 0
 		for _, p := range n.preds {
-			if t := asap[p.id] + lat(p.op); t > s {
+			if t := asap[p.id] + lat(p); t > s {
 				s = t
 			}
 		}
 		asap[n.id] = s
-		if e := s + lat(n.op); e > cp {
+		if e := s + lat(n); e > cp {
 			cp = e
 		}
 	}
@@ -50,7 +59,7 @@ func Analyze(g *Graph, lat LatencyFn, target int) *Times {
 				e = t
 			}
 		}
-		alap[n.id] = e - lat(n.op)
+		alap[n.id] = e - lat(n)
 	}
 	return &Times{ASAP: asap, ALAP: alap, L: target}
 }

@@ -57,6 +57,12 @@ type Row struct {
 	// NumBuses and MoveLat give N_B and lat(move); Table 1 fixes them at
 	// 2 and 1, Table 2 sweeps them.
 	NumBuses, MoveLat int
+	// Topology selects the interconnect ("" or machine.TopoBus is the
+	// paper's shared bus); LinkCap sizes the routed topologies' links.
+	// The paper's tables never set either — they exist for the
+	// topology-comparison experiments.
+	Topology string
+	LinkCap  int
 	// PaperPCC, PaperInit, PaperIter are the paper's published (L, M)
 	// values for the three algorithms on this row.
 	PaperPCC, PaperInit, PaperIter LM
@@ -64,15 +70,22 @@ type Row struct {
 
 // Datapath builds the machine model for the row.
 func (r Row) Datapath() (*machine.Datapath, error) {
-	return machine.Parse(r.Clusters, machine.Config{NumBuses: r.NumBuses, MoveLat: r.MoveLat})
+	return machine.Parse(r.Clusters, machine.Config{
+		NumBuses: r.NumBuses, MoveLat: r.MoveLat,
+		Topology: r.Topology, LinkCap: r.LinkCap,
+	})
 }
 
 // Name identifies the row in logs and test output.
 func (r Row) Name() string {
-	if r.Table == 2 {
-		return fmt.Sprintf("FFT %s NB=%d lat=%d", r.Clusters, r.NumBuses, r.MoveLat)
+	topo := ""
+	if r.Topology != "" && r.Topology != machine.TopoBus {
+		topo = " @" + r.Topology
 	}
-	return fmt.Sprintf("%s %s", r.Kernel, r.Clusters)
+	if r.Table == 2 {
+		return fmt.Sprintf("FFT %s NB=%d lat=%d%s", r.Clusters, r.NumBuses, r.MoveLat, topo)
+	}
+	return fmt.Sprintf("%s %s%s", r.Kernel, r.Clusters, topo)
 }
 
 // Measurement is the outcome of running all three algorithms on a row.
@@ -417,6 +430,114 @@ func FormatBaselines(ms []BaselineMeasurement) string {
 			m.Name(),
 			m.Iter, m.IterCut, m.PCC, m.PCCCut,
 			m.Anneal, m.AnnealCut, m.MinCut, m.MinCutCut)
+	}
+	return b.String()
+}
+
+// topoClusters is the cluster structure of the topology comparison: three
+// minimal clusters, where inter-cluster traffic is plentiful enough for
+// the interconnect to matter but the FU mix never masks it.
+const topoClusters = "[1,1|1,1|1,1]"
+
+// TopologyMeasurement compares B-ITER's solution quality for one kernel
+// across interconnect topologies on the same cluster structure: the
+// paper's shared bus (N_B = 2), a unidirectional-capacity-1 ring, and a
+// full point-to-point crossbar.
+type TopologyMeasurement struct {
+	Kernel         string
+	Bus, Ring, P2P LM
+	// RingDiffers / P2PDiffers report that the routed topology led
+	// B-ITER to a different binding than the shared bus did — the
+	// interconnect model steering the search, not just re-costing it.
+	RingDiffers, P2PDiffers bool
+}
+
+// TopologyKernels lists the benchmarks of the topology comparison: every
+// Table 1 kernel measured on the three-cluster datapath.
+func TopologyKernels() []string {
+	var ks []string
+	seen := map[string]bool{}
+	for _, r := range Table1() {
+		if r.Clusters == topoClusters && !seen[r.Kernel] {
+			seen[r.Kernel] = true
+			ks = append(ks, r.Kernel)
+		}
+	}
+	return ks
+}
+
+// RunTopologyComparison measures one kernel across the three topologies,
+// auditing every solution end to end.
+func RunTopologyComparison(kernel string) (TopologyMeasurement, error) {
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		return TopologyMeasurement{}, err
+	}
+	g := k.Build()
+	m := TopologyMeasurement{Kernel: kernel}
+	var busBinding []int
+	for _, tc := range []struct {
+		topo string
+		lm   *LM
+		diff *bool
+	}{
+		{machine.TopoBus, &m.Bus, nil},
+		{machine.TopoRing, &m.Ring, &m.RingDiffers},
+		{machine.TopoP2P, &m.P2P, &m.P2PDiffers},
+	} {
+		r := Row{Kernel: kernel, Clusters: topoClusters, NumBuses: 2, MoveLat: 1,
+			Topology: tc.topo, LinkCap: 1}
+		dp, err := r.Datapath()
+		if err != nil {
+			return m, err
+		}
+		res, err := bind.Bind(g, dp, bind.Options{})
+		if err != nil {
+			return m, fmt.Errorf("expt %s @%s: %w", kernel, tc.topo, err)
+		}
+		if err := audit.Audit(res); err != nil {
+			return m, fmt.Errorf("expt %s @%s failed audit: %w", kernel, tc.topo, err)
+		}
+		*tc.lm = LM{res.L(), res.Moves()}
+		if tc.diff == nil {
+			busBinding = append([]int(nil), res.Binding...)
+		} else {
+			*tc.diff = !equalInts(res.Binding, busBinding)
+		}
+	}
+	return m, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTopologies renders the topology comparison; a trailing "≠"
+// marks routed solutions whose binding differs from the shared-bus one.
+func FormatTopologies(ms []TopologyMeasurement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "B-ITER on %s under three interconnects (L/M)\n", topoClusters)
+	fmt.Fprintf(&b, "%-12s | %-10s | %-12s | %s\n", "KERNEL", "BUS NB=2", "RING cap=1", "P2P cap=1")
+	b.WriteString(strings.Repeat("-", 56) + "\n")
+	mark := func(differs bool) string {
+		if differs {
+			return " ≠"
+		}
+		return ""
+	}
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%-12s | %-10s | %-12s | %s\n",
+			m.Kernel, m.Bus.String(),
+			m.Ring.String()+mark(m.RingDiffers),
+			m.P2P.String()+mark(m.P2PDiffers))
 	}
 	return b.String()
 }

@@ -1,0 +1,197 @@
+// Interconnect topologies. The paper's machine model (Section 2) joins
+// the clusters with one shared bus carrying N_B simultaneous transfers;
+// this file generalizes that to an Interconnect abstraction with three
+// concrete topologies plus an explicit "no interconnect" configuration:
+//
+//   - bus:  one shared link with N_B channels; every route is the single
+//     link, so scheduling against it is bit-identical to the original
+//     scalar bus pool.
+//   - p2p:  a full crossbar of dedicated src→dst links (one per ordered
+//     cluster pair), each with LinkCap channels; every route is one hop.
+//   - ring: a bidirectional ring with LinkCap channels per directed
+//     link; routes are shortest paths (clockwise on ties) computed once
+//     at construction, and a transfer pays MoveLat per hop.
+//   - none: no links at all; single-cluster machines, or a way to make
+//     the "binding needs moves but there is no interconnect" guards
+//     reachable.
+//
+// A route is a sequence of link ids. Channels are numbered globally
+// (link 0's channels first), so schedulers can keep one flat occupancy
+// pool partitioned by link — for the shared bus that partition is the
+// whole pool, which is what keeps the fast path identical to the
+// pre-interconnect code.
+package machine
+
+import "fmt"
+
+// Topology names accepted by Config.Topology and the @-spec notation.
+const (
+	TopoBus  = "bus"
+	TopoP2P  = "p2p"
+	TopoRing = "ring"
+	TopoNone = "none"
+)
+
+// Interconnect describes how clusters exchange values: a set of links,
+// each with a channel capacity, and a precomputed route (sequence of
+// link ids) per ordered cluster pair. Implementations are immutable.
+type Interconnect interface {
+	// Topology returns the topology name (TopoBus, TopoP2P, TopoRing,
+	// TopoNone).
+	Topology() string
+	// NumLinks is the number of links.
+	NumLinks() int
+	// LinkCapacity is the number of simultaneous transfers link l
+	// carries.
+	LinkCapacity(l int) int
+	// LinkName names link l for rendering (Gantt rows, trace events).
+	LinkName(l int) string
+	// Route returns the link ids a transfer from cluster src to cluster
+	// dst traverses, in hop order. It returns nil when src == dst (no
+	// transfer needed) and also when no route exists (TopoNone);
+	// callers distinguish the two by comparing the endpoints. The
+	// returned slice is shared and must not be mutated.
+	Route(src, dst int) []int
+}
+
+// sharedBus is the paper's model: one link, NumBuses channels, and the
+// same single-hop route for every cluster pair.
+type sharedBus struct {
+	channels int
+	route    []int // the shared {0} route
+}
+
+func newSharedBus(channels int) *sharedBus {
+	return &sharedBus{channels: channels, route: []int{0}}
+}
+
+func (b *sharedBus) Topology() string       { return TopoBus }
+func (b *sharedBus) NumLinks() int          { return 1 }
+func (b *sharedBus) LinkCapacity(l int) int { return b.channels }
+func (b *sharedBus) LinkName(l int) string  { return "bus" }
+
+func (b *sharedBus) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	return b.route
+}
+
+// linkGraph is the generic routed implementation behind p2p, ring and
+// none: explicit links with endpoints and a dense route table.
+type linkGraph struct {
+	topo     string
+	clusters int
+	caps     []int
+	names    []string
+	routes   [][]int // [src*clusters+dst], nil on src==dst or no route
+}
+
+func (g *linkGraph) Topology() string       { return g.topo }
+func (g *linkGraph) NumLinks() int          { return len(g.caps) }
+func (g *linkGraph) LinkCapacity(l int) int { return g.caps[l] }
+func (g *linkGraph) LinkName(l int) string  { return g.names[l] }
+
+func (g *linkGraph) Route(src, dst int) []int {
+	return g.routes[src*g.clusters+dst]
+}
+
+// newPointToPoint builds the full crossbar: one dedicated link per
+// ordered cluster pair, cap channels each, every route a single hop.
+func newPointToPoint(clusters, cap int) *linkGraph {
+	g := &linkGraph{
+		topo:     TopoP2P,
+		clusters: clusters,
+		routes:   make([][]int, clusters*clusters),
+	}
+	for src := 0; src < clusters; src++ {
+		for dst := 0; dst < clusters; dst++ {
+			if src == dst {
+				continue
+			}
+			id := len(g.caps)
+			g.caps = append(g.caps, cap)
+			g.names = append(g.names, fmt.Sprintf("c%d>c%d", src, dst))
+			g.routes[src*clusters+dst] = []int{id}
+		}
+	}
+	return g
+}
+
+// newRing builds the bidirectional ring: directed links c→(c+1)%C
+// (clockwise, ids 0..C-1) and c→(c−1+C)%C (counter-clockwise, ids
+// C..2C-1), cap channels each. Routes take the shorter direction,
+// clockwise on ties. Two clusters need only the clockwise pair (the
+// counter-clockwise links would duplicate them), and one cluster needs
+// no links at all.
+func newRing(clusters, cap int) *linkGraph {
+	g := &linkGraph{
+		topo:     TopoRing,
+		clusters: clusters,
+		routes:   make([][]int, clusters*clusters),
+	}
+	if clusters < 2 {
+		return g
+	}
+	for c := 0; c < clusters; c++ {
+		g.caps = append(g.caps, cap)
+		g.names = append(g.names, fmt.Sprintf("c%d>c%d", c, (c+1)%clusters))
+	}
+	if clusters > 2 {
+		for c := 0; c < clusters; c++ {
+			g.caps = append(g.caps, cap)
+			g.names = append(g.names, fmt.Sprintf("c%d>c%d", c, (c-1+clusters)%clusters))
+		}
+	}
+	for src := 0; src < clusters; src++ {
+		for dst := 0; dst < clusters; dst++ {
+			if src == dst {
+				continue
+			}
+			cw := (dst - src + clusters) % clusters
+			ccw := clusters - cw
+			var route []int
+			cur := src
+			if cw <= ccw || clusters == 2 {
+				for i := 0; i < cw; i++ {
+					route = append(route, cur)
+					cur = (cur + 1) % clusters
+				}
+			} else {
+				for i := 0; i < ccw; i++ {
+					route = append(route, clusters+cur)
+					cur = (cur - 1 + clusters) % clusters
+				}
+			}
+			g.routes[src*clusters+dst] = route
+		}
+	}
+	return g
+}
+
+// newNone is the explicit no-interconnect configuration.
+func newNone(clusters int) *linkGraph {
+	return &linkGraph{
+		topo:     TopoNone,
+		clusters: clusters,
+		routes:   make([][]int, clusters*clusters),
+	}
+}
+
+// newInterconnect builds the interconnect a Config describes; the
+// caller has already defaulted and range-checked the parameters.
+func newInterconnect(topo string, clusters, numBuses, linkCap int) (Interconnect, error) {
+	switch topo {
+	case TopoBus:
+		return newSharedBus(numBuses), nil
+	case TopoP2P:
+		return newPointToPoint(clusters, linkCap), nil
+	case TopoRing:
+		return newRing(clusters, linkCap), nil
+	case TopoNone:
+		return newNone(clusters), nil
+	default:
+		return nil, fmt.Errorf("machine: unknown topology %q (want %q, %q, %q or %q)",
+			topo, TopoBus, TopoP2P, TopoRing, TopoNone)
+	}
+}

@@ -38,8 +38,12 @@ type ResourceSpec struct {
 // Datapath is a complete clustered VLIW datapath.
 type Datapath struct {
 	clusters []Cluster
-	numBuses int
-	memPorts int // per-cluster memory ports (spill stores/loads)
+	ic       Interconnect
+	linkOff  []int // first global channel of each link
+	numChan  int   // total transfer channels across all links
+	maxHops  int   // longest precomputed route, in hops
+	linkCap  int   // per-link channel count (routed topologies)
+	memPorts int   // per-cluster memory ports (spill stores/loads)
 	spec     [dfg.NumFUTypes]ResourceSpec
 	total    [dfg.NumFUTypes]int // N(t): total FU count per type
 }
@@ -48,8 +52,21 @@ type Datapath struct {
 // field selects the paper's Table 1 defaults.
 type Config struct {
 	// NumBuses is N_B, the number of simultaneous inter-cluster
-	// transfers. Defaults to 2 (the paper's Table 1 setting).
+	// transfers of the shared bus. Defaults to 2 (the paper's Table 1
+	// setting). Only meaningful for Topology "bus" (or empty); the
+	// routed topologies size their links with LinkCap instead.
 	NumBuses int
+	// Topology selects the interconnect joining the clusters: "bus"
+	// (the paper's shared bus; the default when empty), "p2p" (a full
+	// crossbar of dedicated src→dst links), "ring" (a bidirectional
+	// ring with shortest-path routing and per-hop MoveLat), or "none"
+	// (no interconnect at all — the explicit configuration for
+	// single-cluster machines, under which any binding that needs a
+	// transfer is rejected).
+	Topology string
+	// LinkCap is the per-link channel count of the routed topologies
+	// ("p2p", "ring"). Defaults to 1. Ignored for "bus" and "none".
+	LinkCap int
 	// MoveLat is lat(move), the bus transfer latency. Defaults to 1.
 	MoveLat int
 	// MoveDII is dii(move). Defaults to 1 (fully pipelined bus).
@@ -81,11 +98,20 @@ func New(clusters []Cluster, cfg Config) (*Datapath, error) {
 	if len(clusters) == 0 {
 		return nil, fmt.Errorf("machine: datapath needs at least one cluster")
 	}
+	if cfg.Topology == "" {
+		cfg.Topology = TopoBus
+	}
 	if cfg.NumBuses == 0 {
 		cfg.NumBuses = 2
 	}
 	if cfg.NumBuses < 0 {
 		return nil, fmt.Errorf("machine: invalid bus count %d", cfg.NumBuses)
+	}
+	if cfg.LinkCap == 0 {
+		cfg.LinkCap = 1
+	}
+	if cfg.LinkCap < 0 {
+		return nil, fmt.Errorf("machine: invalid link capacity %d", cfg.LinkCap)
 	}
 	if cfg.MoveLat == 0 {
 		cfg.MoveLat = 1
@@ -99,11 +125,16 @@ func New(clusters []Cluster, cfg Config) (*Datapath, error) {
 	if cfg.MemPorts < 0 {
 		return nil, fmt.Errorf("machine: invalid memory port count %d", cfg.MemPorts)
 	}
+	ic, err := newInterconnect(cfg.Topology, len(clusters), cfg.NumBuses, cfg.LinkCap)
+	if err != nil {
+		return nil, err
+	}
 	d := &Datapath{
 		clusters: append([]Cluster(nil), clusters...),
-		numBuses: cfg.NumBuses,
 		memPorts: cfg.MemPorts,
+		linkCap:  cfg.LinkCap,
 	}
+	d.setInterconnect(ic)
 	d.spec[dfg.FUALU] = cfg.ALU.orDefault()
 	d.spec[dfg.FUMul] = cfg.Mul.orDefault()
 	d.spec[dfg.FUMem] = cfg.Mem.orDefault()
@@ -135,20 +166,103 @@ func New(clusters []Cluster, cfg Config) (*Datapath, error) {
 	return d, nil
 }
 
+// setInterconnect installs ic and recomputes the derived channel
+// layout: linkOff maps each link to its first global channel, numChan
+// is the total channel count, maxHops the longest precomputed route.
+func (d *Datapath) setInterconnect(ic Interconnect) {
+	d.ic = ic
+	nl := ic.NumLinks()
+	d.linkOff = make([]int, nl+1)
+	for l := 0; l < nl; l++ {
+		d.linkOff[l+1] = d.linkOff[l] + ic.LinkCapacity(l)
+	}
+	d.numChan = d.linkOff[nl]
+	d.maxHops = 0
+	c := len(d.clusters)
+	for src := 0; src < c; src++ {
+		for dst := 0; dst < c; dst++ {
+			if h := len(ic.Route(src, dst)); h > d.maxHops {
+				d.maxHops = h
+			}
+		}
+	}
+}
+
 // NumClusters is the number of clusters in the datapath.
 func (d *Datapath) NumClusters() int { return len(d.clusters) }
 
-// NumBuses is N_B: the number of simultaneous inter-cluster transfers.
-func (d *Datapath) NumBuses() int { return d.numBuses }
+// NumBuses is the total number of transfer channels across all
+// interconnect links — N_B for the paper's shared bus, the summed link
+// capacities for the routed topologies, zero for TopoNone.
+func (d *Datapath) NumBuses() int { return d.numChan }
+
+// Interconnect returns the interconnect joining the clusters.
+func (d *Datapath) Interconnect() Interconnect { return d.ic }
+
+// Topology returns the interconnect topology name.
+func (d *Datapath) Topology() string { return d.ic.Topology() }
+
+// NumLinks is the number of interconnect links.
+func (d *Datapath) NumLinks() int { return d.ic.NumLinks() }
+
+// LinkCapacity is the channel count of link l.
+func (d *Datapath) LinkCapacity(l int) int { return d.ic.LinkCapacity(l) }
+
+// LinkName names link l for rendering.
+func (d *Datapath) LinkName(l int) string { return d.ic.LinkName(l) }
+
+// LinkOffset is the first global channel index of link l. Channels are
+// numbered 0..NumBuses()-1 in link order, so link l owns
+// [LinkOffset(l), LinkOffset(l)+LinkCapacity(l)).
+func (d *Datapath) LinkOffset(l int) int { return d.linkOff[l] }
+
+// LinkOfChannel is the inverse of the channel layout: the link owning
+// global channel u.
+func (d *Datapath) LinkOfChannel(u int) int {
+	for l := 0; l+1 < len(d.linkOff); l++ {
+		if u < d.linkOff[l+1] {
+			return l
+		}
+	}
+	return -1
+}
+
+// Route returns the link ids a transfer from cluster src to cluster dst
+// traverses, in hop order; nil when src == dst or no route exists. The
+// slice is shared and must not be mutated.
+func (d *Datapath) Route(src, dst int) []int { return d.ic.Route(src, dst) }
+
+// RouteCost is the transfer latency from cluster src to cluster dst:
+// MoveLat per hop of the route. It is 0 when src == dst and -1 when no
+// route exists. On the shared bus every route is one hop, so RouteCost
+// degenerates to the paper's constant lat(move).
+func (d *Datapath) RouteCost(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	r := d.ic.Route(src, dst)
+	if len(r) == 0 {
+		return -1
+	}
+	return len(r) * d.MoveLat()
+}
+
+// MaxHops is the longest precomputed route in hops (1 for bus and p2p,
+// up to ⌊C/2⌋ for a C-cluster ring, 0 for TopoNone).
+func (d *Datapath) MaxHops() int { return d.maxHops }
+
+// MultiHop reports whether any route takes more than one hop — the
+// regime where a transfer occupies several links at staggered windows.
+func (d *Datapath) MultiHop() bool { return d.maxHops > 1 }
 
 // NumFU returns N(c,t): the number of FUs of type t in cluster c. For
-// t == FUBus it returns NumBuses regardless of c, so the bus can be
-// treated uniformly as a resource type; FUMem reports the uniform
-// per-cluster memory port count.
+// t == FUBus it returns the total channel count regardless of c, so the
+// interconnect can be treated uniformly as a resource type; FUMem
+// reports the uniform per-cluster memory port count.
 func (d *Datapath) NumFU(c int, t dfg.FUType) int {
 	switch t {
 	case dfg.FUBus:
-		return d.numBuses
+		return d.numChan
 	case dfg.FUMem:
 		return d.memPorts
 	default:
@@ -157,24 +271,30 @@ func (d *Datapath) NumFU(c int, t dfg.FUType) int {
 }
 
 // TotalFU returns N(t): the datapath-wide number of FUs of type t. For
-// t == FUBus it returns NumBuses.
+// t == FUBus it returns the total channel count.
 func (d *Datapath) TotalFU(t dfg.FUType) int {
 	if t == dfg.FUBus {
-		return d.numBuses
+		return d.numChan
 	}
 	return d.total[t]
 }
 
-// WithBuses returns a copy of the datapath with a different bus count;
-// timing and cluster structure are shared. Used to build the relaxed
-// (bus-contention-free) machine the PCC baseline's approximate scheduler
-// evaluates against.
+// WithBuses returns a copy of the datapath with every link's capacity
+// set to n (for the shared bus: n channels); timing, topology and
+// cluster structure are unchanged, and TopoNone stays without links.
+// Used to build the relaxed (contention-free) machine the PCC
+// baseline's approximate scheduler evaluates against.
 func (d *Datapath) WithBuses(n int) *Datapath {
 	if n < 1 {
 		n = 1
 	}
 	nd := *d
-	nd.numBuses = n
+	ic, err := newInterconnect(d.ic.Topology(), len(d.clusters), n, n)
+	if err != nil {
+		panic(err) // unreachable: the topology was validated at construction
+	}
+	nd.linkCap = n
+	nd.setInterconnect(ic)
 	return &nd
 }
 
@@ -216,8 +336,8 @@ func (d *Datapath) TargetSet(op dfg.OpType) []int {
 func (d *Datapath) CanRun(g *dfg.Graph) error {
 	for _, n := range g.Nodes() {
 		if n.IsMove() {
-			if d.numBuses == 0 {
-				return fmt.Errorf("machine: graph has moves but datapath has no buses")
+			if d.numChan == 0 {
+				return fmt.Errorf("machine: graph has moves but datapath has no interconnect")
 			}
 			continue
 		}
@@ -247,9 +367,19 @@ func (d *Datapath) String() string {
 // Parse builds a datapath from the paper's cluster notation: a list of
 // clusters separated by '|', each "a,m" giving ALU and multiplier counts,
 // optionally wrapped in brackets. Examples: "[2,1|1,1]", "1,1|1,1|1,1".
-// The configuration supplies bus count and timing.
+// The configuration supplies bus count and timing; '@' directives in the
+// spec (see ParseSpec) override the configuration's interconnect and
+// move-timing fields, so a fully-specified spec string means the same
+// machine regardless of cfg.
 func Parse(s string, cfg Config) (*Datapath, error) {
 	trimmed := strings.TrimSpace(s)
+	if rest, directives, ok := strings.Cut(trimmed, "@"); ok {
+		trimmed = strings.TrimSpace(rest)
+		var err error
+		if cfg, err = applyDirectives(cfg, directives, s); err != nil {
+			return nil, err
+		}
+	}
 	trimmed = strings.TrimPrefix(trimmed, "[")
 	trimmed = strings.TrimSuffix(trimmed, "]")
 	if trimmed == "" {
@@ -286,4 +416,82 @@ func MustParse(s string, cfg Config) *Datapath {
 		panic(err)
 	}
 	return d
+}
+
+// applyDirectives folds the '@' directives of a full machine spec into
+// cfg. Each directive is either a topology with an optional capacity —
+// "bus:2" (channel count), "p2p:1" / "ring:1" (per-link channels),
+// "none" — or move timing "move:lat[,dii]".
+func applyDirectives(cfg Config, directives, spec string) (Config, error) {
+	for _, dir := range strings.Split(directives, "@") {
+		dir = strings.TrimSpace(dir)
+		name, arg, hasArg := strings.Cut(dir, ":")
+		switch name {
+		case TopoBus, TopoP2P, TopoRing, TopoNone:
+			cfg.Topology = name
+			if !hasArg {
+				break
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(arg))
+			if err != nil || n < 1 {
+				return cfg, fmt.Errorf("machine: bad capacity %q in spec %q", arg, spec)
+			}
+			if name == TopoBus {
+				cfg.NumBuses = n
+			} else {
+				cfg.LinkCap = n
+			}
+		case "move":
+			if !hasArg {
+				return cfg, fmt.Errorf("machine: directive @move needs lat[,dii] in spec %q", spec)
+			}
+			latStr, diiStr, hasDII := strings.Cut(arg, ",")
+			lat, err := strconv.Atoi(strings.TrimSpace(latStr))
+			if err != nil || lat < 1 {
+				return cfg, fmt.Errorf("machine: bad move latency %q in spec %q", latStr, spec)
+			}
+			cfg.MoveLat, cfg.MoveDII = lat, 1
+			if hasDII {
+				dii, err := strconv.Atoi(strings.TrimSpace(diiStr))
+				if err != nil || dii < 1 {
+					return cfg, fmt.Errorf("machine: bad move dii %q in spec %q", diiStr, spec)
+				}
+				cfg.MoveDII = dii
+			}
+		default:
+			return cfg, fmt.Errorf("machine: unknown directive %q in spec %q", dir, spec)
+		}
+	}
+	return cfg, nil
+}
+
+// ParseSpec builds a datapath from the full, round-trippable spec
+// notation: the cluster structure followed by '@' directives, e.g.
+// "[2,1|1,1]@bus:2", "[1,1|1,1|1,1]@ring:1@move:2,1", "[2,1]@none".
+// It is Parse with a default configuration — FU timing not expressible
+// in the notation keeps its defaults — and satisfies
+// ParseSpec(d.SpecString()) ≡ d for every machine New can build.
+func ParseSpec(s string) (*Datapath, error) { return Parse(s, Config{}) }
+
+// SpecString renders the machine in the full notation ParseSpec reads:
+// cluster structure, topology with its channel capacity, and move
+// timing when it differs from the 1,1 default. Unlike String, the
+// result round-trips: ParseSpec(d.SpecString()) reconstructs the same
+// cluster structure, interconnect, and move timing.
+func (d *Datapath) SpecString() string {
+	var b strings.Builder
+	b.WriteString(d.String())
+	switch d.ic.Topology() {
+	case TopoBus:
+		fmt.Fprintf(&b, "@%s:%d", TopoBus, d.numChan)
+	case TopoNone:
+		b.WriteByte('@')
+		b.WriteString(TopoNone)
+	default:
+		fmt.Fprintf(&b, "@%s:%d", d.ic.Topology(), d.linkCap)
+	}
+	if d.MoveLat() != 1 || d.MoveDII() != 1 {
+		fmt.Fprintf(&b, "@move:%d,%d", d.MoveLat(), d.MoveDII())
+	}
+	return b.String()
 }

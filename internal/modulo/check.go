@@ -24,6 +24,9 @@ func Check(ps *PipelinedSchedule, iterations int) error {
 	if ii < 1 {
 		return fmt.Errorf("modulo: invalid II=%d", ii)
 	}
+	if dp.MultiHop() {
+		return fmt.Errorf("modulo: %s routes transfers over multiple hops; pipelined schedules are defined on single-hop interconnects only", dp)
+	}
 	// Capacity violations only surface where iterations fully overlap;
 	// expand at least deep enough for every modulo slot to reach its
 	// steady-state occupancy.
@@ -85,7 +88,7 @@ func Check(ps *PipelinedSchedule, iterations int) error {
 		cycle   int
 	}
 	use := make(map[slotKey]int)
-	busUse := make(map[int]int)
+	busUse := make(map[[2]int]int) // (link, cycle) → channels in use
 	for iter := 0; iter < iterations; iter++ {
 		off := iter * ii
 		for _, v := range body.Nodes() {
@@ -100,11 +103,18 @@ func Check(ps *PipelinedSchedule, iterations int) error {
 			}
 		}
 		for _, m := range ps.Moves {
+			route := dp.Route(ps.Cluster[m.Prod.ID()], m.Dest)
+			if route == nil {
+				return fmt.Errorf("modulo: move of %s to cluster %d has no route on %s",
+					m.Prod.Name(), m.Dest, dp)
+			}
+			link := route[0]
 			for d := 0; d < dp.MoveDII(); d++ {
 				cyc := off + m.Cycle + d
-				busUse[cyc]++
-				if busUse[cyc] > dp.NumBuses() {
-					return fmt.Errorf("modulo: bus over capacity at cycle %d", cyc)
+				k := [2]int{link, cyc}
+				busUse[k]++
+				if busUse[k] > dp.LinkCapacity(link) {
+					return fmt.Errorf("modulo: link %s over capacity at cycle %d", dp.LinkName(link), cyc)
 				}
 			}
 		}

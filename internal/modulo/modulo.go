@@ -212,6 +212,12 @@ func PipelineContext(ctx context.Context, l *Loop, dp *machine.Datapath, opts Op
 	if err := dp.CanRun(l.Body); err != nil {
 		return nil, err
 	}
+	if dp.MultiHop() {
+		// A MoveSlot is one link reservation at one cycle; multi-hop routes
+		// would need a chain of staggered slots per transfer and a
+		// store-and-forward steady state the MRT does not model.
+		return nil, fmt.Errorf("modulo: %s routes transfers over multiple hops; software pipelining supports single-hop interconnects only", dp)
+	}
 	st, err := newLoopState(l, dp)
 	if err != nil {
 		return nil, err
@@ -293,7 +299,7 @@ func (st *loopState) tryII(ctx context.Context, ii int) *PipelinedSchedule {
 		start[i] = -1
 		cluster[i] = -1
 	}
-	// Modulo reservation tables: mrt[c][fu][slot] and bus[slot].
+	// Modulo reservation tables: mrt[c][fu][slot] and linkUse[link][slot].
 	mrt := make([][][]int, dp.NumClusters())
 	for c := range mrt {
 		mrt[c] = make([][]int, dfg.NumFUTypes)
@@ -301,12 +307,16 @@ func (st *loopState) tryII(ctx context.Context, ii int) *PipelinedSchedule {
 			mrt[c][t] = make([]int, ii)
 		}
 	}
-	bus := make([]int, ii)
+	linkUse := make([][]int, dp.NumLinks())
+	for i := range linkUse {
+		linkUse[i] = make([]int, ii)
+	}
 
 	type pendingMove struct {
 		prod  *dfg.Node
 		dest  int
 		cycle int
+		link  int
 	}
 	// committedMoves[v] holds the bus reservations made when v was
 	// placed (one per cross-cluster edge whose other endpoint was
@@ -370,13 +380,18 @@ func (st *loopState) tryII(ctx context.Context, ii int) *PipelinedSchedule {
 				// Bus slots for every cross-cluster scheduled producer,
 				// and for cross-cluster scheduled consumers of v.
 				var moves []pendingMove
-				busUsed := make(map[int]int)
-				reserve := func(lo, hiW int, prod *dfg.Node, dest int) bool {
+				busUsed := make(map[[2]int]int)
+				reserve := func(lo, hiW int, prod *dfg.Node, src, dest int) bool {
+					route := dp.Route(src, dest)
+					if route == nil {
+						return false
+					}
+					link := route[0] // single-hop: Pipeline refuses multi-hop machines
 					for tt := lo; tt <= hiW; tt++ {
 						slot := mod(tt, ii)
-						if bus[slot]+busUsed[slot] < dp.NumBuses() {
-							busUsed[slot]++
-							moves = append(moves, pendingMove{prod, dest, tt})
+						if linkUse[link][slot]+busUsed[[2]int{link, slot}] < dp.LinkCapacity(link) {
+							busUsed[[2]int{link, slot}]++
+							moves = append(moves, pendingMove{prod, dest, tt, link})
 							return true
 						}
 					}
@@ -389,7 +404,7 @@ func (st *loopState) tryII(ctx context.Context, ii int) *PipelinedSchedule {
 					}
 					lo := start[u.ID()] + dp.Latency(u.Op())
 					hiW := t + ii*e.dist - moveLat
-					if hiW < lo || !reserve(lo, hiW, u, c) {
+					if hiW < lo || !reserve(lo, hiW, u, cluster[u.ID()], c) {
 						continue timeLoop
 					}
 				}
@@ -400,7 +415,7 @@ func (st *loopState) tryII(ctx context.Context, ii int) *PipelinedSchedule {
 					}
 					lo := t + dp.Latency(v.Op())
 					hiW := start[w.ID()] + ii*e.dist - moveLat
-					if hiW < lo || !reserve(lo, hiW, v, cluster[w.ID()]) {
+					if hiW < lo || !reserve(lo, hiW, v, c, cluster[w.ID()]) {
 						continue timeLoop
 					}
 				}
@@ -411,7 +426,7 @@ func (st *loopState) tryII(ctx context.Context, ii int) *PipelinedSchedule {
 					mrt[c][v.FUType()][mod(t+d, ii)]++
 				}
 				for _, m := range moves {
-					bus[mod(m.cycle, ii)]++
+					linkUse[m.link][mod(m.cycle, ii)]++
 				}
 				lastMoves = moves
 				placed = true

@@ -2,6 +2,7 @@ package modulo
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -411,5 +412,35 @@ func TestPipelineBusContention(t *testing.T) {
 	}
 	if psTwo.II > psOne.II {
 		t.Errorf("more buses made II worse: %d > %d", psTwo.II, psOne.II)
+	}
+}
+
+func TestPipelineRoutedTopologies(t *testing.T) {
+	// Single-hop routed interconnects pipeline end to end: the MRT keys
+	// transfer slots by link, so a ring's directional channels and a
+	// crossbar's dedicated links both certify under Check.
+	for _, spec := range []string{"[1,1|1,1|1,1]@ring:1", "[2,1|1,1]@p2p"} {
+		dp := machine.MustParse(spec, machine.Config{})
+		for _, l := range []*Loop{iirLoop(), wideLoop(8)} {
+			ps, err := Pipeline(l, dp, Options{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", l.Body.Name(), spec, err)
+			}
+			if err := Check(ps, 0); err != nil {
+				t.Errorf("%s on %s: %v", l.Body.Name(), spec, err)
+			}
+		}
+	}
+}
+
+func TestPipelineRefusesMultiHop(t *testing.T) {
+	dp := machine.MustParse("[1,1|1,1|1,1|1,1]@ring:1", machine.Config{})
+	if !dp.MultiHop() {
+		t.Fatal("4-cluster ring should route multi-hop")
+	}
+	if _, err := Pipeline(wideLoop(8), dp, Options{}); err == nil {
+		t.Error("Pipeline accepted a multi-hop interconnect")
+	} else if want := "single-hop"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
 	}
 }

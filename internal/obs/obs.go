@@ -74,6 +74,12 @@ const (
 	// EvAnnealTemp records one simulated-annealing temperature step with
 	// the best (L, M) observed so far.
 	EvAnnealTemp = "anneal.temp"
+	// EvRoutePick records one routing decision of the final schedule:
+	// a data transfer's source and destination clusters, its hop count,
+	// and the interconnect links the route rides. One event per transfer
+	// of the materialized winner, so per-link totals aggregated from the
+	// journal reconcile exactly with the schedule's link occupancy.
+	EvRoutePick = "route.pick"
 )
 
 // ClusterCost is one cluster's cost breakdown inside a B-INIT choice:
@@ -132,6 +138,14 @@ type Event struct {
 
 	// Cap is the component-size cap of a pcc.cap event.
 	Cap int `json:"cap,omitempty"`
+
+	// Src, Dst, Hops and Links describe a route.pick event: the transfer's
+	// endpoint clusters, the route's hop count, and the link ids it rides.
+	// Src and Dst rely on the JSON zero default (cluster 0 omits cleanly).
+	Src   int   `json:"src,omitempty"`
+	Dst   int   `json:"dst,omitempty"`
+	Hops  int   `json:"hops,omitempty"`
+	Links []int `json:"links,omitempty"`
 
 	// Op and Choices carry a B-INIT per-operation cost breakdown.
 	Op      string        `json:"op,omitempty"`

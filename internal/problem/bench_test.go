@@ -172,3 +172,66 @@ func BenchmarkEvaluateVirtualWithQuality(b *testing.B) {
 	}
 	_ = qu
 }
+
+// topoBenchSetup mirrors benchSetup on a routed interconnect, so the
+// routed-pool bookkeeping (per-link channel pools, route lookups) can
+// be priced against the shared-bus fast path above.
+func topoBenchSetup(b *testing.B, spec string) (*problem.Evaluator, [][]int) {
+	b.Helper()
+	k, err := kernels.ByName("DCT-DIT-2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := k.Build()
+	dp, err := machine.ParseSpec(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := problem.New(g, dp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bns := make([][]int, 4)
+	for r := range bns {
+		bn := make([]int, g.NumNodes())
+		for i := range bn {
+			bn[i] = (i + r) % dp.NumClusters()
+		}
+		bns[r] = bn
+	}
+	ev := p.NewEvaluator()
+	return ev, bns
+}
+
+// BenchmarkEvaluateRing prices one virtual candidate evaluation on a
+// three-cluster bidirectional ring: every inter-cluster transfer
+// reserves a channel on the specific link its route rides instead of
+// drawing from one shared pool.
+func BenchmarkEvaluateRing(b *testing.B) {
+	ev, bns := topoBenchSetup(b, "[3,1|2,2|1,3]@ring:2")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := ev.Evaluate(bns[i%len(bns)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = e.L
+	}
+}
+
+// BenchmarkEvaluateP2P prices the same evaluation on a full crossbar —
+// one dedicated link per ordered cluster pair, the largest link table
+// the abstraction produces for this machine size.
+func BenchmarkEvaluateP2P(b *testing.B) {
+	ev, bns := topoBenchSetup(b, "[3,1|2,2|1,3]@p2p:2")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := ev.Evaluate(bns[i%len(bns)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = e.L
+	}
+}

@@ -116,6 +116,15 @@ func (s *Snapshot) Capture(e *Evaluator, bn []int) error {
 	if !e.lastOK {
 		return fmt.Errorf("problem: snapshot capture requires a preceding successful evaluation")
 	}
+	if e.p.multiHop {
+		// A multi-hop move occupies several links at staggered cycles but
+		// the snapshot records one unit per node; rather than widen the
+		// occupancy audit and the replay's resource mirror for a case the
+		// single-hop topologies never hit, refuse the capture — the
+		// binding engine then disarms delta evaluation and every
+		// candidate takes the (bit-identical) full path.
+		return fmt.Errorf("problem: snapshot capture unsupported on multi-hop interconnects (%s)", e.p.dp)
+	}
 	p := e.p
 	if len(bn) != p.n {
 		return fmt.Errorf("problem: snapshot binding has %d entries for %d nodes", len(bn), p.n)
@@ -412,8 +421,11 @@ func newReplayState(e *Evaluator) *replayState {
 			rp.pools = append(rp.pools, [2]int32{p.poolOff[key], p.poolOff[key] + p.poolLen[key]})
 		}
 	}
-	if int(p.busOff) < units {
-		rp.pools = append(rp.pools, [2]int32{p.busOff, int32(units)})
+	for l := range p.linkCap {
+		if p.linkCap[l] > 0 {
+			lo := p.busOff + p.linkOff[l]
+			rp.pools = append(rp.pools, [2]int32{lo, lo + p.linkCap[l]})
+		}
 	}
 	rp.poolOfUnit = make([]int32, units)
 	for pi, pr := range rp.pools {
@@ -431,10 +443,13 @@ func newReplayState(e *Evaluator) *replayState {
 
 // poolBaseOf is the global index of the first unit of the pool node k
 // issues on. validate() guarantees the pool is non-empty, so the base
-// always lies inside the pool it names.
+// always lies inside the pool it names. Moves draw from their route's
+// link (single-hop only — multi-hop machines never reach the delta path,
+// see Snapshot.Capture).
 func (e *Evaluator) poolBaseOf(k int32) int32 {
 	if e.vIsMove[k] {
-		return e.p.busOff
+		src, dst := e.moveEndpoints(k)
+		return e.p.busOff + e.p.linkOff[e.p.routeOf(src, dst)[0]]
 	}
 	key := e.vCluster[k]*int32(dfg.NumFUTypes) + e.p.fut[e.vID[k]]
 	return e.p.poolOff[key]
@@ -527,6 +542,17 @@ func (rp *replayState) analyze(e *Evaluator, snap *Snapshot, target int32) int32
 						aff = true
 						break
 					}
+				}
+				// A move's resource is the link its route rides, and the
+				// route starts at the *producer's* cluster — which the
+				// (producer, dest) match key does not pin. If a perturbed
+				// producer binding drags the move onto a different link,
+				// the pair draws from different pools and cannot share the
+				// incumbent's unit. One shared bus makes this vacuous.
+				if !aff && e.vIsMove[k] &&
+					p.routeOf(e.vCluster[cp[0]], e.vCluster[k])[0] !=
+						p.routeOf(snap.vCluster[sp[0]], snap.vCluster[s])[0] {
+					aff = true
 				}
 			}
 		}

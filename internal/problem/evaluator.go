@@ -44,6 +44,7 @@ type Evaluator struct {
 	// at first use, immediately before their first consumer.
 	nv       int
 	nMoves   int
+	moveWork int32 // Σ hops·(moveDII+moveLat) over moves, for the stall guard
 	vID      []int32 // original node ID; for moves, the producer's ID
 	vIsMove  []bool
 	vCluster []int32 // moves carry their destination cluster
@@ -253,6 +254,7 @@ func (e *Evaluator) buildVirtual(bn []int) error {
 	}
 	nv := int32(0)
 	e.preds = e.preds[:0]
+	e.moveWork = 0
 	nMoves := 0
 	for _, id := range p.order {
 		c := int32(bn[id])
@@ -265,12 +267,16 @@ func (e *Evaluator) buildVirtual(bn []int) error {
 				continue
 			}
 			if p.numBuses == 0 {
-				return fmt.Errorf("problem: binding needs moves but datapath has no buses")
+				return fmt.Errorf("problem: binding needs moves but datapath has no interconnect")
 			}
 			e.vID[nv] = pr
 			e.vIsMove[nv] = true
 			e.vCluster[nv] = c
-			e.vLat[nv] = p.moveLat
+			// A routed move pays MoveLat per hop; on single-hop
+			// machines this is exactly the scalar model's MoveLat.
+			hops := int32(len(p.routeOf(int32(bn[pr]), c)))
+			e.vLat[nv] = hops * p.moveLat
+			e.moveWork += hops * (p.moveDII + p.moveLat)
 			e.predStart[nv] = int32(len(e.preds))
 			e.preds = append(e.preds, e.vOf[pr])
 			e.moveGen[slot] = e.gen
@@ -398,7 +404,7 @@ func (e *Evaluator) resetSchedule() (unscheduled, L int32) {
 // construction.
 func (e *Evaluator) scheduleFrom(first, target, unscheduled, L int32, rp *replayState) (int32, error) {
 	p := e.p
-	totalWork := p.baseWork + int32(e.nMoves)*(p.moveDII+p.moveLat)
+	totalWork := p.baseWork + e.moveWork
 	for cycle := first; unscheduled > 0; cycle++ {
 		if cycle > target+totalWork+1 {
 			return 0, fmt.Errorf("problem: no progress by cycle %d; resource model inconsistent", cycle)
@@ -430,27 +436,30 @@ func (e *Evaluator) scheduleFrom(first, target, unscheduled, L int32, rp *replay
 					w++
 					continue
 				}
-				var pool []int32
-				var base int32
 				if e.vIsMove[k] {
-					pool = e.unitFree[p.busOff:]
-					base = p.busOff
+					ch := e.reserveMove(k, cycle)
+					if ch < 0 {
+						e.ready[w] = k
+						w++
+						continue
+					}
+					e.start[k] = cycle
+					e.unit[k] = ch
 				} else {
 					key := e.vCluster[k]*int32(dfg.NumFUTypes) + p.fut[e.vID[k]]
-					pool = e.unitFree[p.poolOff[key] : p.poolOff[key]+p.poolLen[key]]
-					base = p.poolOff[key]
+					pool := e.unitFree[p.poolOff[key] : p.poolOff[key]+p.poolLen[key]]
+					u := freeUnit32(pool, cycle)
+					if u < 0 {
+						e.ready[w] = k
+						w++
+						continue
+					}
+					pool[u] = cycle + e.diiOf(k)
+					e.start[k] = cycle
+					e.unit[k] = p.poolOff[key] + int32(u)
 				}
-				u := freeUnit32(pool, cycle)
-				if u < 0 {
-					e.ready[w] = k
-					w++
-					continue
-				}
-				pool[u] = cycle + e.diiOf(k)
-				e.start[k] = cycle
-				e.unit[k] = base + int32(u)
 				if rp != nil {
-					rp.onIssue(e, k, cycle, base+int32(u))
+					rp.onIssue(e, k, cycle, e.unit[k])
 				}
 				if fin := cycle + e.latOf(k); fin > L {
 					L = fin
@@ -493,6 +502,59 @@ func (e *Evaluator) scheduleFrom(first, target, unscheduled, L int32, rp *replay
 		}
 	}
 	return L, nil
+}
+
+// moveEndpoints returns the source and destination clusters of virtual
+// move k: the destination is its own cluster, the source its single
+// producer's.
+func (e *Evaluator) moveEndpoints(k int32) (src, dst int32) {
+	return e.vCluster[e.preds[e.predStart[k]]], e.vCluster[k]
+}
+
+// reserveMove books the interconnect channels move k needs to issue at
+// cycle and returns the global unit index of its first hop, or -1
+// leaving no state touched when some hop's link is full. Hop h occupies
+// one channel of its link during [cycle+h·MoveLat, +MoveDII) —
+// store-and-forward, mirroring sched.List. Single-hop routes (every
+// route on bus and p2p machines, and all of them on rings of up to
+// three clusters) take the exact pre-interconnect fast path: one
+// freeUnit32 probe and commit against the link's slice of unitFree,
+// which for the shared bus is the whole legacy bus pool.
+func (e *Evaluator) reserveMove(k, cycle int32) int32 {
+	p := e.p
+	src, dst := e.moveEndpoints(k)
+	route := p.routeOf(src, dst)
+	if len(route) == 1 {
+		l := route[0]
+		base := p.busOff + p.linkOff[l]
+		pool := e.unitFree[base : base+p.linkCap[l]]
+		u := freeUnit32(pool, cycle)
+		if u < 0 {
+			return -1
+		}
+		pool[u] = cycle + p.moveDII
+		return base + int32(u)
+	}
+	// All hops reserve together or not at all; shortest-path routes never
+	// repeat a link, so the feasibility probes are independent.
+	for h, l := range route {
+		base := p.busOff + p.linkOff[l]
+		if freeUnit32(e.unitFree[base:base+p.linkCap[l]], cycle+int32(h)*p.moveLat) < 0 {
+			return -1
+		}
+	}
+	ch := int32(-1)
+	for h, l := range route {
+		base := p.busOff + p.linkOff[l]
+		pool := e.unitFree[base : base+p.linkCap[l]]
+		at := cycle + int32(h)*p.moveLat
+		u := freeUnit32(pool, at)
+		pool[u] = at + p.moveDII
+		if h == 0 {
+			ch = base + int32(u)
+		}
+	}
+	return ch
 }
 
 // freeUnit32 is sched.List's unit selection: the unit free at the cycle

@@ -52,14 +52,28 @@ type Problem struct {
 	height []int32  // longest path (in latency) from each node to any sink
 
 	// Functional-unit pool layout: compute units of cluster c and FU
-	// type t occupy poolOff[c*NumFUTypes+t] .. +poolLen[...]; the shared
-	// bus channels sit at busOff. unitPoolLen is the total pool size an
-	// Evaluator's scratch must hold.
+	// type t occupy poolOff[c*NumFUTypes+t] .. +poolLen[...]; the
+	// interconnect channels sit at busOff, partitioned by link (channels
+	// of link l start at busOff+linkOff[l] and are linkCap[l] wide — on
+	// the shared bus that single partition is the whole legacy bus
+	// pool). unitPoolLen is the total pool size an Evaluator's scratch
+	// must hold.
 	poolOff     []int32
 	poolLen     []int32
 	busOff      int32
 	unitPoolLen int
 	numBuses    int32
+	linkOff     []int32
+	linkCap     []int32
+
+	// Flattened route table: a transfer from cluster src to dst hops
+	// across routeLinks[routeStart[k]:routeStart[k+1]], k = src*clusters
+	// +dst. multiHop marks machines where some route exceeds one hop;
+	// incremental snapshots refuse those (see Snapshot.Capture) and the
+	// engine falls back to full evaluation.
+	routeStart []int32
+	routeLinks []int32
+	multiHop   bool
 
 	moveLat, moveDII int32
 	// baseWork is Σ (dii+lat) over the original nodes — the move-free part
@@ -154,7 +168,32 @@ func New(g *dfg.Graph, dp *machine.Datapath) (*Problem, error) {
 	p.busOff = off
 	p.unitPoolLen = int(off) + dp.NumBuses()
 	p.numBuses = int32(dp.NumBuses())
+	p.linkOff = make([]int32, dp.NumLinks())
+	p.linkCap = make([]int32, dp.NumLinks())
+	for l := 0; l < dp.NumLinks(); l++ {
+		p.linkOff[l] = int32(dp.LinkOffset(l))
+		p.linkCap[l] = int32(dp.LinkCapacity(l))
+	}
+	p.routeStart = make([]int32, p.clusters*p.clusters+1)
+	for src := 0; src < p.clusters; src++ {
+		for dst := 0; dst < p.clusters; dst++ {
+			k := src*p.clusters + dst
+			p.routeStart[k] = int32(len(p.routeLinks))
+			for _, l := range dp.Route(src, dst) {
+				p.routeLinks = append(p.routeLinks, int32(l))
+			}
+		}
+	}
+	p.routeStart[p.clusters*p.clusters] = int32(len(p.routeLinks))
+	p.multiHop = dp.MultiHop()
 	return p, nil
+}
+
+// routeOf returns the hop links of a src→dst transfer (empty when
+// src == dst or no route exists).
+func (p *Problem) routeOf(src, dst int32) []int32 {
+	k := src*int32(p.clusters) + dst
+	return p.routeLinks[p.routeStart[k]:p.routeStart[k+1]]
 }
 
 // Must is New for callers that know their inputs are valid (tests,

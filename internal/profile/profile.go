@@ -26,12 +26,16 @@ import (
 const eps = 1e-9
 
 // Transfer is a prospective inter-cluster data transfer of Prod's result
-// to the cluster Dest, needed by consumer Cons. The consumer determines
-// the transfer's time-frame mobility (paper, Section 3.1.2, bus
-// serialization penalty).
+// from the cluster Src to the cluster Dest, needed by consumer Cons. The
+// consumer determines the transfer's time-frame mobility (paper, Section
+// 3.1.2, bus serialization penalty); Src and Dest determine the route —
+// and with it which link profiles the transfer loads — on routed
+// interconnects. On the paper's shared bus the route is always the one
+// link, so Src carries no information there.
 type Transfer struct {
 	Prod *dfg.Node
 	Cons *dfg.Node
+	Src  int
 	Dest int
 }
 
@@ -49,8 +53,13 @@ type Set struct {
 	central [dfg.NumFUTypes][]float64
 	// cluster[c][t][tau] is load_CL(c, t, tau) over currently bound ops.
 	cluster [][dfg.NumFUTypes][]float64
-	// bus[tau] is the normalized bus load of committed transfers.
-	bus []float64
+	// bus[l][tau] is the normalized load of link l over committed
+	// transfers; each hop of a transfer's route loads its own link's
+	// profile, shifted MoveLat per preceding hop. On the shared bus
+	// there is exactly one link and bus[0] is the paper's bus profile,
+	// with the same divisor (the full channel count) and the same
+	// accumulation order as before the interconnect abstraction.
+	bus [][]float64
 	// committed dedups transfers by (producer, destination cluster): a
 	// value moved to a cluster once is available to every consumer there.
 	committed map[[2]int]bool
@@ -73,8 +82,11 @@ func New(g *dfg.Graph, dp *machine.Datapath, lpr int) (*Set, error) {
 		times:     times,
 		L:         times.L,
 		cluster:   make([][dfg.NumFUTypes][]float64, dp.NumClusters()),
-		bus:       make([]float64, times.L),
+		bus:       make([][]float64, dp.NumLinks()),
 		committed: make(map[[2]int]bool),
+	}
+	for l := range s.bus {
+		s.bus[l] = make([]float64, times.L)
 	}
 	for t := 1; t < dfg.NumFUTypes; t++ {
 		s.central[t] = make([]float64, s.L)
@@ -111,13 +123,29 @@ func (s *Set) opFrame(n *dfg.Node) (lo, hi int, w float64) {
 	return lo, hi, 1 / float64(s.times.Mobility(n)+1)
 }
 
-// transferFrame returns the inclusive bus-profile frame and weight of a
-// transfer. Per the paper, the transfer sits right after its producer
-// completes and inherits the consumer's mobility reduced by lat(move),
-// clamped at zero.
+// soleLink is the degenerate route of a same-cluster transfer: such a
+// transfer should not exist, but hand-built ones keep the legacy
+// single-hop accounting on link 0 rather than vanishing from the cost.
+var soleLink = []int{0}
+
+// transferRoute returns the hop links tr traverses on the datapath's
+// interconnect.
+func (s *Set) transferRoute(tr Transfer) []int {
+	if r := s.dp.Route(tr.Src, tr.Dest); r != nil {
+		return r
+	}
+	return soleLink
+}
+
+// transferFrame returns the inclusive profile frame and weight of a
+// transfer's first hop. Per the paper, the transfer sits right after its
+// producer completes and inherits the consumer's mobility reduced by the
+// route latency (lat(move) per hop — just lat(move) on the shared bus),
+// clamped at zero. Hop h's frame is this frame shifted h·lat(move) to
+// the right.
 func (s *Set) transferFrame(tr Transfer) (lo, hi int, w float64) {
 	lo = s.times.ASAP[tr.Prod.ID()] + s.dp.Latency(tr.Prod.Op())
-	mob := s.times.Mobility(tr.Cons) - s.dp.MoveLat()
+	mob := s.times.Mobility(tr.Cons) - len(s.transferRoute(tr))*s.dp.MoveLat()
 	if mob < 0 {
 		mob = 0
 	}
@@ -164,14 +192,13 @@ func (s *Set) FUCost(v *dfg.Node, c int) int {
 // already committed for the same (producer, destination) pair are skipped,
 // mirroring move dedup in the bound graph.
 func (s *Set) BusCost(trs []Transfer) int {
-	nb := s.dp.NumBuses()
-	if nb == 0 {
+	if s.dp.NumBuses() == 0 {
 		if len(trs) == 0 {
 			return 0
 		}
 		return s.L + 1
 	}
-	tentative := make(map[int]float64)
+	tentative := make(map[[2]int]float64)
 	seen := make(map[[2]int]bool, len(trs))
 	for _, tr := range trs {
 		key := [2]int{tr.Prod.ID(), tr.Dest}
@@ -180,13 +207,21 @@ func (s *Set) BusCost(trs []Transfer) int {
 		}
 		seen[key] = true
 		lo, hi, w := s.transferFrame(tr)
-		for tau := lo; tau <= hi; tau++ {
-			tentative[tau] += w / float64(nb)
+		for h, l := range s.transferRoute(tr) {
+			chans := float64(s.dp.LinkCapacity(l))
+			shift := h * s.dp.MoveLat()
+			for tau := lo; tau <= hi; tau++ {
+				at := tau + shift
+				if at >= s.L {
+					at = s.L - 1
+				}
+				tentative[[2]int{l, at}] += w / chans
+			}
 		}
 	}
 	cost := 0
-	for tau, add := range tentative {
-		if s.bus[tau]+add > 1+eps {
+	for k, add := range tentative {
+		if s.bus[k[0]][k[1]]+add > 1+eps {
 			cost++
 		}
 	}
@@ -207,8 +242,7 @@ func (s *Set) CommitOp(v *dfg.Node, c int) {
 // CommitTransfers adds the given transfers to the bus profile, skipping
 // (producer, destination) pairs that were already committed.
 func (s *Set) CommitTransfers(trs []Transfer) {
-	nb := s.dp.NumBuses()
-	if nb == 0 {
+	if s.dp.NumBuses() == 0 {
 		return
 	}
 	for _, tr := range trs {
@@ -218,8 +252,16 @@ func (s *Set) CommitTransfers(trs []Transfer) {
 		}
 		s.committed[key] = true
 		lo, hi, w := s.transferFrame(tr)
-		for tau := lo; tau <= hi; tau++ {
-			s.bus[tau] += w / float64(nb)
+		for h, l := range s.transferRoute(tr) {
+			chans := float64(s.dp.LinkCapacity(l))
+			shift := h * s.dp.MoveLat()
+			for tau := lo; tau <= hi; tau++ {
+				at := tau + shift
+				if at >= s.L {
+					at = s.L - 1
+				}
+				s.bus[l][at] += w / chans
+			}
 		}
 	}
 }
@@ -230,5 +272,10 @@ func (s *Set) CentralLoad(t dfg.FUType, tau int) float64 { return s.central[t][t
 // ClusterLoad returns load_CL(c, t, tau) for inspection and tests.
 func (s *Set) ClusterLoad(c int, t dfg.FUType, tau int) float64 { return s.cluster[c][t][tau] }
 
-// BusLoad returns the committed normalized bus load at step tau.
-func (s *Set) BusLoad(tau int) float64 { return s.bus[tau] }
+// BusLoad returns the committed normalized load of link 0 at step tau —
+// on the shared bus, the paper's bus profile. Routed topologies have
+// one profile per link; see LinkLoad.
+func (s *Set) BusLoad(tau int) float64 { return s.bus[0][tau] }
+
+// LinkLoad returns the committed normalized load of link l at step tau.
+func (s *Set) LinkLoad(l, tau int) float64 { return s.bus[l][tau] }

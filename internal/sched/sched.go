@@ -25,11 +25,19 @@ type Schedule struct {
 	Start []int
 	// Cluster holds each node's cluster, indexed by node ID. For move
 	// nodes this is the destination cluster (where the value lands);
-	// the move itself executes on the shared bus.
+	// the move itself executes on the interconnect.
 	Cluster []int
 	// Unit holds the index of the functional unit (within its cluster
-	// and FU type) or bus channel that executes each node.
+	// and FU type) that executes each node. For moves it is the global
+	// interconnect channel of the first hop (on the shared bus, simply
+	// the bus channel, exactly as before the interconnect abstraction).
 	Unit []int
+	// HopUnits holds, for moves routed across more than one link, the
+	// global channel of every hop in route order (HopUnits[id][0] ==
+	// Unit[id]). It is nil on single-hop machines — shared bus, point to
+	// point, small rings — so their schedules compare deeply equal to
+	// the pre-interconnect representation.
+	HopUnits [][]int
 	// L is the schedule latency: the cycle at which the last operation
 	// (moves included) completes.
 	L int
@@ -51,7 +59,23 @@ func (s *Schedule) Finish(n *dfg.Node) int {
 	if s.finish != nil {
 		return s.finish[n.ID()]
 	}
-	return s.Start[n.ID()] + s.Datapath.Latency(n.Op())
+	return s.Start[n.ID()] + s.nodeLatency(n)
+}
+
+// nodeLatency is the route-aware latency of a scheduled node: moves pay
+// MoveLat per hop of their route, everything else pays the operation
+// latency. Degenerate moves (same-cluster, or unroutable — neither is
+// produced by binding) fall back to the plain MoveLat the scalar bus
+// model always charged.
+func (s *Schedule) nodeLatency(n *dfg.Node) int {
+	if n.IsMove() {
+		if src := n.TransferFor(); src != nil {
+			if rc := s.Datapath.RouteCost(s.Cluster[src.ID()], s.Cluster[n.ID()]); rc > 0 {
+				return rc
+			}
+		}
+	}
+	return s.Datapath.Latency(n.Op())
 }
 
 // NumMoves is the number of data-transfer operations in the schedule.
@@ -107,6 +131,10 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 	if len(binding) != g.NumNodes() {
 		return nil, fmt.Errorf("sched: binding has %d entries for %d nodes", len(binding), g.NumNodes())
 	}
+	// routes[id] is the hop list (link ids) each move traverses under
+	// this binding; resolved once up front so routing failures surface
+	// as errors before any scheduling work.
+	routes := make([][]int, g.NumNodes())
 	for _, n := range g.Nodes() {
 		c := binding[n.ID()]
 		if c < 0 || c >= dp.NumClusters() {
@@ -114,8 +142,13 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 		}
 		if n.IsMove() {
 			if dp.NumBuses() == 0 {
-				return nil, fmt.Errorf("sched: move %s but datapath has no buses", n.Name())
+				return nil, fmt.Errorf("sched: move %s but datapath has no interconnect", n.Name())
 			}
+			r, err := moveRoute(dp, n, binding)
+			if err != nil {
+				return nil, err
+			}
+			routes[n.ID()] = r
 			continue
 		}
 		if !dp.Supports(c, n.Op()) {
@@ -124,7 +157,17 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 		}
 	}
 
-	times := dfg.Analyze(g, dp.Latency, 0)
+	moveLat, moveDII := dp.MoveLat(), dp.MoveDII()
+	// latOf charges moves MoveLat per hop; on single-hop machines this is
+	// exactly dp.Latency, so ASAP/ALAP levels — and with them every
+	// priority decision — match the scalar-bus scheduler bit for bit.
+	latOf := func(n *dfg.Node) int {
+		if n.IsMove() {
+			return len(routes[n.ID()]) * moveLat
+		}
+		return dp.Latency(n.Op())
+	}
+	times := dfg.AnalyzeNodes(g, latOf, 0)
 	nodes := g.Nodes()
 	// prio sorts candidate nodes for each cycle; smaller is more urgent.
 	less := func(a, b *dfg.Node) bool {
@@ -155,7 +198,10 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 	}
 
 	// unitFree[c][t] lists, per functional unit, the first cycle at which
-	// it can issue again. busFree is the same for bus channels.
+	// it can issue again. chanFree is the same for interconnect channels,
+	// laid out globally and partitioned by link (dp.LinkOffset); on the
+	// shared bus the single link's partition is the whole pool, which is
+	// the pre-interconnect busFree array unchanged.
 	unitFree := make([][][]int, dp.NumClusters())
 	for c := range unitFree {
 		unitFree[c] = make([][]int, dfg.NumFUTypes)
@@ -167,7 +213,11 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 			unitFree[c][t] = make([]int, dp.NumFU(c, ft))
 		}
 	}
-	busFree := make([]int, dp.NumBuses())
+	chanFree := make([]int, dp.NumBuses())
+	linkPool := func(l int) []int {
+		off := dp.LinkOffset(l)
+		return chanFree[off : off+dp.LinkCapacity(l)]
+	}
 
 	unscheduled := len(nodes)
 	pendingPreds := make([]int, len(nodes))
@@ -187,11 +237,20 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 		}
 	}
 
+	// Deterministic stall guard bound: every op eventually issues because
+	// each has at least one supporting unit (and every move a nonempty
+	// route), so the schedule length is bounded by the critical path plus
+	// the sum of all per-hop dii and latency values.
+	work := 0
+	for _, n := range g.Nodes() {
+		if n.IsMove() {
+			work += len(routes[n.ID()]) * (moveDII + moveLat)
+		} else {
+			work += dp.DII(n.Op()) + dp.Latency(n.Op())
+		}
+	}
 	for cycle := 0; unscheduled > 0; cycle++ {
-		// Deterministic stall guard: every op eventually issues because
-		// each has at least one supporting unit, so the schedule length
-		// is bounded by sum of all dii values plus the critical path.
-		if cycle > times.L+totalWork(g, dp)+1 {
+		if cycle > times.L+work+1 {
 			return nil, fmt.Errorf("sched: no progress by cycle %d; resource model inconsistent", cycle)
 		}
 		sort.SliceStable(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
@@ -204,21 +263,53 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 					rest = append(rest, n)
 					continue
 				}
-				var pool []int
 				if n.IsMove() {
-					pool = busFree
+					route := routes[n.ID()]
+					// Hop h occupies a channel of link route[h] during
+					// [cycle+h·MoveLat, +MoveDII) — store-and-forward with
+					// no stop-over in intermediate register files. All hops
+					// reserve together or not at all; shortest-path routes
+					// never repeat a link, so the per-hop feasibility
+					// probes are independent.
+					ok := true
+					for h, l := range route {
+						if freeUnit(linkPool(l), cycle+h*moveLat) < 0 {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						rest = append(rest, n)
+						continue
+					}
+					for h, l := range route {
+						pool := linkPool(l)
+						at := cycle + h*moveLat
+						u := freeUnit(pool, at)
+						pool[u] = at + moveDII
+						ch := dp.LinkOffset(l) + u
+						if h == 0 {
+							s.Unit[n.ID()] = ch
+						}
+						if len(route) > 1 {
+							if s.HopUnits == nil {
+								s.HopUnits = make([][]int, len(nodes))
+							}
+							s.HopUnits[n.ID()] = append(s.HopUnits[n.ID()], ch)
+						}
+					}
 				} else {
-					pool = unitFree[binding[n.ID()]][n.FUType()]
+					pool := unitFree[binding[n.ID()]][n.FUType()]
+					u := freeUnit(pool, cycle)
+					if u < 0 {
+						rest = append(rest, n)
+						continue
+					}
+					pool[u] = cycle + dp.DII(n.Op())
+					s.Unit[n.ID()] = u
 				}
-				u := freeUnit(pool, cycle)
-				if u < 0 {
-					rest = append(rest, n)
-					continue
-				}
-				pool[u] = cycle + dp.DII(n.Op())
 				s.Start[n.ID()] = cycle
-				s.Unit[n.ID()] = u
-				fin := cycle + dp.Latency(n.Op())
+				fin := cycle + latOf(n)
 				s.finish[n.ID()] = fin
 				if fin > s.L {
 					s.L = fin
@@ -230,7 +321,7 @@ func List(g *dfg.Graph, dp *machine.Datapath, binding []int) (*Schedule, error) 
 					if pendingPreds[succ.ID()] == 0 {
 						e := 0
 						for _, p := range succ.Preds() {
-							if f := s.Start[p.ID()] + dp.Latency(p.Op()); f > e {
+							if f := s.Start[p.ID()] + latOf(p); f > e {
 								e = f
 							}
 						}
@@ -267,15 +358,28 @@ func freeUnit(pool []int, cycle int) int {
 	return best
 }
 
-// totalWork bounds the serial execution length of g on dp: the sum of all
-// data-introduction intervals, i.e. the time to push every op through a
-// single unit of each type.
-func totalWork(g *dfg.Graph, dp *machine.Datapath) int {
-	w := 0
-	for _, n := range g.Nodes() {
-		w += dp.DII(n.Op()) + dp.Latency(n.Op())
+// moveRoute resolves the hop list a move traverses under binding: the
+// datapath's precomputed route from its producer's cluster to its
+// destination cluster. A degenerate same-cluster move (never produced
+// by binding, but representable in hand-built inputs) keeps the legacy
+// scalar-bus behavior — one hop on link 0 — and a cross-cluster move
+// with no route is an error.
+func moveRoute(dp *machine.Datapath, n *dfg.Node, binding []int) ([]int, error) {
+	src, dst := binding[n.ID()], binding[n.ID()]
+	if p := n.TransferFor(); p != nil {
+		src = binding[p.ID()]
+	} else if preds := n.Preds(); len(preds) > 0 {
+		src = binding[preds[0].ID()]
 	}
-	return w
+	if src == dst {
+		return []int{0}, nil
+	}
+	r := dp.Route(src, dst)
+	if r == nil {
+		return nil, fmt.Errorf("sched: move %s needs a route from cluster %d to %d but the %s interconnect has none",
+			n.Name(), src, dst, dp.Topology())
+	}
+	return r, nil
 }
 
 // Check verifies schedule legality: every node issued exactly once on an
@@ -287,6 +391,39 @@ func totalWork(g *dfg.Graph, dp *machine.Datapath) int {
 // while a second sits idle is rejected. It returns nil for a legal schedule.
 func Check(s *Schedule) error {
 	g, dp := s.Graph, s.Datapath
+	// hopsOf re-derives each move's route from the bindings alone —
+	// independently of whatever List recorded — and returns the global
+	// channel of every hop, so a schedule claiming a wrong or missing
+	// route can never pass.
+	hopsOf := func(n *dfg.Node) ([]int, []int, error) {
+		route, err := moveRoute(dp, n, s.Cluster)
+		if err != nil {
+			return nil, nil, err
+		}
+		units := []int{s.Unit[n.ID()]}
+		if s.HopUnits != nil && s.HopUnits[n.ID()] != nil {
+			units = s.HopUnits[n.ID()]
+		}
+		if len(units) != len(route) {
+			return nil, nil, fmt.Errorf("sched: move %s records %d hop channels for a %d-hop route",
+				n.Name(), len(units), len(route))
+		}
+		if units[0] != s.Unit[n.ID()] {
+			return nil, nil, fmt.Errorf("sched: move %s hop 0 channel %d disagrees with Unit %d",
+				n.Name(), units[0], s.Unit[n.ID()])
+		}
+		for h, ch := range units {
+			if ch < 0 || ch >= dp.NumBuses() {
+				return nil, nil, fmt.Errorf("sched: node %s on %s unit %d out of range (pool size %d)",
+					n.Name(), n.FUType(), ch, dp.NumBuses())
+			}
+			if dp.LinkOfChannel(ch) != route[h] {
+				return nil, nil, fmt.Errorf("sched: move %s hop %d on channel %d, not a channel of link %d (%s)",
+					n.Name(), h, ch, route[h], dp.LinkName(route[h]))
+			}
+		}
+		return route, units, nil
+	}
 	for _, n := range g.Nodes() {
 		st := s.Start[n.ID()]
 		if st < 0 {
@@ -296,23 +433,27 @@ func Check(s *Schedule) error {
 		if c < 0 || c >= dp.NumClusters() {
 			return fmt.Errorf("sched: node %s bound to nonexistent cluster %d", n.Name(), c)
 		}
-		var pool int
 		if n.IsMove() {
-			pool = dp.NumBuses()
+			if dp.NumBuses() == 0 {
+				return fmt.Errorf("sched: move %s but datapath has no interconnect", n.Name())
+			}
+			if _, _, err := hopsOf(n); err != nil {
+				return err
+			}
 		} else {
-			pool = dp.NumFU(c, n.FUType())
-		}
-		if u := s.Unit[n.ID()]; u < 0 || u >= pool {
-			return fmt.Errorf("sched: node %s on %s unit %d out of range (pool size %d, cluster %d)",
-				n.Name(), n.FUType(), u, pool, c)
+			pool := dp.NumFU(c, n.FUType())
+			if u := s.Unit[n.ID()]; u < 0 || u >= pool {
+				return fmt.Errorf("sched: node %s on %s unit %d out of range (pool size %d, cluster %d)",
+					n.Name(), n.FUType(), u, pool, c)
+			}
 		}
 		for _, p := range n.Preds() {
-			if f := s.Start[p.ID()] + dp.Latency(p.Op()); f > st {
+			if f := s.Start[p.ID()] + s.nodeLatency(p); f > st {
 				return fmt.Errorf("sched: node %s starts at %d before operand %s finishes at %d",
 					n.Name(), st, p.Name(), f)
 			}
 		}
-		if f := st + dp.Latency(n.Op()); f > s.L {
+		if f := st + s.nodeLatency(n); f > s.L {
 			return fmt.Errorf("sched: node %s finishes at %d past L=%d", n.Name(), f, s.L)
 		}
 	}
@@ -324,20 +465,38 @@ func Check(s *Schedule) error {
 	// same resource mirror incremental evaluation snapshots use — so a
 	// clash probe is one masked word test instead of a map lookup.
 	rowOf, rows := unitRows(dp)
+	moveLat := dp.MoveLat()
 	maxCycle := 0
 	for _, n := range g.Nodes() {
-		if end := s.Start[n.ID()] + dp.DII(n.Op()); end > maxCycle {
+		end := s.Start[n.ID()] + dp.DII(n.Op())
+		if n.IsMove() {
+			end = s.Start[n.ID()] + s.nodeLatency(n) + dp.MoveDII()
+		}
+		if end > maxCycle {
 			maxCycle = end
 		}
 	}
 	var occ BitMatrix
 	occ.Reset(rows, maxCycle)
 	for _, n := range g.Nodes() {
-		c := s.Cluster[n.ID()]
-		if n.IsMove() {
-			c = -1
-		}
 		st, dii := s.Start[n.ID()], dp.DII(n.Op())
+		if n.IsMove() {
+			// Each hop holds its channel for the move's dii, offset by
+			// MoveLat per preceding hop.
+			_, units, err := hopsOf(n)
+			if err != nil {
+				return err
+			}
+			for h, ch := range units {
+				at := st + h*moveLat
+				if occ.SetRange(rowOf(-1, n.FUType(), ch), at, at+dii) {
+					return fmt.Errorf("sched: %s hop %d and an earlier transfer both occupy channel %d (%s) within cycles [%d, %d)",
+						n.Name(), h, ch, dp.LinkName(dp.LinkOfChannel(ch)), at, at+dii)
+				}
+			}
+			continue
+		}
+		c := s.Cluster[n.ID()]
 		if occ.SetRange(rowOf(c, n.FUType(), s.Unit[n.ID()]), st, st+dii) {
 			return fmt.Errorf("sched: %s and an earlier operation both occupy %s unit %d within cycles [%d, %d) (cluster %d)",
 				n.Name(), n.FUType(), s.Unit[n.ID()], st, st+dii, c)
@@ -385,7 +544,11 @@ func Gantt(s *Schedule) string {
 	horizon := s.L
 	for _, n := range g.Nodes() {
 		if st := s.Start[n.ID()]; st >= 0 {
-			if end := st + dp.DII(n.Op()); end > horizon {
+			end := st + dp.DII(n.Op())
+			if n.IsMove() && len(s.hopChannels(n)) > 1 {
+				end = st + (len(s.hopChannels(n))-1)*dp.MoveLat() + dp.MoveDII()
+			}
+			if end > horizon {
 				horizon = end
 			}
 		}
@@ -423,8 +586,8 @@ func Gantt(s *Schedule) string {
 			}
 		}
 	}
-	if nb := dp.NumBuses(); nb > 0 {
-		if l := len(fmt.Sprintf("bus%d", nb-1)) + 1; l > labelW {
+	for u := 0; u < dp.NumBuses(); u++ {
+		if l := len(channelLabel(dp, u)) + 1; l > labelW {
 			labelW = l
 		}
 	}
@@ -465,11 +628,76 @@ func Gantt(s *Schedule) string {
 			}
 		}
 	}
+	// Channel rows render every hop of every move: hop h of a move
+	// issued at st appears in its channel's row at st+h·MoveLat. On
+	// single-hop machines this is exactly the old one-row-per-bus-channel
+	// rendering.
+	moveLat := dp.MoveLat()
 	for u := 0; u < dp.NumBuses(); u++ {
-		label := fmt.Sprintf("bus%d", u)
-		emitRow(label, func(n *dfg.Node) bool {
-			return n.IsMove() && s.Unit[n.ID()] == u
-		})
+		for i := range row {
+			row[i] = "."
+		}
+		for _, n := range g.Nodes() {
+			if !n.IsMove() || s.Start[n.ID()] < 0 {
+				continue
+			}
+			for h, ch := range s.hopChannels(n) {
+				if ch != u {
+					continue
+				}
+				at := s.Start[n.ID()] + h*moveLat
+				for d := 0; d < dp.DII(n.Op()) && at+d < len(row); d++ {
+					row[at+d] = n.Name()
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s", labelW, channelLabel(dp, u))
+		for _, r := range row {
+			b.WriteString(cell(r))
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// hopChannels returns the global channels a scheduled move occupies, one
+// per hop (just its Unit on single-hop machines or when HopUnits was not
+// recorded).
+func (s *Schedule) hopChannels(n *dfg.Node) []int {
+	if s.HopUnits != nil && s.HopUnits[n.ID()] != nil {
+		return s.HopUnits[n.ID()]
+	}
+	return s.Unit[n.ID() : n.ID()+1]
+}
+
+// channelLabel names a global interconnect channel for chart rows. The
+// shared bus keeps its historical bus0, bus1, … labels; routed links use
+// the link name, suffixed with the channel index only when a link has
+// several channels.
+// LinkOccupancy returns, per interconnect link, how many hop
+// reservations the schedule holds on it — each scheduled move
+// contributes one per hop of its route. Aggregating a trace journal's
+// route.pick events per link must reproduce exactly this vector.
+func (s *Schedule) LinkOccupancy() []int {
+	occ := make([]int, s.Datapath.NumLinks())
+	for _, n := range s.Graph.Nodes() {
+		if !n.IsMove() || s.Start[n.ID()] < 0 {
+			continue
+		}
+		for _, ch := range s.hopChannels(n) {
+			occ[s.Datapath.LinkOfChannel(ch)]++
+		}
+	}
+	return occ
+}
+
+func channelLabel(dp *machine.Datapath, u int) string {
+	if dp.Topology() == machine.TopoBus {
+		return fmt.Sprintf("bus%d", u)
+	}
+	l := dp.LinkOfChannel(u)
+	if dp.LinkCapacity(l) == 1 {
+		return dp.LinkName(l)
+	}
+	return fmt.Sprintf("%s.%d", dp.LinkName(l), u-dp.LinkOffset(l))
 }

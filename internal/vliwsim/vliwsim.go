@@ -125,11 +125,36 @@ func Execute(s *sched.Schedule, inputs []float64) ([]float64, *Trace, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			key := unitKey{-1, dfg.FUBus, s.Unit[n.ID()]}
-			if busyUntil[key] > cycle {
-				return nil, nil, fmt.Errorf("vliwsim: bus channel %d busy at cycle %d (move %s)", s.Unit[n.ID()], cycle, n.Name())
+			// Re-derive the route from the clusters alone — independent of
+			// what the scheduler recorded — and walk it hop by hop: each
+			// hop must ride a channel of the right link, and the value
+			// only lands in the destination register file after the full
+			// route latency. A schedule that claims a wrong route cannot
+			// execute.
+			route := dp.Route(from, dest)
+			chans := []int{s.Unit[n.ID()]}
+			if s.HopUnits != nil && s.HopUnits[n.ID()] != nil {
+				chans = s.HopUnits[n.ID()]
 			}
-			busyUntil[key] = cycle + dp.MoveDII()
+			if route != nil {
+				if len(chans) != len(route) {
+					return nil, nil, fmt.Errorf("vliwsim: move %s records %d hop channels for a %d-hop c%d→c%d route",
+						n.Name(), len(chans), len(route), from, dest)
+				}
+				lat = len(route) * dp.MoveLat()
+			}
+			for h, ch := range chans {
+				if route != nil && dp.LinkOfChannel(ch) != route[h] {
+					return nil, nil, fmt.Errorf("vliwsim: move %s hop %d on channel %d, which is not on link %s",
+						n.Name(), h, ch, dp.LinkName(route[h]))
+				}
+				at := cycle + h*dp.MoveLat()
+				key := unitKey{-1, dfg.FUBus, ch}
+				if busyUntil[key] > at {
+					return nil, nil, fmt.Errorf("vliwsim: channel %d busy at cycle %d (move %s hop %d)", ch, at, n.Name(), h)
+				}
+				busyUntil[key] = at + dp.MoveDII()
+			}
 			vals[n.ID()] = x
 			availAt[dest][n.ID()] = cycle + lat
 			// The transported producer value itself also becomes usable

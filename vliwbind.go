@@ -123,11 +123,27 @@ type (
 	ResourceSpec = machine.ResourceSpec
 )
 
+// Interconnect topology names accepted by DatapathConfig.Topology and
+// the spec notation's "@" directive.
+const (
+	TopoBus  = machine.TopoBus
+	TopoP2P  = machine.TopoP2P
+	TopoRing = machine.TopoRing
+	TopoNone = machine.TopoNone
+)
+
 // ParseDatapath builds a datapath from the paper's cluster notation,
-// e.g. "[2,1|1,1]".
+// e.g. "[2,1|1,1]". The notation also selects a topology:
+// "[1,1|1,1|1,1]@ring:1" is a three-cluster ring with one channel per
+// link. Datapath.SpecString round-trips the full configuration.
 func ParseDatapath(spec string, cfg DatapathConfig) (*Datapath, error) {
 	return machine.Parse(spec, cfg)
 }
+
+// ParseDatapathSpec builds a datapath from a self-contained spec string
+// (cluster notation plus optional "@topology:linkcap" directive) with
+// default timing — the inverse of Datapath.SpecString.
+func ParseDatapathSpec(spec string) (*Datapath, error) { return machine.ParseSpec(spec) }
 
 // NewDatapath builds a datapath from explicit cluster descriptions.
 func NewDatapath(clusters []Cluster, cfg DatapathConfig) (*Datapath, error) {
@@ -434,6 +450,21 @@ func RunBaselineExperiment(r ExperimentRow) (BaselineMeasurement, error) {
 
 // FormatBaselines renders the five-binder comparison table.
 func FormatBaselines(ms []BaselineMeasurement) string { return expt.FormatBaselines(ms) }
+
+// TopologyMeasurement compares B-ITER across interconnect topologies
+// (shared bus, ring, point-to-point) on one kernel.
+type TopologyMeasurement = expt.TopologyMeasurement
+
+// TopologyKernels lists the benchmarks of the topology comparison.
+func TopologyKernels() []string { return expt.TopologyKernels() }
+
+// RunTopologyComparison measures one kernel across the three topologies.
+func RunTopologyComparison(kernel string) (TopologyMeasurement, error) {
+	return expt.RunTopologyComparison(kernel)
+}
+
+// FormatTopologies renders the topology comparison table.
+func FormatTopologies(ms []TopologyMeasurement) string { return expt.FormatTopologies(ms) }
 
 // Additional baselines and extensions.
 type (
