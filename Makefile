@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke bench bench-json bench-json-pr7 bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke store-smoke bench bench-json bench-json-pr7 bench-json-pr8 bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bind/... ./internal/sched/...
+	$(GO) test -race ./internal/bind/... ./internal/sched/... ./internal/store/...
 
 # Short fuzzing pass over every native harness (the checked-in corpora
 # under testdata/fuzz run on every plain `go test` already; this spends
@@ -58,6 +58,22 @@ obs-smoke:
 	@test -s /tmp/vliwbind-obs-ring.jsonl || { echo "obs-smoke: ring trace journal is empty"; exit 1; }
 	$(GO) test ./cmd/vbind -run '^TestObsSmoke$$' -count 1
 
+# Result-store smoke: the store unit suite (journal round-trip,
+# crash-safety replay, the isomorphic-collision property) and the facade
+# tests that pin audit-on-read, then the CLI acceptance pair — two vbind
+# runs sharing a -store-dir, where the first must miss and the second
+# must be served from an audited hit — and finally the vbind test that
+# reconciles store.* journal events against the reported counters.
+store-smoke:
+	$(GO) test ./internal/store -count 1
+	$(GO) test . -run 'TestStore|TestModuloPipelineStored' -count 1
+	@rm -rf /tmp/vliwbind-store-smoke
+	$(GO) run ./cmd/vbind -kernel EWF -algo iter -store-dir /tmp/vliwbind-store-smoke | grep 'result store: 0 hit(s), 1 miss(es)'
+	$(GO) run ./cmd/vbind -kernel EWF -algo iter -store-dir /tmp/vliwbind-store-smoke | grep 'result store: 1 hit(s), 0 miss(es)'
+	@test -s /tmp/vliwbind-store-smoke/results.jsonl || { echo "store-smoke: journal is empty"; exit 1; }
+	@rm -rf /tmp/vliwbind-store-smoke
+	$(GO) test ./cmd/vbind -run '^TestStoreObsSmoke$$' -count 1
+
 # Regenerate the paper's tables as benchmarks (L/M metrics per row) and
 # refresh the committed perf-trajectory file. The trajectory runs the
 # key delta-evaluation benchmarks — the per-candidate pair in
@@ -67,7 +83,7 @@ obs-smoke:
 # floor: ≥3x per-candidate speedup on the delta-hit path and zero
 # allocs/op on it. CI checks the file is present and non-empty.
 BENCHCOUNT ?= 6
-bench: bench-json bench-json-pr7
+bench: bench-json bench-json-pr7 bench-json-pr8
 	$(GO) test -bench=. -benchmem
 
 bench-json:
@@ -95,6 +111,24 @@ bench-json-pr7:
 		-zero 'BenchmarkEvaluateP2P' \
 		/tmp/vliwbind-bench-pr7.txt
 	@echo "wrote BENCH_pr7.json"
+
+# Result-store trajectory. Re-asserts the pr6/pr7 delta-evaluation floor
+# on the current code (benchjson gates are within-file ratios, so the
+# cross-PR no-regression claim is the same floor passing again), then
+# gates the store itself: a served hit must be at least 8x cheaper than
+# a cold bind on the same kernel (measured ~24x), and the raw lookup on
+# a resident entry must be allocation-free.
+bench-json-pr8:
+	$(GO) test ./internal/problem -run '^$$' -bench 'BenchmarkEvaluate(DeltaHit|FullPerturbed)$$' -benchmem -count $(BENCHCOUNT) > /tmp/vliwbind-bench-pr8.txt
+	$(GO) test ./internal/store -run '^$$' -bench 'BenchmarkCanonicalize$$|BenchmarkStore(ResultKey|Lookup)$$' -benchmem -count $(BENCHCOUNT) >> /tmp/vliwbind-bench-pr8.txt
+	$(GO) test . -run '^$$' -bench 'BenchmarkStore(ColdBind|Hit)$$' -benchmem -count $(BENCHCOUNT) >> /tmp/vliwbind-bench-pr8.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr8.json \
+		-gate 'BenchmarkStoreColdBind/BenchmarkStoreHit>=8.0' \
+		-gate 'BenchmarkEvaluateFullPerturbed/BenchmarkEvaluateDeltaHit>=3.0' \
+		-zero 'BenchmarkStoreLookup' \
+		-zero 'BenchmarkEvaluateDeltaHit' \
+		/tmp/vliwbind-bench-pr8.txt
+	@echo "wrote BENCH_pr8.json"
 
 # Sequential-vs-parallel engine comparison on the largest kernel.
 bench-parallel:

@@ -139,15 +139,33 @@ func TestZeroAllocGate(t *testing.T) {
 	}
 }
 
+// TestGateErrors pins the fail-loudly contract for gates that reference
+// benchmarks absent from the input — the exact failure mode of a gated
+// benchmark being renamed or silently dropped from a bench run. Every
+// reference position (numerator, denominator, zero-alloc name) must be a
+// hard error naming the missing benchmark, never a silently-passing
+// gate.
 func TestGateErrors(t *testing.T) {
 	rep := mustBuild(t, benchOut)
 	if _, err := applyGates(rep, []string{"BenchmarkNope/BenchmarkEvaluateDeltaHit>=1"}, nil); err == nil {
-		t.Error("gate on unknown benchmark did not error")
+		t.Error("gate on unknown numerator did not error")
+	} else if !strings.Contains(err.Error(), "BenchmarkNope") {
+		t.Errorf("numerator error %q does not name the missing benchmark", err)
+	}
+	if _, err := applyGates(rep, []string{"BenchmarkEvaluateDeltaHit/BenchmarkNope>=1"}, nil); err == nil {
+		t.Error("gate on unknown denominator did not error")
 	}
 	if _, err := applyGates(rep, []string{"garbage"}, nil); err == nil {
 		t.Error("malformed gate spec did not error")
 	}
 	if _, err := applyGates(rep, nil, []string{"BenchmarkNope"}); err == nil {
 		t.Error("zero gate on unknown benchmark did not error")
+	} else if !strings.Contains(err.Error(), "BenchmarkNope") {
+		t.Errorf("zero-gate error %q does not name the missing benchmark", err)
+	}
+	// An erroring gate set must not leave half-recorded verdicts in the
+	// report that a later write would commit as if evaluated.
+	if len(rep.Gates) != 0 {
+		t.Errorf("errored gate evaluation recorded %d verdict(s): %+v", len(rep.Gates), rep.Gates)
 	}
 }

@@ -37,27 +37,29 @@ type design struct {
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
-		alus    = flag.Int("alus", 4, "total ALU budget")
-		muls    = flag.Int("muls", 2, "total multiplier budget")
-		maxC    = flag.Int("maxclusters", 4, "maximum number of clusters")
-		buses   = flag.Int("buses", 2, "number of buses")
-		topo    = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
-		linkCap = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
-		algo    = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
-		par     = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
-		timeout = flag.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
-		trace   = flag.String("trace", "", "journal every search event across all design points to FILE as JSON lines")
-		metrics = flag.Bool("metrics", false, "print per-phase timers and search counters after the exploration")
+		kernel   = flag.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
+		alus     = flag.Int("alus", 4, "total ALU budget")
+		muls     = flag.Int("muls", 2, "total multiplier budget")
+		maxC     = flag.Int("maxclusters", 4, "maximum number of clusters")
+		buses    = flag.Int("buses", 2, "number of buses")
+		topo     = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
+		linkCap  = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
+		algo     = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
+		par      = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
+		timeout  = flag.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
+		trace    = flag.String("trace", "", "journal every search event across all design points to FILE as JSON lines")
+		metrics  = flag.Bool("metrics", false, "print per-phase timers and search counters after the exploration")
+		useStore = flag.Bool("store", false, "share an in-memory result store across design points (repeated isomorphic bindings hit instead of re-searching); -store-dir makes it persistent")
+		storeDir = flag.String("store-dir", "", "directory of the persistent result store journal (implies -store)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *topo, *linkCap, *algo, *par, *timeout, *trace, *metrics); err != nil {
+	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *topo, *linkCap, *algo, *par, *timeout, *trace, *metrics, *useStore, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, linkCap int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool) error {
+func run(w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, linkCap int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool, useStore bool, storeDir string) error {
 	k, err := vliwbind.KernelByName(kernel)
 	if err != nil {
 		return err
@@ -65,6 +67,21 @@ func run(w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, l
 	if alus < 1 || muls < 0 || maxC < 1 {
 		return fmt.Errorf("invalid budget: %d ALUs, %d MULs, %d clusters", alus, muls, maxC)
 	}
+	// One result store shared by every design point: within a single
+	// exploration it serves nothing (each point is a distinct machine,
+	// hence a distinct key), but with -store-dir a re-run of the same
+	// exploration answers every point from audited hits.
+	var resStore *vliwbind.ResultStore
+	if storeDir != "" {
+		resStore, err = vliwbind.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		defer resStore.Close()
+	} else if useStore {
+		resStore = vliwbind.NewMemoryStore(0)
+	}
+	var cstats vliwbind.CacheStats
 	var sinks []vliwbind.Observer
 	var journal *vliwbind.TraceJournal
 	if tracePath != "" {
@@ -108,7 +125,7 @@ explore:
 			if dp.CanRun(g) != nil {
 				continue // e.g. all multipliers missing for a mul-bearing kernel
 			}
-			opts := vliwbind.Options{Parallelism: par, Observer: observer}
+			opts := vliwbind.Options{Parallelism: par, Observer: observer, Store: resStore, Stats: &cstats}
 			var res *vliwbind.Result
 			t0 := time.Now()
 			switch algo {
@@ -166,6 +183,10 @@ explore:
 	}
 	if expired {
 		fmt.Fprintf(w, "note: budget expired after %d design point(s); the table is partial\n", len(designs))
+	}
+	if resStore != nil {
+		fmt.Fprintf(w, "result store: %d hit(s), %d miss(es), %d eviction(s)\n",
+			cstats.StoreHits(), cstats.StoreMisses(), cstats.StoreEvicts())
 	}
 	if mtr != nil {
 		fmt.Fprint(w, mtr.Dump())

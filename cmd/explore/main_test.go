@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 )
 
 func TestRunSmallBudget(t *testing.T) {
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false); err != nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -65,13 +66,13 @@ func TestMarkPareto(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "nope", 2, 2, 2, 2, "", 0, "init", 0, 0, "", false); err == nil {
+	if err := run(io.Discard, "nope", 2, 2, 2, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "", 0, "init", 0, 0, "", false); err == nil {
+	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
 		t.Error("empty budget accepted")
 	}
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "frob", 0, 0, "", false); err == nil {
+	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "frob", 0, 0, "", false, false, ""); err == nil {
 		t.Error("unknown algo accepted")
 	}
 }
@@ -79,7 +80,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithTraceAndMetrics(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, "ARF", 2, 1, 2, 2, "", 0, "init", 2, 0, trace, true); err != nil {
+	if err := run(&out, "ARF", 2, 1, 2, 2, "", 0, "init", 2, 0, trace, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -101,5 +102,50 @@ func TestRunWithTraceAndMetrics(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestStoreAcrossExplorations: within one exploration every design point
+// is a distinct machine, so the shared store serves nothing; a re-run of
+// the same exploration against the same -store-dir must answer every
+// point from audited hits and produce the identical table.
+func TestStoreAcrossExplorations(t *testing.T) {
+	storeDir := t.TempDir()
+	runOnce := func() string {
+		var out bytes.Buffer
+		if err := run(&out, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, storeDir); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	storeLine := func(out string) (hits, misses, evicts int) {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "result store: ") {
+				if _, err := fmt.Sscanf(line, "result store: %d hit(s), %d miss(es), %d eviction(s)",
+					&hits, &misses, &evicts); err != nil {
+					t.Fatalf("cannot parse store line %q: %v", line, err)
+				}
+				return
+			}
+		}
+		t.Fatalf("no result store line in:\n%s", out)
+		return
+	}
+	cold := runOnce()
+	h, m, _ := storeLine(cold)
+	if h != 0 || m == 0 {
+		t.Fatalf("cold exploration: %d hits, %d misses; want 0 hits and every point missing", h, m)
+	}
+	warm := runOnce()
+	h2, m2, _ := storeLine(warm)
+	if h2 != m || m2 != 0 {
+		t.Errorf("warm exploration: %d hits, %d misses; want %d hits, 0 misses", h2, m2, m)
+	}
+	strip := func(out string) string {
+		i := strings.Index(out, "result store:")
+		return out[:i]
+	}
+	if strip(cold) != strip(warm) {
+		t.Errorf("store hits changed the table:\ncold:\n%s\nwarm:\n%s", cold, warm)
 	}
 }

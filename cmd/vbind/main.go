@@ -55,6 +55,8 @@ type config struct {
 	tracePath       string
 	metrics         bool
 	explain         bool
+	useStore        bool
+	storeDir        string
 }
 
 // realMain parses flags, validates input selection up front, and runs.
@@ -80,6 +82,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.audit, "audit", false, "run the full invariant auditor on the result (binding, schedule, simulation, allocation)")
 	fs.IntVar(&cfg.par, "par", 0, "worker-pool size for init/iter candidate evaluation; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "binding time budget (e.g. 100ms); on expiry the best binding found so far is returned, marked degraded. 0 = no budget")
+	fs.BoolVar(&cfg.useStore, "store", false, "consult the cross-request result store before searching (in-memory unless -store-dir is set); every hit is re-audited before being served")
+	fs.StringVar(&cfg.storeDir, "store-dir", "", "directory of the persistent result store journal (implies -store); results survive across runs")
 	fs.StringVar(&cfg.tracePath, "trace", "", "journal every search event to FILE as JSON lines")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "print per-phase timers and search counters after binding")
 	fs.BoolVar(&cfg.explain, "explain", false, "report the icost breakdown behind each B-INIT choice and each accepted B-ITER move")
@@ -154,8 +158,23 @@ func run(w io.Writer, cfg config) error {
 	}
 	observer := vliwbind.MultiObserver(sinks...)
 
+	// The cross-request result store: journal-backed when a directory is
+	// given, otherwise in-memory (useful mostly for exercising the path —
+	// a single CLI run has no second request to serve). Only the
+	// engine-backed algorithms (init, iter) consult it.
+	var resStore *vliwbind.ResultStore
+	if cfg.storeDir != "" {
+		resStore, err = vliwbind.OpenStore(cfg.storeDir)
+		if err != nil {
+			return err
+		}
+		defer resStore.Close()
+	} else if cfg.useStore {
+		resStore = vliwbind.NewMemoryStore(0)
+	}
+
 	var cstats vliwbind.CacheStats
-	opts := vliwbind.Options{Parallelism: cfg.par, Stats: &cstats, Observer: observer}
+	opts := vliwbind.Options{Parallelism: cfg.par, Stats: &cstats, Observer: observer, Store: resStore}
 	var res *vliwbind.Result
 	t0 := time.Now()
 	switch cfg.algo {
@@ -208,6 +227,10 @@ func run(w io.Writer, cfg config) error {
 	if dh, df := cstats.DeltaHits(), cstats.DeltaFallbacks(); dh+df > 0 {
 		fmt.Fprintf(w, "delta evaluation: %d incremental, %d full fallbacks (%.0f%% delta rate)\n",
 			dh, df, 100*float64(dh)/float64(dh+df))
+	}
+	if resStore != nil {
+		fmt.Fprintf(w, "result store: %d hit(s), %d miss(es), %d eviction(s)\n",
+			cstats.StoreHits(), cstats.StoreMisses(), cstats.StoreEvicts())
 	}
 	if cfg.regs > 0 {
 		sr, err := vliwbind.BindWithSpills(res.Graph, dp, res.Binding, cfg.regs)

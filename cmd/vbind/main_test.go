@@ -81,6 +81,128 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestLinkCapFlagError pins the interconnect-validation seam at the CLI
+// boundary: a negative -linkcap must be rejected with a descriptive
+// error before any binding work starts, for both routed topologies.
+func TestLinkCapFlagError(t *testing.T) {
+	for _, topo := range []string{"p2p", "ring"} {
+		var out, errb bytes.Buffer
+		code := realMain([]string{"-kernel", "EWF", "-topology", topo, "-linkcap", "-1"}, &out, &errb)
+		if code != 1 {
+			t.Errorf("%s: exit code = %d, want 1", topo, code)
+		}
+		if msg := errb.String(); !strings.Contains(msg, "invalid link capacity -1") {
+			t.Errorf("%s: error %q does not name the invalid capacity", topo, msg)
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-kernel", "EWF", "-buses", "-2", "-verify=false"}, &out, &errb); code != 1 {
+		t.Errorf("-buses -2: exit code = %d, want 1 (stderr %q)", code, errb.String())
+	}
+}
+
+// parseStoreLine extracts the "result store: H hit(s), M miss(es), E
+// eviction(s)" counters a store-enabled run prints.
+func parseStoreLine(t *testing.T, out string) (hits, misses, evicts int64) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "result store: ") {
+			if _, err := fmt.Sscanf(line, "result store: %d hit(s), %d miss(es), %d eviction(s)",
+				&hits, &misses, &evicts); err != nil {
+				t.Fatalf("cannot parse store line %q: %v", line, err)
+			}
+			return hits, misses, evicts
+		}
+	}
+	t.Fatalf("no result store line in:\n%s", out)
+	return
+}
+
+// countStoreEvents decodes a trace journal and counts store.* events.
+func countStoreEvents(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts := map[string]int64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("journal line %q does not decode: %v", sc.Text(), err)
+		}
+		if strings.HasPrefix(e.Type, "store.") {
+			counts[e.Type]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+// TestStoreObsSmoke is the store acceptance check at the CLI: two runs
+// of the same request against a shared -store-dir. The first must miss
+// and publish; the second must be served from the store. In each run the
+// store.* journal events must reconcile exactly with the CacheStats
+// counters behind the printed "result store:" line, and both runs must
+// report the same schedule.
+func TestStoreObsSmoke(t *testing.T) {
+	storeDir := t.TempDir()
+	runOnce := func(trace string) (string, map[string]int64) {
+		var out bytes.Buffer
+		cfg := config{kernel: "EWF", dpSpec: "[2,1|1,1]", buses: 2, moveLat: 1,
+			algo: "iter", par: 2, verify: true, audit: true,
+			storeDir: storeDir, tracePath: trace}
+		if err := run(&out, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), countStoreEvents(t, trace)
+	}
+
+	dir := t.TempDir()
+	out1, ev1 := runOnce(filepath.Join(dir, "cold.jsonl"))
+	h, m, e := parseStoreLine(t, out1)
+	if h != 0 || m != 1 || e != 0 {
+		t.Fatalf("cold run store line = %d/%d/%d, want 0 hits, 1 miss, 0 evictions", h, m, e)
+	}
+	if ev1["store.hit"] != h || ev1["store.miss"] != m || ev1["store.evict"] != e {
+		t.Errorf("cold run journal %v does not reconcile with store line %d/%d/%d", ev1, h, m, e)
+	}
+
+	out2, ev2 := runOnce(filepath.Join(dir, "warm.jsonl"))
+	h, m, e = parseStoreLine(t, out2)
+	if h != 1 || m != 0 || e != 0 {
+		t.Fatalf("warm run store line = %d/%d/%d, want 1 hit, 0 misses, 0 evictions", h, m, e)
+	}
+	if ev2["store.hit"] != h || ev2["store.miss"] != m || ev2["store.evict"] != e {
+		t.Errorf("warm run journal %v does not reconcile with store line %d/%d/%d", ev2, h, m, e)
+	}
+
+	// Same request, same answer: the result lines must agree whether the
+	// binding came from the search or the store (both runs audit).
+	resultLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "iter: L=") {
+				return line
+			}
+		}
+		t.Fatalf("no result line in:\n%s", out)
+		return ""
+	}
+	if a, b := resultLine(out1), resultLine(out2); a != b {
+		t.Errorf("store hit changed the result: %q vs %q", a, b)
+	}
+
+	// The journal survived both runs on disk.
+	if fi, err := os.Stat(filepath.Join(storeDir, "results.jsonl")); err != nil || fi.Size() == 0 {
+		t.Errorf("store journal missing or empty (err %v)", err)
+	}
+}
+
 // TestUsageExitCode pins the -dfg/-kernel contract at the CLI boundary:
 // both flags, or neither, must exit 2 with a one-line usage message
 // before any binding work starts.

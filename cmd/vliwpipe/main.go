@@ -24,26 +24,28 @@ import (
 
 func main() {
 	var (
-		dfgPath = flag.String("dfg", "", "loop body as a .dfg file (default: built-in EWF loop)")
-		carried = flag.String("carried", "", "comma-separated carried deps \"from>to:distance\"")
-		dpSpec  = flag.String("dp", "[2,1|2,1]", "datapath clusters")
-		buses   = flag.Int("buses", 2, "number of buses")
-		topo    = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
-		linkCap = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
-		iters   = flag.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
-		audit   = flag.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
-		timeout = flag.Duration("timeout", 0, "scheduling time budget (e.g. 100ms); a modulo schedule has no partial form, so expiry aborts with an error. 0 = no budget")
-		trace   = flag.String("trace", "", "journal pipeline phase events to FILE as JSON lines")
-		metrics = flag.Bool("metrics", false, "print per-phase timers after scheduling")
+		dfgPath  = flag.String("dfg", "", "loop body as a .dfg file (default: built-in EWF loop)")
+		carried  = flag.String("carried", "", "comma-separated carried deps \"from>to:distance\"")
+		dpSpec   = flag.String("dp", "[2,1|2,1]", "datapath clusters")
+		buses    = flag.Int("buses", 2, "number of buses")
+		topo     = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
+		linkCap  = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
+		iters    = flag.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
+		audit    = flag.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
+		timeout  = flag.Duration("timeout", 0, "scheduling time budget (e.g. 100ms); a modulo schedule has no partial form, so expiry aborts with an error. 0 = no budget")
+		trace    = flag.String("trace", "", "journal pipeline phase events to FILE as JSON lines")
+		metrics  = flag.Bool("metrics", false, "print per-phase timers after scheduling")
+		useStore = flag.Bool("store", false, "consult the cross-request result store before scheduling (in-memory unless -store-dir is set); hits are re-audited before being served")
+		storeDir = flag.String("store-dir", "", "directory of the persistent result store journal (implies -store)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *dfgPath, *carried, *dpSpec, *buses, *topo, *linkCap, *iters, *timeout, *audit, *trace, *metrics); err != nil {
+	if err := run(os.Stdout, *dfgPath, *carried, *dpSpec, *buses, *topo, *linkCap, *iters, *timeout, *audit, *trace, *metrics, *useStore, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "vliwpipe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, linkCap, iters int, timeout time.Duration, audit bool, tracePath string, withMetrics bool) error {
+func run(w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, linkCap, iters int, timeout time.Duration, audit bool, tracePath string, withMetrics bool, useStore bool, storeDir string) error {
 	// The modulo scheduler has no internal observation seam, so vliwpipe
 	// journals coarse CLI-level phase events (load, pipeline, verify);
 	// -metrics folds the same events into the phase table.
@@ -88,9 +90,20 @@ func run(w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, l
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	var resStore *vliwbind.ResultStore
+	if storeDir != "" {
+		resStore, err = vliwbind.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		defer resStore.Close()
+	} else if useStore {
+		resStore = vliwbind.NewMemoryStore(0)
+	}
+	var cstats vliwbind.CacheStats
 	mii := vliwbind.ModuloMII(loop, dp)
 	t0 = time.Now()
-	ps, err := vliwbind.ModuloPipelineContext(ctx, loop, dp, vliwbind.ModuloOptions{})
+	ps, err := vliwbind.ModuloPipelineStored(ctx, loop, dp, vliwbind.ModuloOptions{}, resStore, &cstats, observer)
 	phase("vliwpipe.pipeline", t0, kernel)
 	if err != nil {
 		return err
@@ -113,6 +126,10 @@ func run(w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, l
 	fmt.Fprintln(w, "verified by expanding concrete iterations")
 	if audit {
 		fmt.Fprintln(w, "audited: move slots and expanded schedule invariants hold")
+	}
+	if resStore != nil {
+		fmt.Fprintf(w, "result store: %d hit(s), %d miss(es), %d eviction(s)\n",
+			cstats.StoreHits(), cstats.StoreMisses(), cstats.StoreEvicts())
 	}
 	if mtr != nil {
 		fmt.Fprint(w, mtr.Dump())

@@ -11,7 +11,7 @@ import (
 )
 
 func TestRunBuiltinLoop(t *testing.T) {
-	if err := run(io.Discard, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, true, "", false); err != nil {
+	if err := run(io.Discard, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, true, "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -23,23 +23,23 @@ func TestRunCustomLoop(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(io.Discard, path, "y>s:1", "[1,1|1,1]", 2, "", 0, 4, 0, true, "", false); err != nil {
+	if err := run(io.Discard, path, "y>s:1", "[1,1|1,1]", 2, "", 0, 4, 0, true, "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "/missing.dfg", "", "[1,1]", 2, "", 0, 0, 0, false, "", false); err == nil {
+	if err := run(io.Discard, "/missing.dfg", "", "[1,1]", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(io.Discard, "", "", "zap", 2, "", 0, 0, 0, false, "", false); err == nil {
+	if err := run(io.Discard, "", "", "zap", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
 		t.Error("bad datapath accepted")
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "loop.dfg")
 	os.WriteFile(path, []byte("dfg g\nin x\nop a neg x\nout a\n"), 0o644)
 	for _, spec := range []string{"bogus", "a>zz:1", "a>a:0", "a>a:x"} {
-		if err := run(io.Discard, path, spec, "[1,1|1,1]", 2, "", 0, 0, 0, false, "", false); err == nil {
+		if err := run(io.Discard, path, spec, "[1,1|1,1]", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
 			t.Errorf("carried spec %q accepted", spec)
 		}
 	}
@@ -48,7 +48,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithTraceAndMetrics(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, false, trace, true); err != nil {
+	if err := run(&out, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, false, trace, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -75,5 +75,34 @@ func TestRunWithTraceAndMetrics(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestStoreAcrossRuns: a re-run of the same loop against the same
+// -store-dir is served from the store (after a fresh pipelined audit
+// inside the adoption) and reports the identical schedule.
+func TestStoreAcrossRuns(t *testing.T) {
+	storeDir := t.TempDir()
+	runOnce := func() string {
+		var out bytes.Buffer
+		if err := run(&out, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, true, "", false, false, storeDir); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	cold := runOnce()
+	if !strings.Contains(cold, "result store: 0 hit(s), 1 miss(es), 0 eviction(s)") {
+		t.Fatalf("cold run store line wrong:\n%s", cold)
+	}
+	warm := runOnce()
+	if !strings.Contains(warm, "result store: 1 hit(s), 0 miss(es), 0 eviction(s)") {
+		t.Fatalf("warm run store line wrong:\n%s", warm)
+	}
+	strip := func(out string) string {
+		i := strings.Index(out, "result store:")
+		return out[:i]
+	}
+	if strip(cold) != strip(warm) {
+		t.Errorf("store hit changed the schedule:\ncold:\n%s\nwarm:\n%s", cold, warm)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"vliwbind/internal/machine"
 	"vliwbind/internal/obs"
 	"vliwbind/internal/profile"
+	"vliwbind/internal/store"
 )
 
 // Options tunes both phases of the binding algorithm. The zero value
@@ -104,7 +105,22 @@ type Options struct {
 	// Leave nil in production unless tracing is wanted; the disabled
 	// path costs one branch per seam.
 	Observer obs.Observer
+	// Store, when non-nil, is the cross-request result store the facade
+	// consults before searching and publishes into after. The bind
+	// package itself never reads it — lookup, adoption, auditing and
+	// eviction all live in package vliwbind, because a served hit must
+	// carry a fresh internal/audit certificate and audit depends on this
+	// package. The field exists here so one Options value carries the
+	// whole request configuration; like Observer it never changes
+	// results, only how fast they arrive.
+	Store *store.Store
 }
+
+// defaultSeeds is how many phase-one candidates survive the driver sweep
+// when Options.Seeds is zero. Shared with Options.Fingerprint so an
+// explicit request for the default and the zero value address the same
+// store entry.
+const defaultSeeds = 6
 
 // Validate rejects out-of-range option values with a descriptive error
 // before any engine work starts, instead of letting them surface as
@@ -128,6 +144,34 @@ func (o Options) Validate() error {
 		return fmt.Errorf("bind: Options.Seeds is %d; want >= 0 (0 selects the default)", o.Seeds)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable byte encoding of every option that can
+// change a binding result — the request half of a cross-request store
+// key. Cost-only knobs (Parallelism, NoDelta, ForceDelta, TaskRetries,
+// Stats, Hook, Observer, Store) are deliberately absent: every setting
+// of those is documented and tested to produce bit-identical results,
+// so requests differing only there must share a key. Options are
+// defaulted first, so the zero value and an explicitly spelled-out
+// default configuration fingerprint identically. Invalid options return
+// the validation error.
+func (o Options) Fingerprint() ([]byte, error) {
+	o, err := o.prepare()
+	if err != nil {
+		return nil, err
+	}
+	stretch := o.MaxStretch
+	if stretch < 0 {
+		stretch = -1 // every negative value means the same thing: no sweep
+	}
+	seeds := o.Seeds
+	if seeds <= 0 {
+		seeds = defaultSeeds // explicit default == zero value, same key
+	}
+	b := fmt.Appendf(nil, "bindopts/v1 a=%x b=%x g=%x st=%d rev=%t pairs=%t side=%d it=%d seeds=%d",
+		math.Float64bits(o.Alpha), math.Float64bits(o.Beta), math.Float64bits(o.Gamma),
+		stretch, o.NoReverse, o.NoPairs, o.Sideways, o.MaxIterations, seeds)
+	return b, nil
 }
 
 // prepare validates and then defaults the options; every public entry
@@ -452,7 +496,7 @@ func initialSolutions(ctx context.Context, en *engine, opts Options) ([]solution
 	g, dp := en.p.Graph(), en.p.Datapath()
 	keep := opts.Seeds
 	if keep <= 0 {
-		keep = 6
+		keep = defaultSeeds
 	}
 	lcp := en.p.CriticalPath()
 	stretch := opts.MaxStretch

@@ -125,6 +125,12 @@ func canceled(ctx context.Context, err error) bool {
 type CacheStats struct {
 	hits, misses, retries     atomic.Int64
 	deltaHits, deltaFallbacks atomic.Int64
+
+	// Cross-request result-store verdicts, moved by the facade (package
+	// vliwbind), which owns store lookup and audit-on-read. They live on
+	// CacheStats so one Options.Stats value accounts for every cache
+	// layer of a run.
+	storeHits, storeMisses, storeEvicts atomic.Int64
 }
 
 // Hits returns how many evaluations were served from the cache without
@@ -151,6 +157,33 @@ func (s *CacheStats) DeltaHits() int64 { return s.deltaHits.Load() }
 // this accounts for every computation performed while a snapshot was
 // armed: DeltaHits + DeltaFallbacks == the armed subset of Misses.
 func (s *CacheStats) DeltaFallbacks() int64 { return s.deltaFallbacks.Load() }
+
+// StoreHits returns how many requests were served from the cross-request
+// result store (each carrying a fresh audit certificate).
+func (s *CacheStats) StoreHits() int64 { return s.storeHits.Load() }
+
+// StoreMisses returns how many requests consulted the result store and
+// fell through to a full search.
+func (s *CacheStats) StoreMisses() int64 { return s.storeMisses.Load() }
+
+// StoreEvicts returns how many store hits failed adoption or audit and
+// were evicted instead of served. Every evict is also counted as a miss
+// (the search that follows really runs).
+func (s *CacheStats) StoreEvicts() int64 { return s.storeEvicts.Load() }
+
+// RecordStoreHit, RecordStoreMiss and RecordStoreEvict move the store
+// counters. They are exported for the facade, which implements the
+// store's read path in package vliwbind (audit lives above this
+// package); ordinary callers only ever read the counters.
+func (s *CacheStats) RecordStoreHit() { s.storeHits.Add(1) }
+
+// RecordStoreMiss counts one store consultation that fell through to a
+// search.
+func (s *CacheStats) RecordStoreMiss() { s.storeMisses.Add(1) }
+
+// RecordStoreEvict counts one store entry evicted after failing
+// adoption or audit.
+func (s *CacheStats) RecordStoreEvict() { s.storeEvicts.Add(1) }
 
 // maxCacheEntries bounds the per-run result cache. Entries are compact
 // (L, M, Q_U) records — no bound graph, no schedule — but an unbounded

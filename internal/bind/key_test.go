@@ -3,6 +3,8 @@ package bind
 import (
 	"fmt"
 	"testing"
+
+	"vliwbind/internal/problem"
 )
 
 // bindingKey is both the B-ITER visited-set key and the memoization key
@@ -25,6 +27,32 @@ func TestBindingKeyInjective(t *testing.T) {
 				seen[k] = append([]int(nil), bn...)
 			}
 		}
+	}
+}
+
+// TestBindingKeyInjectiveOnFullDomain pins the byte encoding against
+// wrap-around at the domain boundary: every cluster index the system can
+// produce — -1 (unbound) through problem.MaxClusters-1 — must map to a
+// distinct byte. The first index past the domain, problem.MaxClusters,
+// is exactly the wrap onto the unbound marker; the test asserts the wrap
+// is where the gate says it is, so the gate and the encoding cannot
+// drift apart silently. Without the problem.New gate, a 256-cluster
+// machine would alias cluster 255 with "unbound" in both the evaluation
+// memo cache and B-ITER's plateau detection.
+func TestBindingKeyInjectiveOnFullDomain(t *testing.T) {
+	seen := make(map[string]int)
+	for c := -1; c < problem.MaxClusters; c++ {
+		k := bindingKey([]int{c})
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("clusters %d and %d share key byte %q", prev, c, k)
+		}
+		seen[k] = c
+	}
+	if bindingKey([]int{problem.MaxClusters}) != bindingKey([]int{-1}) {
+		t.Errorf("cluster %d no longer wraps onto the unbound marker; the key encoding widened — revisit problem.MaxClusters", problem.MaxClusters)
+	}
+	if keyHex([]int{problem.MaxClusters - 1}) == keyHex([]int{-1}) {
+		t.Error("keyHex collides inside the supported domain")
 	}
 }
 

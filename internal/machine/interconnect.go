@@ -178,15 +178,29 @@ func newNone(clusters int) *linkGraph {
 	}
 }
 
-// newInterconnect builds the interconnect a Config describes; the
-// caller has already defaulted and range-checked the parameters.
+// newInterconnect builds the interconnect a Config describes. It
+// validates its own capacity parameters rather than trusting callers to
+// have range-checked them: a shared bus needs at least one channel, and
+// the routed topologies need at least one channel per link — a
+// zero-capacity link would render every route unschedulable while
+// looking like a real machine, so the constructor is the backstop no
+// construction path (New, Parse, WithBuses, future presets) can bypass.
 func newInterconnect(topo string, clusters, numBuses, linkCap int) (Interconnect, error) {
 	switch topo {
 	case TopoBus:
+		if numBuses < 1 {
+			return nil, fmt.Errorf("machine: shared bus needs at least 1 channel, got %d", numBuses)
+		}
 		return newSharedBus(numBuses), nil
 	case TopoP2P:
+		if linkCap < 1 {
+			return nil, fmt.Errorf("machine: p2p links need capacity >= 1, got %d", linkCap)
+		}
 		return newPointToPoint(clusters, linkCap), nil
 	case TopoRing:
+		if linkCap < 1 {
+			return nil, fmt.Errorf("machine: ring links need capacity >= 1, got %d", linkCap)
+		}
 		return newRing(clusters, linkCap), nil
 	case TopoNone:
 		return newNone(clusters), nil

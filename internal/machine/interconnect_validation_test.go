@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNewInterconnectValidation exercises the constructor-level backstop
+// directly: newInterconnect must reject non-positive capacities with a
+// descriptive error naming the offending value, for every topology that
+// has a capacity. New/Parse range-check and default their inputs before
+// reaching it, so this is the defense-in-depth layer a future
+// construction path cannot skip.
+func TestNewInterconnectValidation(t *testing.T) {
+	cases := []struct {
+		topo               string
+		numBuses, linkCap  int
+		wantErr, wantValue string
+	}{
+		{TopoBus, 0, 1, "shared bus needs at least 1 channel", "0"},
+		{TopoBus, -3, 1, "shared bus needs at least 1 channel", "-3"},
+		{TopoP2P, 2, 0, "p2p links need capacity >= 1", "0"},
+		{TopoP2P, 2, -1, "p2p links need capacity >= 1", "-1"},
+		{TopoRing, 2, 0, "ring links need capacity >= 1", "0"},
+		{TopoRing, 2, -7, "ring links need capacity >= 1", "-7"},
+	}
+	for _, tc := range cases {
+		_, err := newInterconnect(tc.topo, 3, tc.numBuses, tc.linkCap)
+		if err == nil {
+			t.Errorf("newInterconnect(%s, buses=%d, cap=%d) accepted a zero-capacity interconnect",
+				tc.topo, tc.numBuses, tc.linkCap)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) || !strings.Contains(err.Error(), tc.wantValue) {
+			t.Errorf("newInterconnect(%s, buses=%d, cap=%d) error %q does not name the problem (%q) and value (%q)",
+				tc.topo, tc.numBuses, tc.linkCap, err, tc.wantErr, tc.wantValue)
+		}
+	}
+
+	// The valid boundary and the capacity-free topology still construct.
+	for _, ok := range []struct {
+		topo              string
+		numBuses, linkCap int
+	}{
+		{TopoBus, 1, 0},
+		{TopoP2P, 0, 1},
+		{TopoRing, 0, 1},
+		{TopoNone, 0, 0},
+	} {
+		if _, err := newInterconnect(ok.topo, 3, ok.numBuses, ok.linkCap); err != nil {
+			t.Errorf("newInterconnect(%s, buses=%d, cap=%d): %v", ok.topo, ok.numBuses, ok.linkCap, err)
+		}
+	}
+}
+
+// TestConfigCapacityErrors pins the public construction paths over the
+// backstop: explicit negative capacities are rejected by New (the spec
+// notation rejects them in its own parser), and the rejection reaches
+// Parse callers.
+func TestConfigCapacityErrors(t *testing.T) {
+	if _, err := Parse("[1,1|1,1]", Config{NumBuses: -1}); err == nil {
+		t.Error("Parse accepted NumBuses -1")
+	}
+	if _, err := Parse("[1,1|1,1]", Config{Topology: TopoP2P, LinkCap: -1}); err == nil {
+		t.Error("Parse accepted LinkCap -1")
+	}
+	if _, err := Parse("[1,1|1,1]", Config{Topology: TopoRing, LinkCap: -2}); err == nil {
+		t.Error("Parse accepted LinkCap -2")
+	}
+	// Zero means "default", not "no capacity": both paths construct.
+	if dp, err := Parse("[1,1|1,1]", Config{Topology: TopoRing}); err != nil || dp.LinkCapacity(0) != 1 {
+		t.Errorf("zero LinkCap did not default to 1 (err %v)", err)
+	}
+	if dp, err := Parse("[1,1|1,1]", Config{}); err != nil || dp.NumBuses() != 2 {
+		t.Errorf("zero NumBuses did not default to 2 (err %v)", err)
+	}
+}

@@ -80,6 +80,17 @@ const (
 	// of the materialized winner, so per-link totals aggregated from the
 	// journal reconcile exactly with the schedule's link occupancy.
 	EvRoutePick = "route.pick"
+	// EvStoreHit records a cross-request store hit served to the caller:
+	// the canonical store key plus the adopted result's re-evaluated
+	// (L, M). Emitted only after the hit passed a fresh audit — a hit
+	// that fails adoption never produces this event.
+	EvStoreHit = "store.hit"
+	// EvStoreMiss records a store consultation that fell through to a
+	// full search (including the search after an evicted poison hit).
+	EvStoreMiss = "store.miss"
+	// EvStoreEvict records a store entry thrown out on the read path:
+	// the hit failed adoption or its fresh audit, with Err naming why.
+	EvStoreEvict = "store.evict"
 )
 
 // ClusterCost is one cluster's cost breakdown inside a B-INIT choice:

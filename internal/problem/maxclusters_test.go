@@ -1,0 +1,51 @@
+package problem
+
+import (
+	"strings"
+	"testing"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+// wideMachine builds a datapath with n single-ALU clusters; the machine
+// package itself has no cluster-count ceiling, so these reach the
+// problem-level gate.
+func wideMachine(t *testing.T, n int) *machine.Datapath {
+	t.Helper()
+	clusters := make([]machine.Cluster, n)
+	for i := range clusters {
+		clusters[i].NumFU[dfg.FUALU] = 1
+	}
+	dp, err := machine.New(clusters, machine.Config{})
+	if err != nil {
+		t.Fatalf("machine with %d clusters: %v", n, err)
+	}
+	return dp
+}
+
+// TestMaxClustersGate is the regression test for the binding-key
+// wrap-around: problem construction must reject any datapath with more
+// than MaxClusters clusters — the domain on which the one-byte key
+// encoding in the bind package is injective — and accept exactly
+// MaxClusters. See bind's TestBindingKeyInjectiveOnFullDomain for the
+// encoding side of the contract.
+func TestMaxClustersGate(t *testing.T) {
+	b := dfg.NewBuilder("tiny")
+	x := b.Input("x")
+	y := b.Input("y")
+	s := b.Add(x, y)
+	b.Output(s)
+	g := b.Graph()
+
+	if _, err := New(g, wideMachine(t, MaxClusters)); err != nil {
+		t.Errorf("New rejected a datapath at the %d-cluster bound: %v", MaxClusters, err)
+	}
+	_, err := New(g, wideMachine(t, MaxClusters+1))
+	if err == nil {
+		t.Fatalf("New accepted a %d-cluster datapath; binding keys would alias", MaxClusters+1)
+	}
+	if !strings.Contains(err.Error(), "256 clusters") || !strings.Contains(err.Error(), "255") {
+		t.Errorf("rejection is not descriptive: %v", err)
+	}
+}

@@ -81,12 +81,26 @@ type Problem struct {
 	baseWork int32
 }
 
+// MaxClusters is the largest cluster count a Problem accepts. The bound
+// exists because compact binding keys (bind's memo cache and B-ITER's
+// plateau detection, and through them the cross-request store) encode a
+// cluster index as one byte holding c+1: with at most 255 clusters the
+// largest index is 254 and the encoding is exact, whereas an unchecked
+// 256-cluster machine would silently alias cluster 255 with the unbound
+// marker. Real clustered VLIW datapaths have single-digit cluster
+// counts, so the bound costs nothing and removes a class of silent
+// cache collisions.
+const MaxClusters = 255
+
 // New builds the Problem for an original (move-free) graph on a
 // datapath. It fails when the graph already carries data transfers or
 // when the datapath cannot run it at all.
 func New(g *dfg.Graph, dp *machine.Datapath) (*Problem, error) {
 	if g.NumMoves() != 0 {
 		return nil, fmt.Errorf("problem: %q is already bound (has %d moves); Problems are built on original graphs", g.Name(), g.NumMoves())
+	}
+	if c := dp.NumClusters(); c > MaxClusters {
+		return nil, fmt.Errorf("problem: datapath has %d clusters; at most %d are supported (binding keys encode a cluster index in one byte)", c, MaxClusters)
 	}
 	if err := dp.CanRun(g); err != nil {
 		return nil, err

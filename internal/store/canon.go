@@ -1,0 +1,315 @@
+// Canonical graph hashing. The result store is content-addressed: two
+// requests must share a key exactly when their answers are
+// interchangeable, so the key cannot depend on anything a renaming or a
+// reordering of the same computation changes — node labels, node
+// creation order, input declaration order, or the operand order of
+// commutative operations. Canonicalize therefore computes a canonical
+// form in two steps:
+//
+//  1. Weisfeiler–Lehman color refinement. Every node starts from a color
+//     derived only from its local shape (operation type, immediate bits,
+//     live-out flag) and is iteratively re-hashed from its operand colors
+//     (in operand order; sorted for commutative operations) and the
+//     sorted multiset of its consumer colors. External inputs get colors
+//     of their own, refined from their consumers. Refinement stops when
+//     the number of distinct colors stabilizes.
+//  2. A canonical topological order: Kahn's algorithm, always emitting
+//     the ready node with the smallest (final color, node ID) pair. Two
+//     ready nodes share a final color only when the refinement could not
+//     tell them apart — which for the DAGs at hand almost always means
+//     they are automorphic images of each other, so either choice yields
+//     the same canonical serialization.
+//
+// The canonical serialization lists the nodes in that order, each as
+// (op, output flag, immediate bits, operand references), where a node
+// operand is referenced by its canonical position and an external input
+// by a canonical input id assigned at first use. Commutative operands
+// are emitted in canonical-reference order. Hash is the SHA-256 of those
+// bytes.
+//
+// Soundness does not rest on the refinement: equal serializations imply
+// a position-by-position correspondence that preserves operations,
+// immediates, output flags and dataflow edges — a graph isomorphism — so
+// a binding transplanted through Order is always a valid binding of the
+// requesting graph. A refinement collision can only make two isomorphic
+// graphs serialize differently, which costs a store hit, never
+// correctness; and every served hit is re-audited anyway.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+
+	"vliwbind/internal/dfg"
+)
+
+// Canon is the canonical form of an original (unbound) dataflow graph:
+// the content hash plus the permutation connecting graph node IDs to
+// canonical positions, which transplants per-op data (bindings, start
+// cycles) between isomorphic graphs.
+type Canon struct {
+	// Hash is the canonical structural digest: two graphs share it iff
+	// their canonical serializations are byte-identical, which implies
+	// they are isomorphic as dataflow computations. Node names, input
+	// names, the graph name and declaration order never influence it.
+	Hash [sha256.Size]byte
+	// Order maps canonical position -> node ID: Order[k] is the ID of
+	// the node serialized at position k. It is a topological order.
+	Order []int32
+	// Pos is the inverse permutation: Pos[id] is the canonical position
+	// of node id.
+	Pos []int32
+}
+
+// commutative reports whether the operands of an operation type can be
+// swapped without changing the computed value. Only such operations have
+// their operand order normalized away; sub, neg, muli and the spill ops
+// keep operand order significant.
+func commutative(op dfg.OpType) bool { return op == dfg.OpAdd || op == dfg.OpMul }
+
+// Canonicalize computes the canonical form of g. It rejects bound graphs
+// (the store addresses requests, and requests are original graphs) and
+// graphs with dependence cycles.
+func Canonicalize(g *dfg.Graph) (*Canon, error) {
+	if g == nil {
+		return nil, fmt.Errorf("store: cannot canonicalize a nil graph")
+	}
+	if g.NumMoves() != 0 {
+		return nil, fmt.Errorf("store: %q is a bound graph (%d moves); the store addresses original graphs",
+			g.Name(), g.NumMoves())
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("store: graph %q has no nodes", g.Name())
+	}
+	nodes := g.Nodes()
+	nin := g.NumInputs()
+
+	// Uses of each external input: (consumer node, operand position),
+	// with the position erased for commutative consumers so a+x and x+a
+	// refine identically.
+	type use struct {
+		node int32
+		pos  int32
+	}
+	inUses := make([][]use, nin)
+	for i, nd := range nodes {
+		for pi, v := range nd.Operands() {
+			if !v.IsInput() {
+				continue
+			}
+			p := int32(pi)
+			if commutative(nd.Op()) {
+				p = -1
+			}
+			inUses[v.Input()] = append(inUses[v.Input()], use{int32(i), p})
+		}
+	}
+
+	// Initial colors from local shape only.
+	color := make([]uint64, n)
+	for i, nd := range nodes {
+		h := mix(uint64(nd.Op()) + 0x51ed)
+		if nd.Op().HasImm() {
+			h = mix2(h, math.Float64bits(nd.Imm()))
+		}
+		if nd.IsOutput() {
+			h = mix2(h, 0x0f)
+		}
+		color[i] = h
+	}
+	inColor := make([]uint64, nin)
+	for i := range inColor {
+		inColor[i] = 0x9e3779b97f4a7c15
+	}
+
+	// Refinement rounds: stop when the node-color partition cardinality
+	// stops growing (or becomes discrete). Color values keep churning
+	// after the partition stabilizes — they are hashes of hashes — so the
+	// cardinality, not the values, is the fixpoint signal.
+	newColor := make([]uint64, n)
+	newIn := make([]uint64, nin)
+	var scratch []uint64
+	prev := countDistinct(color)
+	for round := 0; round < n; round++ {
+		for idx, uses := range inUses {
+			scratch = scratch[:0]
+			for _, u := range uses {
+				scratch = append(scratch, mix2(color[u.node], uint64(u.pos+2)))
+			}
+			slices.Sort(scratch)
+			h := mix2(inColor[idx], 0xa11)
+			for _, x := range scratch {
+				h = mix2(h, x)
+			}
+			newIn[idx] = h
+		}
+		for i, nd := range nodes {
+			h := mix2(color[i], 0xd0)
+			scratch = scratch[:0]
+			for _, v := range nd.Operands() {
+				if v.IsInput() {
+					scratch = append(scratch, mix2(newIn[v.Input()], 0x1b))
+				} else {
+					scratch = append(scratch, color[v.Node().ID()])
+				}
+			}
+			if commutative(nd.Op()) {
+				slices.Sort(scratch)
+			}
+			for _, c := range scratch {
+				h = mix2(h, c)
+			}
+			scratch = scratch[:0]
+			for _, s := range nd.Succs() {
+				scratch = append(scratch, color[s.ID()])
+			}
+			slices.Sort(scratch)
+			h = mix2(h, 0xee)
+			for _, c := range scratch {
+				h = mix2(h, c)
+			}
+			newColor[i] = h
+		}
+		copy(color, newColor)
+		copy(inColor, newIn)
+		cur := countDistinct(color)
+		if cur == n || cur <= prev {
+			break
+		}
+		prev = cur
+	}
+
+	// Canonical topological order: Kahn, smallest (color, id) first.
+	indeg := make([]int32, n)
+	for _, nd := range nodes {
+		indeg[nd.ID()] = int32(len(nd.Preds()))
+	}
+	placed := make([]bool, n)
+	order := make([]int32, 0, n)
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if placed[i] || indeg[i] != 0 {
+				continue
+			}
+			if best < 0 || color[i] < color[best] || (color[i] == color[best] && i < best) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("store: graph %q has a dependence cycle", g.Name())
+		}
+		placed[best] = true
+		order = append(order, int32(best))
+		for _, s := range nodes[best].Succs() {
+			indeg[s.ID()]--
+		}
+	}
+	pos := make([]int32, n)
+	for k, id := range order {
+		pos[id] = int32(k)
+	}
+
+	// Canonical serialization. Input ids are assigned at first use in
+	// serialization order, so input declaration order and unused inputs
+	// never influence the hash.
+	inID := make([]int32, nin)
+	for i := range inID {
+		inID[i] = -1
+	}
+	nextIn := int32(0)
+	type opRef struct {
+		isInput bool
+		pos     int32  // canonical producer position (node operands)
+		color   uint64 // input color (input operands)
+		idx     int32  // original input index
+	}
+	var refs []opRef
+	buf := make([]byte, 0, 16*n+32)
+	buf = append(buf, "vliwbind-canon/v1\x00"...)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, id := range order {
+		nd := nodes[id]
+		buf = append(buf, byte(nd.Op()))
+		if nd.IsOutput() {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		if nd.Op().HasImm() {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(nd.Imm()))
+		}
+		refs = refs[:0]
+		for _, v := range nd.Operands() {
+			if v.IsInput() {
+				i := int32(v.Input())
+				refs = append(refs, opRef{isInput: true, color: inColor[i], idx: i})
+			} else {
+				refs = append(refs, opRef{pos: pos[v.Node().ID()]})
+			}
+		}
+		if commutative(nd.Op()) && len(refs) > 1 {
+			slices.SortStableFunc(refs, func(a, b opRef) int {
+				switch {
+				case a.isInput != b.isInput:
+					if !a.isInput {
+						return -1
+					}
+					return 1
+				case !a.isInput:
+					return int(a.pos - b.pos)
+				case a.color != b.color:
+					if a.color < b.color {
+						return -1
+					}
+					return 1
+				default:
+					return int(a.idx - b.idx)
+				}
+			})
+		}
+		for _, r := range refs {
+			if r.isInput {
+				if inID[r.idx] < 0 {
+					inID[r.idx] = nextIn
+					nextIn++
+				}
+				buf = append(buf, 1)
+				buf = binary.AppendUvarint(buf, uint64(inID[r.idx]))
+			} else {
+				buf = append(buf, 0)
+				buf = binary.AppendUvarint(buf, uint64(r.pos))
+			}
+		}
+	}
+	return &Canon{Hash: sha256.Sum256(buf), Order: order, Pos: pos}, nil
+}
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixing function for the refinement colors. Color collisions cost
+// store hits, never correctness, so 64 bits are plenty.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// mix2 combines an accumulator with one value, order-sensitively.
+func mix2(h, x uint64) uint64 {
+	return mix(h ^ (x*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019))
+}
+
+func countDistinct(xs []uint64) int {
+	seen := make(map[uint64]struct{}, len(xs))
+	for _, x := range xs {
+		seen[x] = struct{}{}
+	}
+	return len(seen)
+}

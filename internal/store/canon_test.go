@@ -1,0 +1,251 @@
+package store
+
+import (
+	"testing"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/kernels"
+)
+
+// buildButterfly constructs a small DCT-like butterfly-and-scale kernel:
+// two add/sub butterflies, two cosine scalings, and a three-output
+// recombination tail. Its shape mixes commutative and non-commutative
+// operations plus immediates, so every canonicalization rule is in play.
+func buildButterfly() *dfg.Graph {
+	b := dfg.NewBuilder("butterfly")
+	x := b.Inputs("x", 4)
+	s0 := b.Add(x[0], x[1])
+	d0 := b.Sub(x[0], x[1])
+	s1 := b.Add(x[2], x[3])
+	d1 := b.Sub(x[2], x[3])
+	m0 := b.MulImm(d0, 0.7071)
+	m1 := b.MulImm(d1, 0.9238)
+	y0 := b.Add(s0, s1)
+	y1 := b.Sub(s0, s1)
+	y2 := b.Add(m0, m1)
+	b.Output(y0)
+	b.Output(y1)
+	b.Output(y2)
+	return b.Graph()
+}
+
+// buildButterflyIso is the same computation with every incidental choice
+// made differently: the graph and nodes are renamed, the inputs are
+// declared in reverse, the nodes are created in a different (still
+// topological) order, and every commutative operand pair is swapped.
+// Canonicalize must not see any of it.
+func buildButterflyIso() *dfg.Graph {
+	b := dfg.NewBuilder("renamed")
+	q3 := b.Input("q3")
+	q2 := b.Input("q2")
+	q1 := b.Input("q1")
+	q0 := b.Input("q0")
+	d1 := b.Named("hiDiff", dfg.OpSub, 0, q1, q0) // x[2]-x[3]
+	m1 := b.Named("hiScale", dfg.OpMulImm, 0.9238, d1)
+	s1 := b.Named("hiSum", dfg.OpAdd, 0, q0, q1) // x[3]+x[2], swapped
+	d0 := b.Named("loDiff", dfg.OpSub, 0, q3, q2)
+	s0 := b.Named("loSum", dfg.OpAdd, 0, q2, q3) // swapped
+	m0 := b.Named("loScale", dfg.OpMulImm, 0.7071, d0)
+	y2 := b.Named("outC", dfg.OpAdd, 0, m1, m0) // swapped
+	y1 := b.Named("outB", dfg.OpSub, 0, s0, s1)
+	y0 := b.Named("outA", dfg.OpAdd, 0, s1, s0) // swapped
+	b.Output(y0)
+	b.Output(y1)
+	b.Output(y2)
+	return b.Graph()
+}
+
+func mustCanon(t *testing.T, g *dfg.Graph) *Canon {
+	t.Helper()
+	c, err := Canonicalize(g)
+	if err != nil {
+		t.Fatalf("Canonicalize(%s): %v", g.Name(), err)
+	}
+	return c
+}
+
+// TestCanonIsomorphismCollides is the store's reason to exist: a renamed,
+// input-permuted, node-reordered, commutative-operand-swapped copy of a
+// kernel must hash identically, because its answers are interchangeable.
+func TestCanonIsomorphismCollides(t *testing.T) {
+	a := mustCanon(t, buildButterfly())
+	b := mustCanon(t, buildButterflyIso())
+	if a.Hash != b.Hash {
+		t.Errorf("isomorphic graphs hash differently:\n  %x\n  %x", a.Hash, b.Hash)
+	}
+}
+
+// TestCanonOneOpDiverges flips a single operation (the recombination
+// add becomes a sub) and requires a different hash: the computations are
+// not interchangeable, so their keys must not collide.
+func TestCanonOneOpDiverges(t *testing.T) {
+	base := mustCanon(t, buildButterfly())
+
+	b := dfg.NewBuilder("oneOff")
+	x := b.Inputs("x", 4)
+	s0 := b.Add(x[0], x[1])
+	d0 := b.Sub(x[0], x[1])
+	s1 := b.Add(x[2], x[3])
+	d1 := b.Sub(x[2], x[3])
+	m0 := b.MulImm(d0, 0.7071)
+	m1 := b.MulImm(d1, 0.9238)
+	y0 := b.Add(s0, s1)
+	y1 := b.Sub(s0, s1)
+	y2 := b.Sub(m0, m1) // was Add
+	b.Output(y0)
+	b.Output(y1)
+	b.Output(y2)
+	other := mustCanon(t, b.Graph())
+
+	if base.Hash == other.Hash {
+		t.Error("graphs differing in one operation hash identically")
+	}
+}
+
+// TestCanonImmediateMatters pins that immediate values participate in
+// the hash: scaling by a different cosine is a different computation.
+func TestCanonImmediateMatters(t *testing.T) {
+	build := func(c float64) *dfg.Graph {
+		b := dfg.NewBuilder("imm")
+		x := b.Input("x")
+		y := b.MulImm(x, c)
+		b.Output(y)
+		return b.Graph()
+	}
+	a := mustCanon(t, build(0.5))
+	bb := mustCanon(t, build(0.25))
+	if a.Hash == bb.Hash {
+		t.Error("different immediates hash identically")
+	}
+}
+
+// TestCanonCommutativity pins the operand-order rules one operation at a
+// time: add and mul operands may swap, sub operands may not.
+func TestCanonCommutativity(t *testing.T) {
+	pair := func(op dfg.OpType, swap bool) *Canon {
+		b := dfg.NewBuilder("p")
+		x := b.Input("x")
+		m := b.MulImm(x, 2) // distinguish the operands structurally
+		var y dfg.Value
+		if swap {
+			y = b.Named("y", op, 0, m, x)
+		} else {
+			y = b.Named("y", op, 0, x, m)
+		}
+		b.Output(y)
+		g := b.Graph()
+		c, err := Canonicalize(g)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	if pair(dfg.OpAdd, false).Hash != pair(dfg.OpAdd, true).Hash {
+		t.Error("x+m and m+x hash differently")
+	}
+	if pair(dfg.OpMul, false).Hash != pair(dfg.OpMul, true).Hash {
+		t.Error("x*m and m*x hash differently")
+	}
+	if pair(dfg.OpSub, false).Hash == pair(dfg.OpSub, true).Hash {
+		t.Error("x-m and m-x hash identically")
+	}
+}
+
+// TestCanonOutputFlagMatters pins that liveness out of the block is part
+// of the content: a binding cached for a graph where a value is dead may
+// be a poor answer for one where it must be live-out.
+func TestCanonOutputFlagMatters(t *testing.T) {
+	build := func(both bool) *dfg.Graph {
+		b := dfg.NewBuilder("o")
+		x := b.Input("x")
+		m := b.MulImm(x, 2)
+		y := b.MulImm(m, 3)
+		if both {
+			b.Output(m)
+		}
+		b.Output(y)
+		return b.Graph()
+	}
+	a := mustCanon(t, build(false))
+	bb := mustCanon(t, build(true))
+	if a.Hash == bb.Hash {
+		t.Error("different output sets hash identically")
+	}
+}
+
+// TestCanonOrderIsTopological checks the transplant permutation: Order
+// must be a permutation of the node IDs respecting every dependence
+// edge, and Pos must be its inverse.
+func TestCanonOrderIsTopological(t *testing.T) {
+	g := kernels.DCTDIT()
+	c := mustCanon(t, g)
+	n := g.NumNodes()
+	if len(c.Order) != n || len(c.Pos) != n {
+		t.Fatalf("Order/Pos have %d/%d entries, graph has %d nodes", len(c.Order), len(c.Pos), n)
+	}
+	seen := make([]bool, n)
+	for k, id := range c.Order {
+		if id < 0 || int(id) >= n || seen[id] {
+			t.Fatalf("Order[%d] = %d is not a fresh node ID", k, id)
+		}
+		seen[id] = true
+		if c.Pos[id] != int32(k) {
+			t.Errorf("Pos[%d] = %d, want %d (inverse of Order)", id, c.Pos[id], k)
+		}
+	}
+	for _, nd := range g.Nodes() {
+		for _, p := range nd.Preds() {
+			if c.Pos[p.ID()] >= c.Pos[nd.ID()] {
+				t.Errorf("predecessor %s (pos %d) not before %s (pos %d)",
+					p.Name(), c.Pos[p.ID()], nd.Name(), c.Pos[nd.ID()])
+			}
+		}
+	}
+}
+
+// TestCanonDeterministic: canonicalizing the same graph twice, and a
+// freshly rebuilt copy, must agree — the hash is a pure function of the
+// content.
+func TestCanonDeterministic(t *testing.T) {
+	for _, k := range kernels.All() {
+		g1, g2 := k.Build(), k.Build()
+		c1 := mustCanon(t, g1)
+		c2 := mustCanon(t, g2)
+		if c1.Hash != c2.Hash {
+			t.Errorf("%s: two builds of the same kernel hash differently", k.Name)
+		}
+	}
+}
+
+// TestCanonKernelsDistinct: the checked-in benchmark kernels are all
+// different computations, so they must all hash differently.
+func TestCanonKernelsDistinct(t *testing.T) {
+	seen := make(map[[32]byte]string)
+	for _, k := range kernels.All() {
+		c := mustCanon(t, k.Build())
+		if prev, dup := seen[c.Hash]; dup {
+			t.Errorf("kernels %s and %s hash identically", prev, k.Name)
+		}
+		seen[c.Hash] = k.Name
+	}
+}
+
+// TestCanonRejects pins the domain: the store addresses original
+// graphs, so nil, empty, and bound graphs are refused.
+func TestCanonRejects(t *testing.T) {
+	if _, err := Canonicalize(nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Canonicalize(dfg.NewBuilder("empty").Graph()); err == nil {
+		t.Error("empty graph accepted")
+	}
+	b := dfg.NewBuilder("bound")
+	x := b.Input("x")
+	m := b.MulImm(x, 2)
+	mv := b.Move(m)
+	y := b.Add(m, mv)
+	b.Output(y)
+	if _, err := Canonicalize(b.Graph()); err == nil {
+		t.Error("bound graph (with moves) accepted")
+	}
+}

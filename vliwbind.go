@@ -51,6 +51,7 @@ import (
 	"vliwbind/internal/pcc"
 	"vliwbind/internal/regpressure"
 	"vliwbind/internal/sched"
+	"vliwbind/internal/store"
 	"vliwbind/internal/textio"
 	"vliwbind/internal/vliwsim"
 )
@@ -208,12 +209,22 @@ func NewExplain() *Explain { return obs.NewExplain() }
 func MultiObserver(sinks ...Observer) Observer { return obs.Multi(sinks...) }
 
 // Bind runs the full two-phase algorithm (B-INIT driver + B-ITER).
-func Bind(g *Graph, dp *Datapath, opts Options) (*Result, error) { return bind.Bind(g, dp, opts) }
+// With Options.Store attached, an isomorphic request seen before is
+// served from the store after passing a fresh end-to-end audit, and a
+// completed search publishes its result for the next request.
+func Bind(g *Graph, dp *Datapath, opts Options) (*Result, error) {
+	return bindThroughStore(g, dp, opts, store.KindIter, func() (*Result, error) {
+		return bind.Bind(g, dp, opts)
+	})
+}
 
 // InitialBind runs only the phase-one driver (B-INIT), the paper's fast
-// variant for compilation-time-critical use.
+// variant for compilation-time-critical use. Options.Store works as in
+// Bind; B-INIT and B-ITER results never answer each other's requests.
 func InitialBind(g *Graph, dp *Datapath, opts Options) (*Result, error) {
-	return bind.Initial(g, dp, opts)
+	return bindThroughStore(g, dp, opts, store.KindInit, func() (*Result, error) {
+		return bind.Initial(g, dp, opts)
+	})
 }
 
 // ImproveBind runs the B-ITER improvement phase on an existing solution.
@@ -269,14 +280,18 @@ func auditDegraded(res *Result, err error) (*Result, error) {
 // B-ITER at any point returns an audited binding no worse than plain
 // B-INIT's (L, moves) on the same input.
 func BindContext(ctx context.Context, g *Graph, dp *Datapath, opts Options) (*Result, error) {
-	return auditDegraded(bind.BindContext(ctx, g, dp, opts))
+	return bindThroughStore(g, dp, opts, store.KindIter, func() (*Result, error) {
+		return auditDegraded(bind.BindContext(ctx, g, dp, opts))
+	})
 }
 
 // InitialBindContext is InitialBind under a context. The driver sweep
 // mints the anytime floor, so it is all-or-nothing: cancellation before
 // it completes returns an error wrapping context.Cause.
 func InitialBindContext(ctx context.Context, g *Graph, dp *Datapath, opts Options) (*Result, error) {
-	return auditDegraded(bind.InitialContext(ctx, g, dp, opts))
+	return bindThroughStore(g, dp, opts, store.KindInit, func() (*Result, error) {
+		return auditDegraded(bind.InitialContext(ctx, g, dp, opts))
+	})
 }
 
 // ImproveBindContext is ImproveBind as an anytime algorithm: the input
