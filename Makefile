@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke store-smoke bench bench-json bench-json-pr7 bench-json-pr8 bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke store-smoke serve-smoke bench bench-json bench-json-pr7 bench-json-pr8 bench-json-pr9 bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -20,7 +20,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bind/... ./internal/sched/... ./internal/store/...
+	$(GO) test -race ./internal/bind/... ./internal/sched/... ./internal/store/... ./internal/server/... ./internal/sigctx/...
 
 # Short fuzzing pass over every native harness (the checked-in corpora
 # under testdata/fuzz run on every plain `go test` already; this spends
@@ -74,6 +74,30 @@ store-smoke:
 	@rm -rf /tmp/vliwbind-store-smoke
 	$(GO) test ./cmd/vbind -run '^TestStoreObsSmoke$$' -count 1
 
+# Daemon lifecycle smoke through the real binaries: vliwbindd serves on
+# an ephemeral port with a journal-backed store, vbindload replays a
+# kernel-mix burst including one forced-degraded and one forced-rejected
+# job (zero failures allowed), then the first SIGTERM must drain cleanly
+# — admission closed, stragglers settled, journal flushed — and exit 0.
+serve-smoke:
+	$(GO) build -o /tmp/vliwbind-smoke-vliwbindd ./cmd/vliwbindd
+	$(GO) build -o /tmp/vliwbind-smoke-vbindload ./cmd/vbindload
+	@set -e; \
+	dir=$$(mktemp -d /tmp/vliwbind-serve-smoke.XXXXXX); \
+	/tmp/vliwbind-smoke-vliwbindd -addr 127.0.0.1:0 -addr-file $$dir/addr -store-dir $$dir/store -drain 10s 2>$$dir/log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do test -s $$dir/addr && break; sleep 0.1; done; \
+	test -s $$dir/addr || { echo "serve-smoke: daemon never wrote its address"; cat $$dir/log; exit 1; }; \
+	/tmp/vliwbind-smoke-vbindload -addr $$(cat $$dir/addr) -n 40 -c 4 -force-degraded -force-rejected | tee $$dir/report; \
+	grep -E 'summary: ok=[1-9][0-9]* degraded=[1-9][0-9]* rejected=[1-9][0-9]* failed=0' $$dir/report >/dev/null \
+		|| { echo "serve-smoke: burst outcomes are off (want ok>0, degraded>0, rejected>0, failed=0)"; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve-smoke: daemon exited non-zero after SIGTERM"; cat $$dir/log; exit 1; }; \
+	test -s $$dir/store/results.jsonl || { echo "serve-smoke: store journal missing after the drain"; cat $$dir/log; exit 1; }; \
+	grep -q draining $$dir/log || { echo "serve-smoke: drain never logged"; cat $$dir/log; exit 1; }; \
+	rm -rf $$dir; \
+	echo "serve-smoke: clean burst, clean drain"
+
 # Regenerate the paper's tables as benchmarks (L/M metrics per row) and
 # refresh the committed perf-trajectory file. The trajectory runs the
 # key delta-evaluation benchmarks — the per-candidate pair in
@@ -83,7 +107,7 @@ store-smoke:
 # floor: ≥3x per-candidate speedup on the delta-hit path and zero
 # allocs/op on it. CI checks the file is present and non-empty.
 BENCHCOUNT ?= 6
-bench: bench-json bench-json-pr7 bench-json-pr8
+bench: bench-json bench-json-pr7 bench-json-pr8 bench-json-pr9
 	$(GO) test -bench=. -benchmem
 
 bench-json:
@@ -129,6 +153,19 @@ bench-json-pr8:
 		-zero 'BenchmarkEvaluateDeltaHit' \
 		/tmp/vliwbind-bench-pr8.txt
 	@echo "wrote BENCH_pr8.json"
+
+# Served-latency trajectory for the daemon. Gates the whole HTTP stack
+# (decode, admission, store lookup, audit-on-read, response-time audit,
+# encode): a request answered from the warm cross-request store must be
+# at least 4x cheaper than the same request cold-bound per call
+# (measured ~12x). The pr8 floor covered the store seam in isolation;
+# this one proves it still pays off behind vliwbindd's front door.
+bench-json-pr9:
+	$(GO) test ./internal/server -run '^$$' -bench 'BenchmarkServe(Hit|ColdBind)$$' -benchmem -count $(BENCHCOUNT) > /tmp/vliwbind-bench-pr9.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr9.json \
+		-gate 'BenchmarkServeColdBind/BenchmarkServeHit>=4.0' \
+		/tmp/vliwbind-bench-pr9.txt
+	@echo "wrote BENCH_pr9.json"
 
 # Sequential-vs-parallel engine comparison on the largest kernel.
 bench-parallel:

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -19,7 +20,7 @@ func goldenOutput(t *testing.T) string {
 	var sb strings.Builder
 	section := func(header, kernel string, alus, muls, maxC, buses int, algo string) {
 		sb.WriteString("== " + header + " ==\n")
-		if err := run(&sb, kernel, alus, muls, maxC, buses, "", 0, algo, 0, 0, "", false, false, ""); err != nil {
+		if err := run(context.Background(), &sb, kernel, alus, muls, maxC, buses, "", 0, algo, 0, 0, "", false, false, ""); err != nil {
 			t.Fatalf("%s: %v", header, err)
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"vliwbind"
+	"vliwbind/internal/sigctx"
 )
 
 type design struct {
@@ -36,30 +37,55 @@ type design struct {
 }
 
 func main() {
-	var (
-		kernel   = flag.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
-		alus     = flag.Int("alus", 4, "total ALU budget")
-		muls     = flag.Int("muls", 2, "total multiplier budget")
-		maxC     = flag.Int("maxclusters", 4, "maximum number of clusters")
-		buses    = flag.Int("buses", 2, "number of buses")
-		topo     = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
-		linkCap  = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
-		algo     = flag.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
-		par      = flag.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
-		timeout  = flag.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
-		trace    = flag.String("trace", "", "journal every search event across all design points to FILE as JSON lines")
-		metrics  = flag.Bool("metrics", false, "print per-phase timers and search counters after the exploration")
-		useStore = flag.Bool("store", false, "share an in-memory result store across design points (repeated isomorphic bindings hit instead of re-searching); -store-dir makes it persistent")
-		storeDir = flag.String("store-dir", "", "directory of the persistent result store journal (implies -store)")
-	)
-	flag.Parse()
-	if err := run(os.Stdout, *kernel, *alus, *muls, *maxC, *buses, *topo, *linkCap, *algo, *par, *timeout, *trace, *metrics, *useStore, *storeDir); err != nil {
-		fmt.Fprintln(os.Stderr, "explore:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, sigctx.Notify(), os.Exit))
 }
 
-func run(w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, linkCap int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool, useStore bool, storeDir string) error {
+// realMain parses flags and explores. The signal channel and hard-exit
+// function are injected so tests drive interruption in-process; both
+// may be nil. The first SIGINT/SIGTERM cancels the shared exploration
+// context — the partial table for the points bound so far still prints
+// — and a second signal hard-exits with status 130.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+func realMain(args []string, stdout, stderr io.Writer, sigc <-chan os.Signal, hardExit func(int)) int {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kernel   = fs.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
+		alus     = fs.Int("alus", 4, "total ALU budget")
+		muls     = fs.Int("muls", 2, "total multiplier budget")
+		maxC     = fs.Int("maxclusters", 4, "maximum number of clusters")
+		buses    = fs.Int("buses", 2, "number of buses")
+		topo     = fs.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
+		linkCap  = fs.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
+		algo     = fs.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
+		par      = fs.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
+		timeout  = fs.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
+		trace    = fs.String("trace", "", "journal every search event across all design points to FILE as JSON lines")
+		metrics  = fs.Bool("metrics", false, "print per-phase timers and search counters after the exploration")
+		useStore = fs.Bool("store", false, "share an in-memory result store across design points (repeated isomorphic bindings hit instead of re-searching); -store-dir makes it persistent")
+		storeDir = fs.String("store-dir", "", "directory of the persistent result store journal (implies -store)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "explore: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	ctx := context.Background()
+	if sigc != nil {
+		var stop func()
+		ctx, stop = sigctx.WithSignals(ctx, sigc, hardExit)
+		defer stop()
+	}
+	if err := run(ctx, stdout, *kernel, *alus, *muls, *maxC, *buses, *topo, *linkCap, *algo, *par, *timeout, *trace, *metrics, *useStore, *storeDir); err != nil {
+		fmt.Fprintln(stderr, "explore:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(ctx context.Context, w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, linkCap int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool, useStore bool, storeDir string) error {
 	k, err := vliwbind.KernelByName(kernel)
 	if err != nil {
 		return err
@@ -101,7 +127,6 @@ func run(w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, l
 	observer := vliwbind.MultiObserver(sinks...)
 	// One budget is shared across the whole exploration: late design
 	// points see whatever is left after the early ones spent theirs.
-	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -182,7 +207,8 @@ explore:
 		fmt.Fprintf(w, "note: %d design point(s) bound with a degraded (budget-truncated) search\n", degraded)
 	}
 	if expired {
-		fmt.Fprintf(w, "note: budget expired after %d design point(s); the table is partial\n", len(designs))
+		fmt.Fprintf(w, "note: exploration stopped early (%v) after %d design point(s); the table is partial\n",
+			context.Cause(ctx), len(designs))
 	}
 	if resStore != nil {
 		fmt.Fprintf(w, "result store: %d hit(s), %d miss(es), %d eviction(s)\n",

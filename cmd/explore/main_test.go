@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,7 +13,7 @@ import (
 )
 
 func TestRunSmallBudget(t *testing.T) {
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, ""); err != nil {
+	if err := run(context.Background(), io.Discard, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -66,13 +67,13 @@ func TestMarkPareto(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "nope", 2, 2, 2, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
+	if err := run(context.Background(), io.Discard, "nope", 2, 2, 2, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if err := run(io.Discard, "ARF", 0, 0, 0, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
+	if err := run(context.Background(), io.Discard, "ARF", 0, 0, 0, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
 		t.Error("empty budget accepted")
 	}
-	if err := run(io.Discard, "ARF", 2, 2, 2, 2, "", 0, "frob", 0, 0, "", false, false, ""); err == nil {
+	if err := run(context.Background(), io.Discard, "ARF", 2, 2, 2, 2, "", 0, "frob", 0, 0, "", false, false, ""); err == nil {
 		t.Error("unknown algo accepted")
 	}
 }
@@ -80,7 +81,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithTraceAndMetrics(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, "ARF", 2, 1, 2, 2, "", 0, "init", 2, 0, trace, true, false, ""); err != nil {
+	if err := run(context.Background(), &out, "ARF", 2, 1, 2, 2, "", 0, "init", 2, 0, trace, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -113,7 +114,7 @@ func TestStoreAcrossExplorations(t *testing.T) {
 	storeDir := t.TempDir()
 	runOnce := func() string {
 		var out bytes.Buffer
-		if err := run(&out, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, storeDir); err != nil {
+		if err := run(context.Background(), &out, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, storeDir); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()

@@ -1,0 +1,80 @@
+package main
+
+// Interruption tests: one SIGINT/SIGTERM cancels the shared exploration
+// context and the partial table for the points already bound still
+// prints (exit 0); the escalation to a hard exit is pinned in
+// internal/sigctx and cmd/vbind.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vliwbind/internal/leakcheck"
+	"vliwbind/internal/sigctx"
+)
+
+// TestRunCancelledContextPrintsPartialTable pins the seam directly: a
+// context already cancelled by a signal yields an empty-but-valid table
+// and a note naming the interruption, not an error.
+func TestRunCancelledContextPrintsPartialTable(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(&sigctx.Cause{Sig: syscall.SIGTERM})
+	var out bytes.Buffer
+	if err := run(ctx, &out, "ARF", 2, 2, 2, 2, "", 0, "init", 1, 0, "", false, false, ""); err != nil {
+		t.Fatalf("cancelled exploration should still render its table: %v", err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "stopped early") || !strings.Contains(report, "interrupted by") {
+		t.Errorf("partial-table note does not name the interruption:\n%s", report)
+	}
+	if !strings.Contains(report, "DATAPATH") {
+		t.Errorf("table header missing from the partial output:\n%s", report)
+	}
+}
+
+// TestRealMainSignalStopsExploration queues a signal against a
+// multi-second iter exploration: the run winds down onto the partial
+// table and exits 0.
+func TestRealMainSignalStopsExploration(t *testing.T) {
+	leakcheck.Check(t)
+	sigc := make(chan os.Signal, 2)
+	sigc <- syscall.SIGINT
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- realMain([]string{"-kernel", "DCT-DIT", "-algo", "iter", "-par", "1"}, &out, &errb, sigc, func(code int) {
+			t.Errorf("hard exit (%d) fired on a single signal", code)
+		})
+	}()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("exploration did not stop after the signal")
+	}
+	if !strings.Contains(out.String(), "stopped early") {
+		t.Errorf("no partial-table note after the signal:\n%s", out.String())
+	}
+}
+
+func TestRealMainUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-nope"}, &out, &errb, nil, nil); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"positional"}, &out, &errb, nil, nil); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-kernel", "nope"}, io.Discard, io.Discard, nil, nil); code != 1 {
+		t.Errorf("unknown kernel: exit %d, want 1", code)
+	}
+}

@@ -32,10 +32,11 @@ import (
 	"time"
 
 	"vliwbind"
+	"vliwbind/internal/sigctx"
 )
 
 func main() {
-	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, sigctx.Notify(), os.Exit))
 }
 
 // config carries every vbind setting; flag parsing fills one in and the
@@ -60,8 +61,13 @@ type config struct {
 }
 
 // realMain parses flags, validates input selection up front, and runs.
+// The signal channel and hard-exit function are injected so tests drive
+// interruption in-process; both may be nil for an uninterruptible run.
+// The first SIGINT/SIGTERM cancels the binding context — the search
+// degrades onto the audited anytime path and partial results print — a
+// second signal hard-exits with status 130.
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
-func realMain(args []string, stdout, stderr io.Writer) int {
+func realMain(args []string, stdout, stderr io.Writer, sigc <-chan os.Signal, hardExit func(int)) int {
 	fs := flag.NewFlagSet("vbind", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var cfg config
@@ -94,7 +100,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vbind:", err)
 		return 2
 	}
-	if err := run(stdout, cfg); err != nil {
+	ctx := context.Background()
+	if sigc != nil {
+		var stop func()
+		ctx, stop = sigctx.WithSignals(ctx, sigc, hardExit)
+		defer stop()
+	}
+	if err := run(ctx, stdout, cfg); err != nil {
 		fmt.Fprintln(stderr, "vbind:", err)
 		return 1
 	}
@@ -111,7 +123,7 @@ func validateInput(dfgPath, kernel string) error {
 	return nil
 }
 
-func run(w io.Writer, cfg config) error {
+func run(ctx context.Context, w io.Writer, cfg config) error {
 	if err := validateInput(cfg.dfgPath, cfg.kernel); err != nil {
 		return err
 	}
@@ -126,7 +138,6 @@ func run(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)

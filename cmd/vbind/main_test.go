@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,7 +19,7 @@ func TestRunKernelAllAlgos(t *testing.T) {
 	for _, algo := range []string{"init", "iter", "pcc", "anneal", "mincut"} {
 		cfg := config{kernel: "ARF", dpSpec: "[1,1|1,1]", buses: 2, moveLat: 1,
 			algo: algo, par: 2, verify: true, audit: true}
-		if err := run(io.Discard, cfg); err != nil {
+		if err := run(context.Background(), io.Discard, cfg); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -30,7 +31,7 @@ func TestRunWithOutputs(t *testing.T) {
 	cfg := config{kernel: "EWF", dpSpec: "[2,1|1,1]", buses: 2, moveLat: 1,
 		algo: "init", regs: 8, gantt: true, dot: true, asm: true,
 		pressure: true, verify: true, audit: true}
-	if err := run(io.Discard, cfg); err != nil {
+	if err := run(context.Background(), io.Discard, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -44,7 +45,7 @@ func TestRunDFGFile(t *testing.T) {
 	}
 	cfg := config{dfgPath: path, dpSpec: "[1,1|1,1]", buses: 2, moveLat: 1,
 		algo: "iter", par: 1, verify: true, audit: true}
-	if err := run(io.Discard, cfg); err != nil {
+	if err := run(context.Background(), io.Discard, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -55,7 +56,7 @@ func TestRunWithSpillFit(t *testing.T) {
 	// still verify.
 	cfg := config{kernel: "EWF", dpSpec: "[2,1|2,1]", buses: 2, moveLat: 1,
 		algo: "init", regs: 6, asm: true, pressure: true, verify: true, audit: true}
-	if err := run(io.Discard, cfg); err != nil {
+	if err := run(context.Background(), io.Discard, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +76,7 @@ func TestRunErrors(t *testing.T) {
 		{"mincut heterogeneous", func(c config) config { c.kernel, c.dpSpec, c.algo = "ARF", "[2,1|1,1]", "mincut"; return c }},
 	}
 	for _, tc := range cases {
-		if err := run(io.Discard, tc.mut(base)); err == nil {
+		if err := run(context.Background(), io.Discard, tc.mut(base)); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -87,7 +88,7 @@ func TestRunErrors(t *testing.T) {
 func TestLinkCapFlagError(t *testing.T) {
 	for _, topo := range []string{"p2p", "ring"} {
 		var out, errb bytes.Buffer
-		code := realMain([]string{"-kernel", "EWF", "-topology", topo, "-linkcap", "-1"}, &out, &errb)
+		code := realMain([]string{"-kernel", "EWF", "-topology", topo, "-linkcap", "-1"}, &out, &errb, nil, nil)
 		if code != 1 {
 			t.Errorf("%s: exit code = %d, want 1", topo, code)
 		}
@@ -96,7 +97,7 @@ func TestLinkCapFlagError(t *testing.T) {
 		}
 	}
 	var out, errb bytes.Buffer
-	if code := realMain([]string{"-kernel", "EWF", "-buses", "-2", "-verify=false"}, &out, &errb); code != 1 {
+	if code := realMain([]string{"-kernel", "EWF", "-buses", "-2", "-verify=false"}, &out, &errb, nil, nil); code != 1 {
 		t.Errorf("-buses -2: exit code = %d, want 1 (stderr %q)", code, errb.String())
 	}
 }
@@ -157,7 +158,7 @@ func TestStoreObsSmoke(t *testing.T) {
 		cfg := config{kernel: "EWF", dpSpec: "[2,1|1,1]", buses: 2, moveLat: 1,
 			algo: "iter", par: 2, verify: true, audit: true,
 			storeDir: storeDir, tracePath: trace}
-		if err := run(&out, cfg); err != nil {
+		if err := run(context.Background(), &out, cfg); err != nil {
 			t.Fatal(err)
 		}
 		return out.String(), countStoreEvents(t, trace)
@@ -216,7 +217,7 @@ func TestUsageExitCode(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var out, errb bytes.Buffer
-		code := realMain(tc.args, &out, &errb)
+		code := realMain(tc.args, &out, &errb, nil, nil)
 		if code != 2 {
 			t.Errorf("%s: exit code = %d, want 2", tc.name, code)
 		}
@@ -235,7 +236,7 @@ func TestUsageExitCode(t *testing.T) {
 
 func TestRealMainSuccess(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := realMain([]string{"-kernel", "ARF", "-algo", "init", "-verify=false"}, &out, &errb)
+	code := realMain([]string{"-kernel", "ARF", "-algo", "init", "-verify=false"}, &out, &errb, nil, nil)
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, errb.String())
 	}
@@ -265,7 +266,7 @@ func TestObsSmoke(t *testing.T) {
 	cfg := config{kernel: "EWF", dpSpec: "[1,1|1,1|1,1]", buses: 2, moveLat: 1,
 		topology: "ring", linkCap: 1,
 		algo: "iter", par: 4, tracePath: trace, metrics: true, explain: true}
-	if err := run(&out, cfg); err != nil {
+	if err := run(context.Background(), &out, cfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -386,7 +387,7 @@ func TestObsSmoke(t *testing.T) {
 func TestObserverPassive(t *testing.T) {
 	resultLine := func(cfg config) string {
 		var out bytes.Buffer
-		if err := run(&out, cfg); err != nil {
+		if err := run(context.Background(), &out, cfg); err != nil {
 			t.Fatal(err)
 		}
 		for _, line := range strings.Split(out.String(), "\n") {

@@ -1,0 +1,141 @@
+package main
+
+// Interruption tests: the first SIGINT/SIGTERM cancels the binding
+// context so the audited anytime path returns the degraded best-so-far,
+// and a second signal hard-exits. The slow224 testdata graph (224 ops,
+// ~20s+ of B-ITER at -par 1 but ~30ms of B-INIT) keeps the mid-run
+// signal window wide on both sides.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vliwbind/internal/leakcheck"
+	"vliwbind/internal/sigctx"
+)
+
+var slowArgs = []string{
+	"-dfg", "testdata/slow224.dfg", "-dp", "[2,1|2,1|2,1|2,1]",
+	"-algo", "iter", "-par", "1", "-verify=false",
+}
+
+// startInterruptible runs realMain in a goroutine with an injected
+// signal channel and a hard-exit recorder.
+func startInterruptible(t *testing.T, args []string) (sigc chan os.Signal, exit chan int, hard chan int, out, errb *bytes.Buffer) {
+	t.Helper()
+	sigc = make(chan os.Signal, 2)
+	exit = make(chan int, 1)
+	hard = make(chan int, 1)
+	out, errb = &bytes.Buffer{}, &bytes.Buffer{}
+	go func() {
+		exit <- realMain(args, out, errb, sigc, func(code int) { hard <- code })
+	}()
+	return sigc, exit, hard, out, errb
+}
+
+func waitExit(t *testing.T, exit chan int, errb *bytes.Buffer) int {
+	t.Helper()
+	select {
+	case code := <-exit:
+		return code
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("vbind did not exit after the signal; stderr:\n%s", errb)
+		return -1
+	}
+}
+
+// TestRunCancelledBeforeFloor pins the no-uncertified-answer contract
+// at the run() seam: a context already cancelled by a signal, before
+// B-INIT certifies anything, is a hard error naming the interruption —
+// never a partial result.
+func TestRunCancelledBeforeFloor(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(&sigctx.Cause{Sig: syscall.SIGINT})
+	cfg := config{kernel: "ARF", dpSpec: "[2,1|2,1]", buses: 2, moveLat: 1, algo: "iter", par: 1}
+	err := run(ctx, io.Discard, cfg)
+	if err == nil {
+		t.Fatal("run returned no error on a pre-cancelled context")
+	}
+	if !strings.Contains(err.Error(), "interrupted by") {
+		t.Errorf("error does not surface the signal cause: %v", err)
+	}
+}
+
+// TestSignalMidRunPrintsDegradedResult sends one SIGINT after the
+// B-INIT floor is certified but long before B-ITER would finish: the
+// CLI exits 0 with an audited degraded result naming the interruption.
+func TestSignalMidRunPrintsDegradedResult(t *testing.T) {
+	leakcheck.Check(t)
+	sigc, exit, hard, out, errb := startInterruptible(t, slowArgs)
+	time.Sleep(1500 * time.Millisecond) // past the ~30ms B-INIT floor, well short of ~20s+ of B-ITER
+	sigc <- syscall.SIGINT
+	if code := waitExit(t, exit, errb); code != 0 {
+		t.Fatalf("exit code %d after one signal, want 0 (degraded); stderr:\n%s", code, errb)
+	}
+	report := out.String()
+	if !strings.Contains(report, "iter: L=") {
+		t.Errorf("no result line in the partial output:\n%s", report)
+	}
+	if !strings.Contains(report, "degraded:") || !strings.Contains(report, "interrupted by") {
+		t.Errorf("degraded line does not name the interruption:\n%s", report)
+	}
+	select {
+	case code := <-hard:
+		t.Errorf("hard exit (%d) fired on a single signal", code)
+	default:
+	}
+}
+
+// TestSecondSignalHardExits escalates: two signals back-to-back force
+// the injected hard-exit with the conventional 130 while the first
+// still lands the run on the degraded path.
+func TestSecondSignalHardExits(t *testing.T) {
+	leakcheck.Check(t)
+	sigc, exit, hard, _, errb := startInterruptible(t, slowArgs)
+	time.Sleep(500 * time.Millisecond)
+	sigc <- syscall.SIGINT
+	sigc <- syscall.SIGINT
+	select {
+	case code := <-hard:
+		if code != sigctx.ExitCodeSignal {
+			t.Errorf("hard exit code %d, want %d", code, sigctx.ExitCodeSignal)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("second signal did not hard-exit; stderr:\n%s", errb)
+	}
+	waitExit(t, exit, errb) // the in-test process still unwinds through the degraded path
+}
+
+// TestSignalBeforeStartNeverServesUnexplained queues the signal before
+// realMain starts. The cancellation races B-INIT's first certified
+// candidate, so either legal outcome may win — a clean failure naming
+// the interruption (nothing was certified) or an audited degraded
+// result naming it — but never a silent success and never escalation.
+func TestSignalBeforeStartNeverServesUnexplained(t *testing.T) {
+	leakcheck.Check(t)
+	sigc := make(chan os.Signal, 2)
+	sigc <- syscall.SIGTERM
+	var out, errb bytes.Buffer
+	code := realMain(slowArgs, &out, &errb, sigc, func(code int) {
+		t.Errorf("hard exit (%d) fired on a single signal", code)
+	})
+	switch code {
+	case 1:
+		if !strings.Contains(errb.String(), "interrupted by") {
+			t.Errorf("stderr does not name the interruption:\n%s", errb.String())
+		}
+	case 0:
+		if !strings.Contains(out.String(), "degraded:") || !strings.Contains(out.String(), "interrupted by") {
+			t.Errorf("interrupted run exited 0 without an explained degraded result:\n%s", out.String())
+		}
+	default:
+		t.Fatalf("exit code %d, want 0 or 1; stderr:\n%s", code, errb.String())
+	}
+}

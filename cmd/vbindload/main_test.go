@@ -1,0 +1,105 @@
+package main
+
+// vbindload tests run the generator against an in-process
+// internal/server instance over real HTTP, pinning the outcome
+// histogram, the forced-degraded/forced-rejected knobs, and the
+// summary line the serve-smoke target greps.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vliwbind/internal/leakcheck"
+	"vliwbind/internal/server"
+)
+
+func TestLoadRunReportsOutcomeHistogram(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{
+		"-addr", addr, "-n", "12", "-c", "3",
+		"-kernels", "ARF,EWF",
+		"-force-degraded", "-force-rejected",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	report := out.String()
+	summary := regexp.MustCompile(`summary: ok=(\d+) degraded=(\d+) rejected=(\d+) failed=(\d+)`).FindStringSubmatch(report)
+	if summary == nil {
+		t.Fatalf("report has no summary line:\n%s", report)
+	}
+	if summary[1] == "0" {
+		t.Errorf("no ok responses:\n%s", report)
+	}
+	if summary[2] == "0" {
+		t.Errorf("-force-degraded produced no degraded response:\n%s", report)
+	}
+	if summary[3] == "0" {
+		t.Errorf("-force-rejected produced no rejection:\n%s", report)
+	}
+	if summary[4] != "0" {
+		t.Errorf("load run produced failures:\n%s", report)
+	}
+	for _, col := range []string{"outcome", "p50", "p99", "rps"} {
+		if !strings.Contains(report, col) {
+			t.Errorf("report is missing %q:\n%s", col, report)
+		}
+	}
+}
+
+func TestLoadRunPacesTargetRPS(t *testing.T) {
+	leakcheck.Check(t)
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-addr", addr, "-n", "10", "-c", "2", "-rps", "200", "-kernels", "ARF"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	// 10 requests at 200 rps should take at least the 9 inter-arrival
+	// gaps = 45ms; the report's wall clock proves pacing happened.
+	m := regexp.MustCompile(`10 requests in (\d+(?:\.\d+)?)(m?s)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no wall-clock line:\n%s", out.String())
+	}
+	if m[2] == "s" && !strings.Contains(m[1], ".") {
+		t.Fatalf("implausible duration %q%s", m[1], m[2])
+	}
+}
+
+func TestLoadUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain(nil, &out, &errb); code != 2 {
+		t.Errorf("missing -addr: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-addr", "x", "-n", "0"}, &out, &errb); code != 2 {
+		t.Errorf("-n 0: exit %d, want 2", code)
+	}
+}
+
+func TestLoadUnreachableDaemon(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-addr", "127.0.0.1:1", "-n", "3", "-c", "1"}, &out, &errb); code != 1 {
+		t.Errorf("unreachable daemon: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "vbindload:") {
+		t.Errorf("stderr has no error:\n%s", errb.String())
+	}
+}

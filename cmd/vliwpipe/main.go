@@ -20,32 +20,59 @@ import (
 	"time"
 
 	"vliwbind"
+	"vliwbind/internal/sigctx"
 )
 
 func main() {
-	var (
-		dfgPath  = flag.String("dfg", "", "loop body as a .dfg file (default: built-in EWF loop)")
-		carried  = flag.String("carried", "", "comma-separated carried deps \"from>to:distance\"")
-		dpSpec   = flag.String("dp", "[2,1|2,1]", "datapath clusters")
-		buses    = flag.Int("buses", 2, "number of buses")
-		topo     = flag.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
-		linkCap  = flag.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
-		iters    = flag.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
-		audit    = flag.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
-		timeout  = flag.Duration("timeout", 0, "scheduling time budget (e.g. 100ms); a modulo schedule has no partial form, so expiry aborts with an error. 0 = no budget")
-		trace    = flag.String("trace", "", "journal pipeline phase events to FILE as JSON lines")
-		metrics  = flag.Bool("metrics", false, "print per-phase timers after scheduling")
-		useStore = flag.Bool("store", false, "consult the cross-request result store before scheduling (in-memory unless -store-dir is set); hits are re-audited before being served")
-		storeDir = flag.String("store-dir", "", "directory of the persistent result store journal (implies -store)")
-	)
-	flag.Parse()
-	if err := run(os.Stdout, *dfgPath, *carried, *dpSpec, *buses, *topo, *linkCap, *iters, *timeout, *audit, *trace, *metrics, *useStore, *storeDir); err != nil {
-		fmt.Fprintln(os.Stderr, "vliwpipe:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, sigctx.Notify(), os.Exit))
 }
 
-func run(w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, linkCap, iters int, timeout time.Duration, audit bool, tracePath string, withMetrics bool, useStore bool, storeDir string) error {
+// realMain parses flags and pipelines. The signal channel and hard-exit
+// function are injected so tests drive interruption in-process; both
+// may be nil. A modulo schedule has no audited partial form, so the
+// first SIGINT/SIGTERM aborts the run with an "interrupted" error
+// (exit 1) rather than printing a degraded result; a second signal
+// hard-exits with status 130.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+func realMain(args []string, stdout, stderr io.Writer, sigc <-chan os.Signal, hardExit func(int)) int {
+	fs := flag.NewFlagSet("vliwpipe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dfgPath  = fs.String("dfg", "", "loop body as a .dfg file (default: built-in EWF loop)")
+		carried  = fs.String("carried", "", "comma-separated carried deps \"from>to:distance\"")
+		dpSpec   = fs.String("dp", "[2,1|2,1]", "datapath clusters")
+		buses    = fs.Int("buses", 2, "number of buses")
+		topo     = fs.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
+		linkCap  = fs.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
+		iters    = fs.Int("verify", 4, "iterations to expand when verifying (0 = auto)")
+		audit    = fs.Bool("audit", false, "run the pipelined-schedule invariant auditor (move-slot legality plus expansion check)")
+		timeout  = fs.Duration("timeout", 0, "scheduling time budget (e.g. 100ms); a modulo schedule has no partial form, so expiry aborts with an error. 0 = no budget")
+		trace    = fs.String("trace", "", "journal pipeline phase events to FILE as JSON lines")
+		metrics  = fs.Bool("metrics", false, "print per-phase timers after scheduling")
+		useStore = fs.Bool("store", false, "consult the cross-request result store before scheduling (in-memory unless -store-dir is set); hits are re-audited before being served")
+		storeDir = fs.String("store-dir", "", "directory of the persistent result store journal (implies -store)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "vliwpipe: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	ctx := context.Background()
+	if sigc != nil {
+		var stop func()
+		ctx, stop = sigctx.WithSignals(ctx, sigc, hardExit)
+		defer stop()
+	}
+	if err := run(ctx, stdout, *dfgPath, *carried, *dpSpec, *buses, *topo, *linkCap, *iters, *timeout, *audit, *trace, *metrics, *useStore, *storeDir); err != nil {
+		fmt.Fprintln(stderr, "vliwpipe:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(ctx context.Context, w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, linkCap, iters int, timeout time.Duration, audit bool, tracePath string, withMetrics bool, useStore bool, storeDir string) error {
 	// The modulo scheduler has no internal observation seam, so vliwpipe
 	// journals coarse CLI-level phase events (load, pipeline, verify);
 	// -metrics folds the same events into the phase table.
@@ -84,7 +111,6 @@ func run(w io.Writer, dfgPath, carried, dpSpec string, buses int, topo string, l
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)

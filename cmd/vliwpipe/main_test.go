@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -11,7 +12,7 @@ import (
 )
 
 func TestRunBuiltinLoop(t *testing.T) {
-	if err := run(io.Discard, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, true, "", false, false, ""); err != nil {
+	if err := run(context.Background(), io.Discard, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, true, "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -23,23 +24,23 @@ func TestRunCustomLoop(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(io.Discard, path, "y>s:1", "[1,1|1,1]", 2, "", 0, 4, 0, true, "", false, false, ""); err != nil {
+	if err := run(context.Background(), io.Discard, path, "y>s:1", "[1,1|1,1]", 2, "", 0, 4, 0, true, "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "/missing.dfg", "", "[1,1]", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
+	if err := run(context.Background(), io.Discard, "/missing.dfg", "", "[1,1]", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(io.Discard, "", "", "zap", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
+	if err := run(context.Background(), io.Discard, "", "", "zap", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
 		t.Error("bad datapath accepted")
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "loop.dfg")
 	os.WriteFile(path, []byte("dfg g\nin x\nop a neg x\nout a\n"), 0o644)
 	for _, spec := range []string{"bogus", "a>zz:1", "a>a:0", "a>a:x"} {
-		if err := run(io.Discard, path, spec, "[1,1|1,1]", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
+		if err := run(context.Background(), io.Discard, path, spec, "[1,1|1,1]", 2, "", 0, 0, 0, false, "", false, false, ""); err == nil {
 			t.Errorf("carried spec %q accepted", spec)
 		}
 	}
@@ -48,7 +49,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWithTraceAndMetrics(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "t.jsonl")
 	var out bytes.Buffer
-	if err := run(&out, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, false, trace, true, false, ""); err != nil {
+	if err := run(context.Background(), &out, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, false, trace, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
@@ -85,7 +86,7 @@ func TestStoreAcrossRuns(t *testing.T) {
 	storeDir := t.TempDir()
 	runOnce := func() string {
 		var out bytes.Buffer
-		if err := run(&out, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, true, "", false, false, storeDir); err != nil {
+		if err := run(context.Background(), &out, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, true, "", false, false, storeDir); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()

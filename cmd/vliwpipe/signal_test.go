@@ -1,0 +1,66 @@
+package main
+
+// Interruption tests: a modulo schedule has no audited partial form, so
+// a signal aborts the run with an error naming the interruption rather
+// than printing a degraded result. The escalation to a hard exit is
+// pinned in internal/sigctx and cmd/vbind.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"vliwbind/internal/leakcheck"
+	"vliwbind/internal/sigctx"
+)
+
+// TestRunCancelledContextAborts pins the seam: a context already
+// cancelled by a signal aborts the II scan with the interruption as
+// the cause — no schedule, degraded or otherwise, is returned.
+func TestRunCancelledContextAborts(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(&sigctx.Cause{Sig: syscall.SIGINT})
+	err := run(ctx, io.Discard, "", "", "[2,1|2,1]", 2, "", 0, 0, 0, false, "", false, false, "")
+	if err == nil {
+		t.Fatal("run returned no error on a pre-cancelled context")
+	}
+	if !strings.Contains(err.Error(), "interrupted by") {
+		t.Errorf("error does not surface the signal cause: %v", err)
+	}
+}
+
+// TestRealMainRunsWithSignalWatcher proves the signal wiring does not
+// disturb an uninterrupted run: the watcher is armed, never fires, and
+// the leakcheck confirms stop() released it.
+func TestRealMainRunsWithSignalWatcher(t *testing.T) {
+	leakcheck.Check(t)
+	sigc := make(chan os.Signal, 2)
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-verify", "2"}, &out, &errb, sigc, func(code int) {
+		t.Errorf("hard exit (%d) fired without any signal", code)
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "achieved II") {
+		t.Errorf("missing result line:\n%s", out.String())
+	}
+}
+
+func TestRealMainUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-nope"}, &out, &errb, nil, nil); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"positional"}, &out, &errb, nil, nil); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-dfg", "/missing.dfg"}, &out, &errb, nil, nil); code != 1 {
+		t.Errorf("missing dfg: exit %d, want 1", code)
+	}
+}

@@ -84,8 +84,10 @@ type Options struct {
 	// task that failed transiently (a recovered panic, or an error
 	// exposing Transient() bool == true) before surfacing the failure.
 	// Retries back off exponentially (1ms, 2ms, … capped at 8ms) and
-	// respect the run's context. Zero defaults to 2; negative disables
-	// retries.
+	// respect the run's context. Zero defaults to 2; -1 disables
+	// retries. Any other negative value is rejected by Validate — a
+	// daemon that meant "disable" but wrote -3 should hear about it at
+	// config time, not discover retries silently off under load.
 	TaskRetries int
 	// Hook, when non-nil, is called at the engine's named seams (the
 	// Hook* constants) — the worker pool, the evaluator, and the memo
@@ -142,6 +144,12 @@ func (o Options) Validate() error {
 	}
 	if o.Seeds < 0 {
 		return fmt.Errorf("bind: Options.Seeds is %d; want >= 0 (0 selects the default)", o.Seeds)
+	}
+	if o.TaskRetries < -1 {
+		return fmt.Errorf("bind: Options.TaskRetries is %d; want >= -1 (0 selects the default of 2, -1 disables retries)", o.TaskRetries)
+	}
+	if err := o.Store.Valid(); err != nil {
+		return fmt.Errorf("bind: Options.Store is invalid: %w", err)
 	}
 	return nil
 }

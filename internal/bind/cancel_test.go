@@ -23,6 +23,7 @@ import (
 	"vliwbind/internal/kernels"
 	"vliwbind/internal/leakcheck"
 	"vliwbind/internal/machine"
+	"vliwbind/internal/store"
 )
 
 // arfOn builds the ARF kernel and a machine that bind in a few
@@ -45,6 +46,20 @@ func TestOptionsValidate(t *testing.T) {
 	if err := (bind.Options{}).Validate(); err != nil {
 		t.Fatalf("zero Options rejected: %v", err)
 	}
+	// Daemon-relevant combinations that must stay valid: -1 is the
+	// documented "disable retries" value, and both nil and properly
+	// constructed stores are fine.
+	for _, ok := range []struct {
+		name string
+		opts bind.Options
+	}{
+		{"retries disabled", bind.Options{TaskRetries: -1}},
+		{"memory store", bind.Options{Store: store.NewMemory(0)}},
+	} {
+		if err := ok.opts.Validate(); err != nil {
+			t.Errorf("Validate rejected valid %s config: %v", ok.name, err)
+		}
+	}
 	cases := []struct {
 		name string
 		opts bind.Options
@@ -56,6 +71,8 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative alpha", bind.Options{Alpha: -1}, "Alpha"},
 		{"NaN beta", bind.Options{Beta: math.NaN()}, "Beta"},
 		{"infinite gamma", bind.Options{Gamma: math.Inf(1)}, "Gamma"},
+		{"task retries below disable", bind.Options{TaskRetries: -2}, "TaskRetries"},
+		{"zero-value store", bind.Options{Store: new(store.Store)}, "Store"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

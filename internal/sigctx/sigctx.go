@@ -1,0 +1,72 @@
+// Package sigctx converts OS termination signals into context
+// cancellation with two-signal escalation: the first SIGINT/SIGTERM
+// cancels the returned context (so the audited anytime/degraded path
+// runs and partial results print), a second signal hard-exits. It is
+// the one place the repo's CLIs and the vliwbindd daemon agree on what
+// Ctrl-C means, and it is testable because the signal source and the
+// exit function are both injected.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitCodeSignal is the conventional exit status for "killed by
+// signal" (128+SIGINT); the hard-exit path uses it so a supervisor can
+// tell a forced kill from a graceful drain's exit 0.
+const ExitCodeSignal = 130
+
+// Cause is the cancellation cause installed on the context when a
+// signal arrives, so callers distinguishing user interruption from a
+// deadline can errors.As on context.Cause(ctx).
+type Cause struct{ Sig os.Signal }
+
+func (c *Cause) Error() string {
+	return fmt.Sprintf("interrupted by %v (send again to force exit)", c.Sig)
+}
+
+// Notify returns a channel subscribed to SIGINT and SIGTERM, sized so
+// the runtime never drops the escalation signal. Production callers
+// pass it to WithSignals; tests inject their own channel instead.
+func Notify() chan os.Signal {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	return sigc
+}
+
+// WithSignals derives a context that is cancelled (with a *Cause) when
+// the first signal arrives on sigc, and calls hardExit(ExitCodeSignal)
+// on the second. A nil hardExit defaults to os.Exit. The returned stop
+// function releases the watcher goroutine; callers must invoke it
+// (typically via defer) or the goroutine outlives the run — the repo's
+// leakcheck tests enforce this.
+func WithSignals(parent context.Context, sigc <-chan os.Signal, hardExit func(code int)) (context.Context, func()) {
+	if hardExit == nil {
+		hardExit = os.Exit
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	done := make(chan struct{})
+	go func() {
+		// Signals are counted independently of the parent's state: even
+		// if the parent cancelled first (a deadline, say), it still
+		// takes two signals to force an exit, so a single Ctrl-C during
+		// a graceful wind-down stays graceful.
+		select {
+		case sig := <-sigc:
+			cancel(&Cause{Sig: sig})
+		case <-done:
+			cancel(context.Canceled)
+			return
+		}
+		select {
+		case <-sigc:
+			hardExit(ExitCodeSignal)
+		case <-done:
+		}
+	}()
+	return ctx, func() { close(done) }
+}

@@ -1,0 +1,84 @@
+package sigctx
+
+import (
+	"context"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"vliwbind/internal/leakcheck"
+)
+
+func TestFirstSignalCancelsWithCause(t *testing.T) {
+	leakcheck.Check(t)
+	sigc := make(chan os.Signal, 2)
+	ctx, stop := WithSignals(context.Background(), sigc, func(int) { t.Fatal("hard exit on first signal") })
+	defer stop()
+	sigc <- syscall.SIGTERM
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("context not cancelled after first signal")
+	}
+	var cause *Cause
+	if !errors.As(context.Cause(ctx), &cause) {
+		t.Fatalf("cause = %v, want *sigctx.Cause", context.Cause(ctx))
+	}
+	if cause.Sig != syscall.SIGTERM {
+		t.Fatalf("cause signal = %v, want SIGTERM", cause.Sig)
+	}
+}
+
+func TestSecondSignalHardExits(t *testing.T) {
+	leakcheck.Check(t)
+	sigc := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, stop := WithSignals(context.Background(), sigc, func(code int) { exited <- code })
+	defer stop()
+	sigc <- syscall.SIGINT
+	<-ctx.Done()
+	sigc <- syscall.SIGINT
+	select {
+	case code := <-exited:
+		if code != ExitCodeSignal {
+			t.Fatalf("hard exit code = %d, want %d", code, ExitCodeSignal)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not hard-exit")
+	}
+}
+
+func TestStopReleasesWatcherWithoutSignal(t *testing.T) {
+	leakcheck.Check(t)
+	sigc := make(chan os.Signal, 2)
+	ctx, stop := WithSignals(context.Background(), sigc, nil)
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not release the derived context")
+	}
+	// leakcheck verifies the watcher goroutine is gone.
+}
+
+func TestParentCancellationStillTakesTwoSignals(t *testing.T) {
+	leakcheck.Check(t)
+	parent, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, stop := WithSignals(parent, sigc, func(code int) { exited <- code })
+	defer stop()
+	cancel()
+	<-ctx.Done()
+	// A parent cancellation does not count as the first signal: one
+	// Ctrl-C during a graceful wind-down must stay graceful.
+	sigc <- syscall.SIGTERM
+	sigc <- syscall.SIGTERM
+	select {
+	case <-exited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("two signals after parent cancellation did not escalate")
+	}
+}

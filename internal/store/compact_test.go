@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// intKey derives a distinct Key from an integer.
+func intKey(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	k[2] = byte(i >> 16)
+	return k
+}
+
+func journalLines(t *testing.T, dir string) int {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	return bytes.Count(b, []byte("\n"))
+}
+
+// residentEntries snapshots the store's resident set, most recent first.
+func residentEntries(s *Store) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for n := s.root.next; n != &s.root; n = n.next {
+		out = append(out, n.ent)
+	}
+	return out
+}
+
+// TestCompactRewritesToLiveEntries pins the core contract: an explicit
+// Compact leaves one journal record per resident entry, drops every
+// tombstone and superseded duplicate, and a reopen replays the exact
+// same resident set.
+func TestCompactRewritesToLiveEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 puts, 5 of them overwritten, 5 evicted: 25 payload lines + 5
+	// tombstones in the raw journal, 15 live entries.
+	for i := 0; i < 20; i++ {
+		if err := s.Put(Entry{Key: intKey(i), Kind: KindIter, Binding: []int{i % 2}, L: 10 + i, M: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(Entry{Key: intKey(i), Kind: KindIter, Binding: []int{1}, L: 100 + i, M: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if _, err := s.Evict(intKey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := journalLines(t, dir); got != 30 {
+		t.Fatalf("raw journal has %d lines, want 30", got)
+	}
+	before := residentEntries(s)
+	cs, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Live != 15 || cs.Dropped != 15 {
+		t.Fatalf("CompactStats = %+v, want Live=15 Dropped=15", cs)
+	}
+	if got := journalLines(t, dir); got != 15 {
+		t.Fatalf("compacted journal has %d lines, want 15", got)
+	}
+	// The store keeps appending after compaction.
+	if err := s.Put(Entry{Key: intKey(99), Kind: KindInit, Binding: []int{0}, L: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := journalLines(t, dir); got != 16 {
+		t.Fatalf("journal has %d lines after post-compact put, want 16", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if st := re.OpenStats(); st.Skipped != 0 || st.Tombstoned != 0 || st.Replayed != 16 {
+		t.Fatalf("replay of compacted journal = %+v, want 16 clean replays", st)
+	}
+	for _, ent := range before {
+		got := re.Get(ent.Key)
+		if got == nil {
+			t.Fatalf("entry %s lost by compaction round-trip", ent.Key)
+		}
+		if got.Kind != ent.Kind || got.L != ent.L || got.M != ent.M {
+			t.Fatalf("entry %s replayed as %+v, want %+v", ent.Key, got, ent)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if re.Get(intKey(i)) != nil {
+			t.Fatalf("evicted entry %d resurrected by compaction", i)
+		}
+	}
+}
+
+// TestCompactBoundsJournalGrowth runs the eviction-heavy workload the
+// ROADMAP names: a churn of puts and evicts that would grow the raw
+// journal without bound. Auto-compaction must keep the file's record
+// count bounded by a constant multiple of the live set, and the final
+// journal must still replay to exactly the resident entries.
+func TestCompactBoundsJournalGrowth(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const churn = 4000
+	for i := 0; i < churn; i++ {
+		if err := s.Put(Entry{Key: intKey(i % 128), Kind: KindIter, Binding: []int{i % 3}, L: i}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 1 { // evict half of what we put: tombstone-heavy traffic
+			if _, err := s.Evict(intKey(i % 128)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Without compaction the journal would hold 6000 records. With the
+	// thresholds (compact when lines >= max(256, 4*live)) it must stay
+	// within one growth window of the trigger.
+	lines := journalLines(t, dir)
+	if lines > compactLiveFactor*(128+1)+1 {
+		t.Fatalf("journal grew to %d records under eviction-heavy churn; compaction is not bounding it", lines)
+	}
+	live := s.Len()
+	before := residentEntries(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != live {
+		t.Fatalf("reopen after churn: %d entries, want %d", re.Len(), live)
+	}
+	for _, ent := range before {
+		got := re.Get(ent.Key)
+		if got == nil || got.L != ent.L {
+			t.Fatalf("entry %s did not survive compacting churn (got %+v, want %+v)", ent.Key, got, ent)
+		}
+	}
+}
+
+// TestCompactMemoryStoreNoop pins that memory-only (and nil) stores
+// compact to nothing without error.
+func TestCompactMemoryStoreNoop(t *testing.T) {
+	s := NewMemory(0)
+	s.Put(Entry{Key: intKey(1), Kind: KindIter})
+	if cs, err := s.Compact(); err != nil || cs != (CompactStats{}) {
+		t.Fatalf("memory-store Compact = %+v, %v; want zero stats, nil", cs, err)
+	}
+	var nilStore *Store
+	if cs, err := nilStore.Compact(); err != nil || cs != (CompactStats{}) {
+		t.Fatalf("nil-store Compact = %+v, %v; want zero stats, nil", cs, err)
+	}
+}
+
+// TestValid pins the constructor check Options.Validate relies on.
+func TestValid(t *testing.T) {
+	var nilStore *Store
+	if err := nilStore.Valid(); err != nil {
+		t.Fatalf("nil store must be valid (inert): %v", err)
+	}
+	if err := NewMemory(0).Valid(); err != nil {
+		t.Fatalf("NewMemory store must be valid: %v", err)
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Valid(); err != nil {
+		t.Fatalf("Open store must be valid: %v", err)
+	}
+	if err := new(Store).Valid(); err == nil {
+		t.Fatal("zero-value Store passed Valid; it would panic on first Put")
+	}
+}

@@ -156,9 +156,17 @@ type Store struct {
 	byKey   map[Key]*lruNode
 	root    lruNode // sentinel: root.next is most recent, root.prev least
 	max     int
+	dir     string   // journal directory; "" for memory-only stores
 	journal *os.File // nil for memory-only stores
 	w       *bufio.Writer
 	stats   OpenStats
+
+	// Compaction bookkeeping: lines approximates the journal's record
+	// count (replayed + skipped + tombstoned at open, plus every append
+	// since), tombs the tombstones appended since open or last compact.
+	// Both drive the auto-compaction trigger in maybeCompactLocked.
+	lines int
+	tombs int
 }
 
 // NewMemory creates a memory-only store holding at most max entries
@@ -220,9 +228,29 @@ func Open(dir string, max int) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: %v", err)
 	}
+	s.dir = dir
 	s.journal = f
 	s.w = bufio.NewWriter(f)
+	s.lines = s.stats.Replayed + s.stats.Skipped + s.stats.Tombstoned
+	s.tombs = 0
 	return s, nil
+}
+
+// Valid reports whether the store is safe to use: nil stores are (they
+// are documented inert), and so is anything built by Open or NewMemory.
+// A *Store constructed any other way — the zero value, say — has no map
+// and no recency list and would panic deep inside the first Put, so
+// option validators reject it up front with this check instead.
+func (s *Store) Valid() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byKey == nil || s.root.next == nil || s.root.prev == nil {
+		return fmt.Errorf("store: Store was not created with Open or NewMemory (zero-value Store is unusable)")
+	}
+	return nil
 }
 
 // OpenStats returns what journal replay found; zero for memory stores.
@@ -280,6 +308,7 @@ func (s *Store) Put(e Entry) error {
 	if err := s.appendRecord(encodeRecord(&e, false)); err != nil {
 		return fmt.Errorf("store: journal append: %v", err)
 	}
+	s.maybeCompactLocked()
 	return nil
 }
 
@@ -301,6 +330,8 @@ func (s *Store) Evict(k Key) (bool, error) {
 	if err := s.appendRecord(encodeRecord(&Entry{Key: k}, true)); err != nil {
 		return had, fmt.Errorf("store: journal append: %v", err)
 	}
+	s.tombs++
+	s.maybeCompactLocked()
 	return had, nil
 }
 
@@ -377,7 +408,128 @@ func (s *Store) appendRecord(rec []byte) error {
 	if err := s.w.WriteByte('\n'); err != nil {
 		return err
 	}
+	s.lines++
 	return s.w.Flush()
+}
+
+// Auto-compaction trigger. The append-only journal accumulates one line
+// per Put and per Evict forever; under eviction-heavy traffic (a small
+// LRU with a hot churn, or an audit-on-read layer evicting poisoned
+// entries) the file grows without bound while the live set stays small.
+// Once the journal holds at least compactMinLines records and either
+// carries compactLiveFactor× more records than live entries or is at
+// least a quarter tombstones, the next Put/Evict rewrites it in place.
+// The thresholds keep steady-state compaction cost amortized: a rewrite
+// costs O(live) and buys at least compactLiveFactor×live appends of
+// headroom before the next one.
+const (
+	compactMinLines   = 256
+	compactLiveFactor = 4
+)
+
+func (s *Store) maybeCompactLocked() {
+	if s.lines < compactMinLines {
+		return
+	}
+	if s.lines >= compactLiveFactor*(len(s.byKey)+1) || s.tombs >= s.lines/4 {
+		// Best-effort: a failed compaction leaves the old journal intact
+		// and will be retried once the counters grow further.
+		s.compactLocked()
+	}
+}
+
+// CompactStats reports what one journal compaction did.
+type CompactStats struct {
+	// Live is the number of records the rewritten journal holds — one
+	// per resident entry.
+	Live int
+	// Dropped is how many journal lines the rewrite discarded:
+	// superseded duplicates, tombstones, skipped garbage, and records
+	// whose entries have since been evicted.
+	Dropped int
+}
+
+// Compact rewrites the append-only journal down to the live entries
+// only: one record per resident entry, no tombstones, no superseded
+// duplicates, no corrupt lines. Replaying the compacted journal yields
+// exactly the same resident set. The rewrite is crash-safe — the new
+// journal is built in a temporary file and atomically renamed over the
+// old one, so a crash mid-compaction costs nothing. Memory-only stores
+// (and nil stores) return zero stats and no error. The daemon calls
+// this on drain; Put/Evict call it automatically past a size/tombstone
+// threshold.
+func (s *Store) Compact() (CompactStats, error) {
+	if s == nil {
+		return CompactStats{}, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return CompactStats{}, nil
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() (CompactStats, error) {
+	if err := s.w.Flush(); err != nil {
+		return CompactStats{}, fmt.Errorf("store: compact: %v", err)
+	}
+	path := filepath.Join(s.dir, journalName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("store: compact: %v", err)
+	}
+	w := bufio.NewWriter(f)
+	// Least-recently-used first, so the rewritten journal replays into
+	// the same recency order the resident list holds now.
+	live := 0
+	for n := s.root.prev; n != &s.root; n = n.prev {
+		if _, err := w.Write(encodeRecord(&n.ent, false)); err == nil {
+			err = w.WriteByte('\n')
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return CompactStats{}, fmt.Errorf("store: compact: %v", err)
+		}
+		live++
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return CompactStats{}, fmt.Errorf("store: compact: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return CompactStats{}, fmt.Errorf("store: compact: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return CompactStats{}, fmt.Errorf("store: compact: %v", err)
+	}
+	// Swap the append handle to the compacted file. The old handle now
+	// points at an unlinked inode; closing it drops the last reference.
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted journal is on disk but unappendable; surface the
+		// error and leave the store memory-only rather than appending to
+		// the unlinked old file.
+		s.journal.Close()
+		s.journal = nil
+		s.w = nil
+		return CompactStats{}, fmt.Errorf("store: compact: reopen: %v", err)
+	}
+	s.journal.Close()
+	s.journal = nf
+	s.w = bufio.NewWriter(nf)
+	stats := CompactStats{Live: live, Dropped: s.lines - live}
+	s.lines = live
+	s.tombs = 0
+	return stats, nil
 }
 
 // record is the journal line format: version, hex key, and either a

@@ -1,0 +1,162 @@
+package vliwbind
+
+// Concurrent stress of the cross-request result store at daemon
+// concurrency: many workers bind a mixed job list through one shared
+// journal-backed store, exactly as vliwbindd's worker pool does. The
+// invariants under load are the same as under a single caller — every
+// served result passes a fresh audit, the CacheStats reconcile exactly
+// (each facade call records one hit or one miss, never both, never
+// neither), and the journal replays clean afterwards. Run with -race;
+// the leakcheck pins the worker pools and the journal writer down.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"vliwbind/internal/leakcheck"
+)
+
+// stressJob is one unit of work: either a bind or a modulo pipeline.
+type stressJob struct {
+	kernel string
+	dp     string
+	modulo bool
+}
+
+func stressJobs() []stressJob {
+	var jobs []stressJob
+	for _, k := range []string{"ARF", "EWF", "FFT"} {
+		for _, dp := range []string{"[2,1|2,1]", "[2,1|1,1]", "[1,1|1,1|1,1]"} {
+			jobs = append(jobs, stressJob{kernel: k, dp: dp})
+		}
+	}
+	jobs = append(jobs, stressJob{kernel: "EWF", dp: "[2,1|2,1]", modulo: true})
+	return jobs
+}
+
+// runStressPass drives every job `rounds` times across `workers`
+// concurrent goroutines, auditing each answer, and returns the total
+// number of facade calls made.
+func runStressPass(t *testing.T, st *ResultStore, stats *CacheStats, workers, rounds int) int64 {
+	t.Helper()
+	jobs := stressJobs()
+	feed := make(chan stressJob)
+	var wg sync.WaitGroup
+	var calls int64
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				dp, err := ParseDatapath(job.dp, DatapathConfig{})
+				if err != nil {
+					fail("parse %q: %v", job.dp, err)
+					continue
+				}
+				if job.modulo {
+					ps, err := ModuloPipelineStored(context.Background(), ewfLoop(), dp,
+						ModuloOptions{}, st, stats, nil)
+					if err != nil {
+						fail("modulo %v: %v", job, err)
+						continue
+					}
+					if err := AuditPipelined(ps, 0); err != nil {
+						fail("modulo %v served an uncertified schedule: %v", job, err)
+					}
+					continue
+				}
+				g := KernelMust(job.kernel)
+				res, err := BindContext(context.Background(), g, dp,
+					Options{Parallelism: 1, Store: st, Stats: stats})
+				if err != nil {
+					fail("bind %v: %v", job, err)
+					continue
+				}
+				if err := AuditResult(res); err != nil {
+					fail("bind %v served an uncertified result: %v", job, err)
+				}
+			}
+		}()
+	}
+	for r := 0; r < rounds; r++ {
+		for _, job := range jobs {
+			feed <- job
+			calls++
+		}
+	}
+	close(feed)
+	wg.Wait()
+	return calls
+}
+
+// TestStoreConcurrentStress runs two passes at daemon concurrency over
+// one journal-backed store: the first mixes cold searches with races on
+// the same keys, the second must be answered entirely from audited
+// hits. After both, the stats reconcile call-for-call and the journal
+// replays without a single skipped or tombstoned line.
+func TestStoreConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-bind stress run")
+	}
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8 // vliwbindd's default shape: a pool the size of the machine
+	var stats CacheStats
+	calls := runStressPass(t, st, &stats, workers, 10)
+
+	h, m, e := stats.StoreHits(), stats.StoreMisses(), stats.StoreEvicts()
+	if h+m != calls {
+		t.Errorf("stats do not reconcile: %d hits + %d misses != %d facade calls", h, m, calls)
+	}
+	if e != 0 {
+		t.Errorf("%d evictions under a healthy store, want 0", e)
+	}
+	if h == 0 {
+		t.Errorf("no store hits across %d calls over %d distinct keys", calls, len(stressJobs()))
+	}
+	distinct := int64(len(stressJobs()))
+	if m < distinct {
+		t.Errorf("%d misses, want at least one per distinct key (%d)", m, distinct)
+	}
+
+	// Second pass on a fresh counter: every key is resident now, so
+	// every call must be an audited hit — racing readers never knock a
+	// good entry out.
+	var warm CacheStats
+	calls2 := runStressPass(t, st, &warm, workers, 5)
+	if h2, m2 := warm.StoreHits(), warm.StoreMisses(); h2 != calls2 || m2 != 0 {
+		t.Errorf("warm pass: %d hits %d misses over %d calls, want all hits", h2, m2, calls2)
+	}
+
+	live := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after stress: %v", err)
+	}
+	defer re.Close()
+	rs := re.OpenStats()
+	if rs.Skipped != 0 || rs.Tombstoned != 0 {
+		t.Errorf("journal replay found %d skipped and %d tombstoned lines, want 0", rs.Skipped, rs.Tombstoned)
+	}
+	if re.Len() != live {
+		t.Errorf("reopened store has %d entries, the live store had %d", re.Len(), live)
+	}
+	if live != len(stressJobs()) {
+		t.Errorf("store holds %d entries, want one per distinct key (%d)", live, len(stressJobs()))
+	}
+}
