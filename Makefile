@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke store-smoke serve-smoke bench bench-json bench-json-pr7 bench-json-pr8 bench-json-pr9 bench-parallel bench-alloc benchstat golden
+.PHONY: check vet build test race fuzz-smoke chaos-smoke obs-smoke store-smoke serve-smoke explore-smoke bench bench-json bench-json-pr7 bench-json-pr8 bench-json-pr9 bench-json-pr10 bench-parallel bench-alloc benchstat golden
 
 check: vet build test race
 
@@ -98,6 +98,18 @@ serve-smoke:
 	rm -rf $$dir; \
 	echo "serve-smoke: clean burst, clean drain"
 
+# Explorer smoke: a small exploration through the real CLI (table shape
+# and frontier stars), its -json document decoded and cross-checked
+# against the table by the cmd test, the pruned+parallel run compared
+# line-for-line against the sequential unpruned sweep, and the engine
+# property that the reported frontier equals a brute-force dominance
+# recompute over the bound points.
+explore-smoke:
+	$(GO) run ./cmd/explore -kernel ARF -alus 3 -muls 2 -maxclusters 3 | grep 'DATAPATH'
+	$(GO) run ./cmd/explore -kernel ARF -alus 3 -muls 2 -maxclusters 3 -json | grep '"points"' >/dev/null || { echo "explore-smoke: -json output has no points"; exit 1; }
+	$(GO) test ./cmd/explore -run 'TestJSONOutput|TestExploreObsSmoke|TestPrunedAndParallelMatchSequential' -count 1
+	$(GO) test ./internal/explore -run 'TestFrontierMatchesBruteForce|TestDeterministicAcrossPar|TestOptimisticIsLowerBound' -count 1
+
 # Regenerate the paper's tables as benchmarks (L/M metrics per row) and
 # refresh the committed perf-trajectory file. The trajectory runs the
 # key delta-evaluation benchmarks — the per-candidate pair in
@@ -107,7 +119,7 @@ serve-smoke:
 # floor: ≥3x per-candidate speedup on the delta-hit path and zero
 # allocs/op on it. CI checks the file is present and non-empty.
 BENCHCOUNT ?= 6
-bench: bench-json bench-json-pr7 bench-json-pr8 bench-json-pr9
+bench: bench-json bench-json-pr7 bench-json-pr8 bench-json-pr9 bench-json-pr10
 	$(GO) test -bench=. -benchmem
 
 bench-json:
@@ -166,6 +178,19 @@ bench-json-pr9:
 		-gate 'BenchmarkServeColdBind/BenchmarkServeHit>=4.0' \
 		/tmp/vliwbind-bench-pr9.txt
 	@echo "wrote BENCH_pr9.json"
+
+# Design-space-exploration trajectory. Gates the explorer's pruning:
+# the pruned, pool-parallel sweep of a 6-point space (half of it
+# provably dominated before any search) must finish at least 1.5x
+# faster than the sequential unpruned sweep of the same space while
+# producing bit-identical surviving rows (pinned by
+# TestPrunedAndParallelMatchSequential, run in explore-smoke).
+bench-json-pr10:
+	$(GO) test ./internal/explore -run '^$$' -bench 'BenchmarkExplore(SequentialUnpruned|PrunedPar)$$' -benchmem -count $(BENCHCOUNT) > /tmp/vliwbind-bench-pr10.txt
+	$(GO) run ./cmd/benchjson -o BENCH_pr10.json \
+		-gate 'BenchmarkExploreSequentialUnpruned/BenchmarkExplorePrunedPar>=1.5' \
+		/tmp/vliwbind-bench-pr10.txt
+	@echo "wrote BENCH_pr10.json"
 
 # Sequential-vs-parallel engine comparison on the largest kernel.
 bench-parallel:

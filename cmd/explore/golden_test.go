@@ -20,7 +20,8 @@ func goldenOutput(t *testing.T) string {
 	var sb strings.Builder
 	section := func(header, kernel string, alus, muls, maxC, buses int, algo string) {
 		sb.WriteString("== " + header + " ==\n")
-		if err := run(context.Background(), &sb, kernel, alus, muls, maxC, buses, "", 0, algo, 0, 0, "", false, false, ""); err != nil {
+		cfg := config{kernel: kernel, alus: alus, muls: muls, maxC: maxC, buses: buses, algo: algo, prune: true}
+		if err := run(context.Background(), &sb, cfg); err != nil {
 			t.Fatalf("%s: %v", header, err)
 		}
 	}

@@ -1,43 +1,61 @@
 // Command explore performs the design-space exploration the paper's
 // conclusion motivates: given a kernel and a budget of functional units,
 // it enumerates the ways of clustering those units, binds the kernel to
-// each candidate datapath, and reports the latency/register-file-port
-// tradeoff with the Pareto frontier marked.
+// each candidate datapath, and reports the multi-criteria tradeoff with
+// the Pareto frontier marked.
 //
-// A cluster with n functional units needs roughly 3n register-file ports
-// (two reads and a write per FU); the widest cluster therefore sets the
-// machine's port cost — the very penalty clustering exists to control.
+// The objective vector per design point is (L, moves, register
+// pressure, modulo II, RF ports of the widest cluster, cluster count),
+// all minimized; a cluster with n functional units needs roughly 3n
+// register-file ports (two reads and a write per FU), so the widest
+// cluster sets the machine's port cost — the very penalty clustering
+// exists to control. Candidates whose optimistic objective (latency
+// lower bound et al.) is dominated by an already-bound point are pruned
+// without a search (-prune, on by default), and design points fan out
+// across a bounded worker pool (-par) with bit-identical output at any
+// setting.
 //
 // Usage:
 //
 //	explore -kernel DCT-DIT -alus 4 -muls 2 -maxclusters 4
-//	explore -kernel FFT -alus 6 -muls 4 -algo iter
+//	explore -kernel FFT -alus 6 -muls 4 -algo iter -par 4
+//	explore -kernel ARF -alus 3 -muls 2 -json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"vliwbind"
 	"vliwbind/internal/sigctx"
 )
 
-type design struct {
-	spec     string
-	clusters int
-	ports    int // RF ports of the widest cluster
-	l, moves int
-	pareto   bool
-}
-
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, sigctx.Notify(), os.Exit))
+}
+
+// config carries one exploration's flag settings into run.
+type config struct {
+	kernel      string
+	alus, muls  int
+	maxC, buses int
+	topo        string
+	linkCap     int
+	algo        string
+	par         int
+	prune       bool
+	timeout     time.Duration
+	trace       string
+	metrics     bool
+	useStore    bool
+	storeDir    string
+	jsonOut     bool
 }
 
 // realMain parses flags and explores. The signal channel and hard-exit
@@ -49,22 +67,23 @@ func main() {
 func realMain(args []string, stdout, stderr io.Writer, sigc <-chan os.Signal, hardExit func(int)) int {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var (
-		kernel   = fs.String("kernel", "DCT-DIT", "benchmark kernel to explore for")
-		alus     = fs.Int("alus", 4, "total ALU budget")
-		muls     = fs.Int("muls", 2, "total multiplier budget")
-		maxC     = fs.Int("maxclusters", 4, "maximum number of clusters")
-		buses    = fs.Int("buses", 2, "number of buses")
-		topo     = fs.String("topology", "", "interconnect topology: bus (default), p2p, ring, none")
-		linkCap  = fs.Int("linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
-		algo     = fs.String("algo", "init", "binding algorithm per design point: init (fast) or iter")
-		par      = fs.Int("par", 0, "worker-pool size for candidate evaluation inside each binding run; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
-		timeout  = fs.Duration("timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
-		trace    = fs.String("trace", "", "journal every search event across all design points to FILE as JSON lines")
-		metrics  = fs.Bool("metrics", false, "print per-phase timers and search counters after the exploration")
-		useStore = fs.Bool("store", false, "share an in-memory result store across design points (repeated isomorphic bindings hit instead of re-searching); -store-dir makes it persistent")
-		storeDir = fs.String("store-dir", "", "directory of the persistent result store journal (implies -store)")
-	)
+	var cfg config
+	fs.StringVar(&cfg.kernel, "kernel", "DCT-DIT", "benchmark kernel to explore for")
+	fs.IntVar(&cfg.alus, "alus", 4, "total ALU budget")
+	fs.IntVar(&cfg.muls, "muls", 2, "total multiplier budget")
+	fs.IntVar(&cfg.maxC, "maxclusters", 4, "maximum number of clusters")
+	fs.IntVar(&cfg.buses, "buses", 2, "number of buses")
+	fs.StringVar(&cfg.topo, "topology", "", "interconnect topology: bus (default), p2p, ring, none")
+	fs.IntVar(&cfg.linkCap, "linkcap", 0, "channels per link for p2p/ring topologies (default 1)")
+	fs.StringVar(&cfg.algo, "algo", "init", "binding algorithm per design point: init (fast) or iter")
+	fs.IntVar(&cfg.par, "par", 0, "worker-pool size for binding design points concurrently; 0 = GOMAXPROCS, 1 = sequential (results are identical at any setting)")
+	fs.BoolVar(&cfg.prune, "prune", true, "prune design points whose optimistic objective vector is dominated by an already-bound point (never changes the frontier)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "exploration time budget shared by all design points (e.g. 2s); on expiry the table covers the points bound so far. 0 = no budget")
+	fs.StringVar(&cfg.trace, "trace", "", "journal every search event across all design points to FILE as JSON lines")
+	fs.BoolVar(&cfg.metrics, "metrics", false, "print per-phase timers and search counters after the exploration")
+	fs.BoolVar(&cfg.useStore, "store", false, "share an in-memory result store across design points (repeated isomorphic bindings hit instead of re-searching); -store-dir makes it persistent")
+	fs.StringVar(&cfg.storeDir, "store-dir", "", "directory of the persistent result store journal (implies -store)")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the full result (every design point with its vector and metadata) as JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,40 +97,46 @@ func realMain(args []string, stdout, stderr io.Writer, sigc <-chan os.Signal, ha
 		ctx, stop = sigctx.WithSignals(ctx, sigc, hardExit)
 		defer stop()
 	}
-	if err := run(ctx, stdout, *kernel, *alus, *muls, *maxC, *buses, *topo, *linkCap, *algo, *par, *timeout, *trace, *metrics, *useStore, *storeDir); err != nil {
+	if err := run(ctx, stdout, cfg); err != nil {
 		fmt.Fprintln(stderr, "explore:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(ctx context.Context, w io.Writer, kernel string, alus, muls, maxC, buses int, topo string, linkCap int, algo string, par int, timeout time.Duration, tracePath string, withMetrics bool, useStore bool, storeDir string) error {
-	k, err := vliwbind.KernelByName(kernel)
+// jsonReport is the -json document: the engine's result plus the
+// inputs a consumer cannot recover from it.
+type jsonReport struct {
+	Algo     string `json:"algo"`
+	Topology string `json:"topology,omitempty"`
+	Buses    int    `json:"buses"`
+	Prune    bool   `json:"prune"`
+	*vliwbind.ExploreResult
+}
+
+func run(ctx context.Context, w io.Writer, cfg config) error {
+	k, err := vliwbind.KernelByName(cfg.kernel)
 	if err != nil {
 		return err
-	}
-	if alus < 1 || muls < 0 || maxC < 1 {
-		return fmt.Errorf("invalid budget: %d ALUs, %d MULs, %d clusters", alus, muls, maxC)
 	}
 	// One result store shared by every design point: within a single
 	// exploration it serves nothing (each point is a distinct machine,
 	// hence a distinct key), but with -store-dir a re-run of the same
 	// exploration answers every point from audited hits.
 	var resStore *vliwbind.ResultStore
-	if storeDir != "" {
-		resStore, err = vliwbind.OpenStore(storeDir)
+	if cfg.storeDir != "" {
+		resStore, err = vliwbind.OpenStore(cfg.storeDir)
 		if err != nil {
 			return err
 		}
 		defer resStore.Close()
-	} else if useStore {
+	} else if cfg.useStore {
 		resStore = vliwbind.NewMemoryStore(0)
 	}
-	var cstats vliwbind.CacheStats
 	var sinks []vliwbind.Observer
 	var journal *vliwbind.TraceJournal
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if cfg.trace != "" {
+		f, err := os.Create(cfg.trace)
 		if err != nil {
 			return fmt.Errorf("create trace file: %w", err)
 		}
@@ -120,100 +145,39 @@ func run(ctx context.Context, w io.Writer, kernel string, alus, muls, maxC, buse
 		sinks = append(sinks, journal)
 	}
 	var mtr *vliwbind.Metrics
-	if withMetrics {
+	if cfg.metrics {
 		mtr = vliwbind.NewMetrics()
 		sinks = append(sinks, mtr)
 	}
 	observer := vliwbind.MultiObserver(sinks...)
 	// One budget is shared across the whole exploration: late design
 	// points see whatever is left after the early ones spent theirs.
-	if timeout > 0 {
+	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	// One graph serves every design point: bindings never mutate it.
-	g := k.Build()
-	var designs []design
-	expired, degraded := false, 0
-explore:
-	for nc := 1; nc <= maxC; nc++ {
-		for _, spec := range clusterings(alus, muls, nc) {
-			if ctx.Err() != nil {
-				expired = true
-				break explore
-			}
-			dp, err := vliwbind.ParseDatapath(spec, vliwbind.DatapathConfig{NumBuses: buses, Topology: topo, LinkCap: linkCap})
-			if err != nil {
-				return err
-			}
-			if dp.CanRun(g) != nil {
-				continue // e.g. all multipliers missing for a mul-bearing kernel
-			}
-			opts := vliwbind.Options{Parallelism: par, Observer: observer, Store: resStore, Stats: &cstats}
-			var res *vliwbind.Result
-			t0 := time.Now()
-			switch algo {
-			case "init":
-				res, err = vliwbind.InitialBindContext(ctx, g, dp, opts)
-			case "iter":
-				res, err = vliwbind.BindContext(ctx, g, dp, opts)
-			default:
-				return fmt.Errorf("unknown algorithm %q", algo)
-			}
-			if observer != nil {
-				observer.Event(vliwbind.TraceEvent{Type: "phase", Kernel: kernel,
-					Name: "explore.point[" + spec + "]", DurNs: time.Since(t0).Nanoseconds()})
-			}
-			if err != nil {
-				// A budget expiring mid-sweep yields no candidate for this
-				// point; the points already bound still make a table.
-				if ctx.Err() != nil {
-					expired = true
-					break explore
-				}
-				return err
-			}
-			if res.Degraded {
-				degraded++
-			}
-			designs = append(designs, design{
-				spec:     spec,
-				clusters: nc,
-				ports:    maxPorts(spec),
-				l:        res.L(),
-				moves:    res.Moves(),
-			})
-		}
-	}
-	markPareto(designs)
-	sort.SliceStable(designs, func(i, j int) bool {
-		if designs[i].l != designs[j].l {
-			return designs[i].l < designs[j].l
-		}
-		return designs[i].ports < designs[j].ports
+	res, err := vliwbind.ExploreSpace(ctx, cfg.algo, vliwbind.ExploreConfig{
+		Graph:       k.Build(),
+		Kernel:      cfg.kernel,
+		ALUs:        cfg.alus,
+		MULs:        cfg.muls,
+		MaxClusters: cfg.maxC,
+		Machine:     vliwbind.DatapathConfig{NumBuses: cfg.buses, Topology: cfg.topo, LinkCap: cfg.linkCap},
+		Options:     vliwbind.Options{Observer: observer, Store: resStore},
+		Par:         cfg.par,
+		Prune:       cfg.prune,
+		Observer:    observer,
 	})
-	fmt.Fprintf(w, "design space for %s: %d ALUs + %d MULs in up to %d clusters (%s binding)\n",
-		kernel, alus, muls, maxC, algo)
-	fmt.Fprintf(w, "%-24s %9s %9s %6s %6s %s\n", "DATAPATH", "CLUSTERS", "RF-PORTS", "L", "MOVES", "PARETO")
-	for _, d := range designs {
-		mark := ""
-		if d.pareto {
-			mark = "*"
-		}
-		fmt.Fprintf(w, "%-24s %9d %9d %6d %6d %s\n", d.spec, d.clusters, d.ports, d.l, d.moves, mark)
+	if err != nil {
+		return err
 	}
-	if degraded > 0 {
-		fmt.Fprintf(w, "note: %d design point(s) bound with a degraded (budget-truncated) search\n", degraded)
+	if cfg.jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonReport{Algo: cfg.algo, Topology: cfg.topo, Buses: cfg.buses, Prune: cfg.prune, ExploreResult: res})
 	}
-	if expired {
-		fmt.Fprintf(w, "note: exploration stopped early (%v) after %d design point(s); the table is partial\n",
-			context.Cause(ctx), len(designs))
-	}
-	if resStore != nil {
-		fmt.Fprintf(w, "result store: %d hit(s), %d miss(es), %d eviction(s)\n",
-			cstats.StoreHits(), cstats.StoreMisses(), cstats.StoreEvicts())
-	}
+	printTable(w, cfg, res)
 	if mtr != nil {
 		fmt.Fprint(w, mtr.Dump())
 	}
@@ -221,103 +185,67 @@ explore:
 		if err := journal.Flush(); err != nil {
 			return fmt.Errorf("trace journal: %w", err)
 		}
-		fmt.Fprintf(w, "trace: %d events written to %s\n", journal.Len(), tracePath)
+		fmt.Fprintf(w, "trace: %d events written to %s\n", journal.Len(), cfg.trace)
 	}
 	return nil
 }
 
-// clusterings enumerates the distinct ways to split the FU budget over
-// exactly nc clusters (order-insensitive, every cluster non-empty).
-func clusterings(alus, muls, nc int) []string {
-	var aluParts, mulParts [][]int
-	compose(alus, nc, nil, &aluParts)
-	compose(muls, nc, nil, &mulParts)
-	seen := make(map[string]bool)
-	var out []string
-	for _, ap := range aluParts {
-		for _, mp := range mulParts {
-			ok := true
-			pairs := make([][2]int, nc)
-			for i := 0; i < nc; i++ {
-				if ap[i]+mp[i] == 0 {
-					ok = false
-					break
-				}
-				pairs[i] = [2]int{ap[i], mp[i]}
-			}
-			if !ok {
-				continue
-			}
-			// Canonicalize: clusters are interchangeable, so sort them.
-			sort.Slice(pairs, func(a, b int) bool {
-				if pairs[a][0] != pairs[b][0] {
-					return pairs[a][0] > pairs[b][0]
-				}
-				return pairs[a][1] > pairs[b][1]
-			})
-			var sb strings.Builder
-			sb.WriteByte('[')
-			for i, p := range pairs {
-				if i > 0 {
-					sb.WriteByte('|')
-				}
-				fmt.Fprintf(&sb, "%d,%d", p[0], p[1])
-			}
-			sb.WriteByte(']')
-			spec := sb.String()
-			if !seen[spec] {
-				seen[spec] = true
-				out = append(out, spec)
-			}
+func printTable(w io.Writer, cfg config, res *vliwbind.ExploreResult) {
+	points := append([]vliwbind.DesignPoint(nil), res.Points...)
+	// Bound points by (L, ports, spec); pruned points last, by spec —
+	// they have no achieved latency to sort on.
+	sort.SliceStable(points, func(i, j int) bool {
+		pi, pj := points[i], points[j]
+		if pi.Pruned != pj.Pruned {
+			return pj.Pruned
 		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// compose appends all ways to write total as nc non-negative parts.
-func compose(total, nc int, acc []int, out *[][]int) {
-	if nc == 1 {
-		part := append(append([]int(nil), acc...), total)
-		*out = append(*out, part)
-		return
-	}
-	for v := 0; v <= total; v++ {
-		compose(total-v, nc-1, append(acc, v), out)
-	}
-}
-
-// maxPorts estimates the register-file port cost of the widest cluster:
-// 3 ports (2 read, 1 write) per functional unit.
-func maxPorts(spec string) int {
-	trimmed := strings.Trim(spec, "[]")
-	worst := 0
-	for _, part := range strings.Split(trimmed, "|") {
-		var a, m int
-		fmt.Sscanf(part, "%d,%d", &a, &m)
-		if p := 3 * (a + m); p > worst {
-			worst = p
+		if pi.Pruned {
+			return pi.Spec < pj.Spec
 		}
-	}
-	return worst
-}
-
-// markPareto marks designs not dominated in (L, ports): a design is
-// Pareto-optimal when no other design is at least as good in both
-// dimensions and strictly better in one.
-func markPareto(ds []design) {
-	for i := range ds {
-		dominated := false
-		for j := range ds {
-			if i == j {
-				continue
-			}
-			if ds[j].l <= ds[i].l && ds[j].ports <= ds[i].ports &&
-				(ds[j].l < ds[i].l || ds[j].ports < ds[i].ports) {
-				dominated = true
-				break
-			}
+		if pi.L != pj.L {
+			return pi.L < pj.L
 		}
-		ds[i].pareto = !dominated
+		if pi.Ports != pj.Ports {
+			return pi.Ports < pj.Ports
+		}
+		return pi.Spec < pj.Spec
+	})
+	fmt.Fprintf(w, "design space for %s: %d ALUs + %d MULs in up to %d clusters (%s binding)\n",
+		cfg.kernel, cfg.alus, cfg.muls, cfg.maxC, cfg.algo)
+	fmt.Fprintf(w, "%-24s %8s %8s %6s %6s %6s %4s %s\n", "DATAPATH", "CLUSTERS", "RF-PORTS", "L", "MOVES", "PRESS", "II", "PARETO")
+	for _, p := range points {
+		if p.Pruned {
+			fmt.Fprintf(w, "%-24s %8d %8d %s\n", p.Spec, p.Clusters, p.Ports,
+				fmt.Sprintf("pruned (L >= %d) by %s", p.Bound, p.PrunedBy))
+			continue
+		}
+		l := fmt.Sprintf("%d", p.L)
+		if p.Degraded {
+			l += "*" // budget-truncated search: L is an upper bound only
+		}
+		ii := "-"
+		if p.II > 0 {
+			ii = fmt.Sprintf("%d", p.II)
+		}
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%-24s %8d %8d %6s %6d %6d %4s %s\n", p.Spec, p.Clusters, p.Ports, l, p.Moves, p.Pressure, ii, mark)
+	}
+	if res.Degraded > 0 {
+		fmt.Fprintf(w, "note: %d design point(s) bound with a degraded (budget-truncated) search (L marked *; excluded from dominance)\n", res.Degraded)
+	}
+	if res.Pruned > 0 {
+		fmt.Fprintf(w, "note: %d of %d design point(s) pruned without a search (lower bound dominated by a bound point; the frontier is unchanged)\n",
+			res.Pruned, len(points))
+	}
+	if res.Expired {
+		fmt.Fprintf(w, "note: exploration stopped early (%s) after %d design point(s); the table is partial\n",
+			res.Cause, len(points))
+	}
+	if res.StoreHits+res.StoreMisses+res.StoreEvicts > 0 || cfg.useStore || cfg.storeDir != "" {
+		fmt.Fprintf(w, "result store: %d hit(s), %d miss(es), %d eviction(s)\n",
+			res.StoreHits, res.StoreMisses, res.StoreEvicts)
 	}
 }

@@ -10,96 +10,259 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"vliwbind"
 )
 
-func TestRunSmallBudget(t *testing.T) {
-	if err := run(context.Background(), io.Discard, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, ""); err != nil {
+// small returns the ARF 2+2 configuration most tests explore.
+func small() config {
+	return config{kernel: "ARF", alus: 2, muls: 2, maxC: 2, buses: 2, algo: "init", par: 2, prune: true}
+}
+
+func TestRunSmall(t *testing.T) {
+	if err := run(context.Background(), io.Discard, small()); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestClusterings(t *testing.T) {
-	// Splitting 2 ALUs + 1 MUL over exactly 2 non-empty clusters yields
-	// precisely these canonical forms (clusters sorted descending).
-	specs := clusterings(2, 1, 2)
-	want := map[string]bool{
-		"[1,1|1,0]": true,  // ALUs split, MUL with one of them
-		"[2,0|0,1]": true,  // ALUs together, MUL alone
-		"[2,1|0,0]": false, // empty cluster: must not appear
-		"[1,0|1,1]": false, // non-canonical order: normalized away
-	}
-	seen := map[string]bool{}
-	for _, s := range specs {
-		if seen[s] {
-			t.Errorf("duplicate clustering %s", s)
-		}
-		seen[s] = true
-	}
-	if len(specs) != 2 {
-		t.Errorf("clusterings(2,1,2) = %v, want exactly 2 canonical splits", specs)
-	}
-	for spec, expect := range want {
-		if seen[spec] != expect {
-			t.Errorf("clustering %s present=%v, want %v (got %v)", spec, seen[spec], expect, specs)
-		}
-	}
-}
-
-func TestMaxPorts(t *testing.T) {
-	if p := maxPorts("[2,1|1,1]"); p != 9 {
-		t.Errorf("maxPorts = %d, want 9", p)
-	}
-	if p := maxPorts("[1,0]"); p != 3 {
-		t.Errorf("maxPorts = %d, want 3", p)
-	}
-}
-
-func TestMarkPareto(t *testing.T) {
-	ds := []design{
-		{l: 10, ports: 6},
-		{l: 8, ports: 9},
-		{l: 12, ports: 12}, // dominated by both
-	}
-	markPareto(ds)
-	if !ds[0].pareto || !ds[1].pareto || ds[2].pareto {
-		t.Errorf("pareto marking wrong: %+v", ds)
-	}
-}
-
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), io.Discard, "nope", 2, 2, 2, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
-		t.Error("unknown kernel accepted")
-	}
-	if err := run(context.Background(), io.Discard, "ARF", 0, 0, 0, 2, "", 0, "init", 0, 0, "", false, false, ""); err == nil {
-		t.Error("empty budget accepted")
-	}
-	if err := run(context.Background(), io.Discard, "ARF", 2, 2, 2, 2, "", 0, "frob", 0, 0, "", false, false, ""); err == nil {
-		t.Error("unknown algo accepted")
+	for _, tc := range []struct {
+		name   string
+		mutate func(*config)
+	}{
+		{"unknown kernel", func(c *config) { c.kernel = "nope" }},
+		{"empty budget", func(c *config) { c.alus, c.muls, c.maxC = 0, 0, 0 }},
+		{"unknown algo", func(c *config) { c.algo = "frob" }},
+	} {
+		cfg := small()
+		tc.mutate(&cfg)
+		if err := run(context.Background(), io.Discard, cfg); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
 	}
 }
 
-func TestRunWithTraceAndMetrics(t *testing.T) {
-	trace := filepath.Join(t.TempDir(), "t.jsonl")
+// TestTableColumns pins the table shape: the vector columns are all
+// present and the frontier is starred.
+func TestTableColumns(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "ARF", 2, 1, 2, 2, "", 0, "init", 2, 0, trace, true, false, ""); err != nil {
+	if err := run(context.Background(), &out, small()); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"DATAPATH", "CLUSTERS", "RF-PORTS", "L", "MOVES", "PRESS", "II", "PARETO"} {
+		if !strings.Contains(out.String(), col) {
+			t.Errorf("table missing column %s:\n%s", col, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "*") {
+		t.Errorf("no Pareto mark in the table:\n%s", out.String())
+	}
+}
+
+// TestDegradedRowsMarkedAndExcluded is the regression for the frontier
+// accounting bug: a budget-degraded row prints a '*'-suffixed L and
+// never claims a PARETO star, even with a falsely attractive (lower) L.
+func TestDegradedRowsMarkedAndExcluded(t *testing.T) {
+	res := &vliwbind.ExploreResult{
+		Kernel: "ARF", ALUs: 2, MULs: 2, MaxClusters: 2,
+		Degraded: 1,
+		Points: []vliwbind.DesignPoint{
+			{Spec: "[2,2]", Vector: vliwbind.ObjectiveVector{L: 12, Moves: 0, Pressure: 5, II: 9, Ports: 12, Clusters: 1}, Bound: 8, Pareto: true},
+			{Spec: "[1,1|1,1]", Vector: vliwbind.ObjectiveVector{L: 9, Moves: 1, Pressure: 3, II: 9, Ports: 6, Clusters: 2}, Bound: 8, Degraded: true},
+		},
+	}
+	var out bytes.Buffer
+	printTable(&out, small(), res)
+	report := out.String()
+	if !strings.Contains(report, "9*") {
+		t.Errorf("degraded L not marked with '*':\n%s", report)
+	}
+	if !strings.Contains(report, "degraded (budget-truncated)") {
+		t.Errorf("missing degraded note:\n%s", report)
+	}
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, "9*") && strings.HasSuffix(strings.TrimRight(line, " "), " *") {
+			t.Errorf("degraded row claims a PARETO star: %q", line)
+		}
+	}
+}
+
+// TestShortTimeout drives the -timeout path end to end: the run must
+// not fail, and any degraded row in the table must carry the '*' L
+// marker without a PARETO star.
+func TestShortTimeout(t *testing.T) {
+	cfg := config{kernel: "DCT-DIT", alus: 4, muls: 2, maxC: 3, buses: 2, algo: "iter", par: 1, prune: true, timeout: 50 * time.Millisecond}
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "DATAPATH") {
+		t.Fatalf("no table after a timeout:\n%s", report)
+	}
+	sawNote := strings.Contains(report, "stopped early") || strings.Contains(report, "degraded")
+	complete := strings.Count(report, "\n") > 3 && !strings.Contains(report, "note:")
+	if !sawNote && !complete {
+		t.Errorf("50ms budget produced neither a partial-table note nor a complete table:\n%s", report)
+	}
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, "*") && strings.Contains(line, "L >=") {
+			continue // pruned rows carry no markers
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 7 && strings.HasSuffix(fields[3], "*") && fields[len(fields)-1] == "*" {
+			t.Errorf("degraded row starred as Pareto: %q", line)
+		}
+	}
+}
+
+// TestJSONOutput validates the -json schema: the document must carry
+// the exploration inputs, every design point with its full vector and
+// metadata, and decode cleanly.
+func TestJSONOutput(t *testing.T) {
+	cfg := small()
+	cfg.jsonOut = true
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Algo        string `json:"algo"`
+		Kernel      string `json:"kernel"`
+		ALUs        int    `json:"alus"`
+		MULs        int    `json:"muls"`
+		MaxClusters int    `json:"maxclusters"`
+		Prune       bool   `json:"prune"`
+		Degraded    int    `json:"degraded"`
+		Pruned      int    `json:"pruned"`
+		Points      []struct {
+			Spec     string `json:"spec"`
+			L        int    `json:"l"`
+			Moves    int    `json:"moves"`
+			Pressure int    `json:"pressure"`
+			II       int    `json:"ii"`
+			Ports    int    `json:"ports"`
+			Clusters int    `json:"clusters"`
+			Bound    int    `json:"bound"`
+			Pareto   bool   `json:"pareto"`
+			Pruned   bool   `json:"pruned"`
+			WallNs   int64  `json:"wall_ns"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out.String())
+	}
+	if doc.Algo != "init" || doc.Kernel != "ARF" || doc.ALUs != 2 || doc.MULs != 2 || doc.MaxClusters != 2 || !doc.Prune {
+		t.Errorf("header fields wrong: %+v", doc)
+	}
+	if len(doc.Points) == 0 {
+		t.Fatal("no points in the JSON document")
+	}
+	pareto := 0
+	for _, p := range doc.Points {
+		if p.Spec == "" || p.Ports == 0 || p.Clusters == 0 || p.Bound == 0 {
+			t.Errorf("point missing static fields: %+v", p)
+		}
+		if !p.Pruned && (p.L == 0 || p.Pressure == 0 || p.WallNs == 0) {
+			t.Errorf("bound point missing measured fields: %+v", p)
+		}
+		if p.Pareto {
+			pareto++
+		}
+	}
+	if pareto == 0 {
+		t.Error("JSON document reports an empty frontier")
+	}
+	// The document is pure JSON: nothing printed around it.
+	if !json.Valid(out.Bytes()) {
+		t.Error("-json stream carries non-JSON bytes")
+	}
+}
+
+// TestExploreObsSmoke reconciles the CLI's -trace journal against its
+// table: one explore.point event per bound row carrying that row's
+// (L, M), one explore.prune per pruned row, and decodable JSONL
+// throughout.
+func TestExploreObsSmoke(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "t.jsonl")
+	cfg := small()
+	cfg.trace = trace
+	cfg.metrics = true
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, cfg); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := 0
+	type event struct {
+		Type string `json:"type"`
+		Name string `json:"name"`
+		L    int    `json:"l"`
+		M    int    `json:"m"`
+		By   string `json:"by"`
+	}
+	pointEvents := make(map[string]event)
+	pruneEvents := make(map[string]event)
+	total := 0
 	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
-		var e map[string]any
+		var e event
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
 			t.Fatalf("journal line %q does not decode: %v", line, err)
 		}
-		lines++
+		total++
+		switch e.Type {
+		case "explore.point":
+			pointEvents[e.Name] = e
+		case "explore.prune":
+			pruneEvents[e.Name] = e
+		}
 	}
-	if lines == 0 {
-		t.Error("trace journal is empty")
+	if total == 0 {
+		t.Fatal("trace journal is empty")
 	}
-	for _, want := range []string{"metrics:", "sweep.configs", "trace: "} {
+	// Reconcile against the table: every bound row has its point event
+	// with matching (L, M); every pruned row has its prune event.
+	boundRows, prunedRows := 0, 0
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "[") {
+			continue
+		}
+		fields := strings.Fields(line)
+		spec := fields[0]
+		if strings.Contains(line, "pruned (L >=") {
+			prunedRows++
+			if _, ok := pruneEvents[spec]; !ok {
+				t.Errorf("pruned row %s has no explore.prune event", spec)
+			}
+			continue
+		}
+		boundRows++
+		ev, ok := pointEvents[spec]
+		if !ok {
+			t.Errorf("bound row %s has no explore.point event", spec)
+			continue
+		}
+		var l, m int
+		if _, err := fmt.Sscanf(fields[3]+" "+fields[4], "%d %d", &l, &m); err != nil {
+			t.Fatalf("cannot parse table row %q: %v", line, err)
+		}
+		if ev.L != l || ev.M != m {
+			t.Errorf("row %s: table (L=%d, M=%d) vs event (L=%d, M=%d)", spec, l, m, ev.L, ev.M)
+		}
+	}
+	if boundRows == 0 {
+		t.Fatal("no bound rows parsed from the table")
+	}
+	if len(pointEvents) != boundRows {
+		t.Errorf("%d explore.point events for %d bound rows", len(pointEvents), boundRows)
+	}
+	if len(pruneEvents) != prunedRows {
+		t.Errorf("%d explore.prune events for %d pruned rows", len(pruneEvents), prunedRows)
+	}
+	for _, want := range []string{"metrics:", "trace: "} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
@@ -113,8 +276,10 @@ func TestRunWithTraceAndMetrics(t *testing.T) {
 func TestStoreAcrossExplorations(t *testing.T) {
 	storeDir := t.TempDir()
 	runOnce := func() string {
+		cfg := small()
+		cfg.storeDir = storeDir
 		var out bytes.Buffer
-		if err := run(context.Background(), &out, "ARF", 2, 2, 2, 2, "", 0, "init", 2, 0, "", false, false, storeDir); err != nil {
+		if err := run(context.Background(), &out, cfg); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()
@@ -148,5 +313,41 @@ func TestStoreAcrossExplorations(t *testing.T) {
 	}
 	if strip(cold) != strip(warm) {
 		t.Errorf("store hits changed the table:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}
+
+// TestPrunedAndParallelMatchSequential is the CLI-level acceptance
+// check: the pruned, pool-parallel exploration renders the identical
+// report to the sequential unpruned sweep, modulo the rows that pruning
+// replaces — frontier stars and every surviving row agree at -par 1/4.
+func TestPrunedAndParallelMatchSequential(t *testing.T) {
+	render := func(par int, prune bool) string {
+		cfg := config{kernel: "EWF", alus: 4, muls: 2, maxC: 2, buses: 2, algo: "init", par: par, prune: prune}
+		var out bytes.Buffer
+		if err := run(context.Background(), &out, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	seq := render(1, true)
+	if par := render(4, true); par != seq {
+		t.Errorf("-par 4 output differs from -par 1:\n%s\nvs\n%s", par, seq)
+	}
+	// Against the unpruned sweep, every non-pruned row must match.
+	unpruned := render(1, false)
+	unprunedRows := make(map[string]string)
+	for _, line := range strings.Split(unpruned, "\n") {
+		if strings.HasPrefix(line, "[") {
+			unprunedRows[strings.Fields(line)[0]] = line
+		}
+	}
+	for _, line := range strings.Split(seq, "\n") {
+		if !strings.HasPrefix(line, "[") || strings.Contains(line, "pruned (L >=") {
+			continue
+		}
+		spec := strings.Fields(line)[0]
+		if unprunedRows[spec] != line {
+			t.Errorf("row for %s diverges with pruning on:\n%q\nvs\n%q", spec, line, unprunedRows[spec])
+		}
 	}
 }

@@ -27,7 +27,7 @@ func TestRunCancelledContextPrintsPartialTable(t *testing.T) {
 	ctx, cancel := context.WithCancelCause(context.Background())
 	cancel(&sigctx.Cause{Sig: syscall.SIGTERM})
 	var out bytes.Buffer
-	if err := run(ctx, &out, "ARF", 2, 2, 2, 2, "", 0, "init", 1, 0, "", false, false, ""); err != nil {
+	if err := run(ctx, &out, config{kernel: "ARF", alus: 2, muls: 2, maxC: 2, buses: 2, algo: "init", par: 1, prune: true}); err != nil {
 		t.Fatalf("cancelled exploration should still render its table: %v", err)
 	}
 	report := out.String()

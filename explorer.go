@@ -1,0 +1,72 @@
+package vliwbind
+
+import (
+	"context"
+	"fmt"
+
+	"vliwbind/internal/explore"
+	"vliwbind/internal/optbind"
+)
+
+// Design-space exploration: bind one kernel against every clustering of
+// a fixed functional-unit budget and report the multi-criteria Pareto
+// frontier (cmd/explore is a thin shell over this).
+type (
+	// ExploreConfig describes one exploration of a clustering space.
+	ExploreConfig = explore.Config
+	// ExploreResult is the full outcome: every design point in
+	// canonical order, the frontier marks, and the run's counters.
+	ExploreResult = explore.Result
+	// DesignPoint is one candidate datapath with its objective vector
+	// and metadata (degraded, pruned, store hit, wall time).
+	DesignPoint = explore.Point
+	// ObjectiveVector is the per-point multi-criteria objective:
+	// (L, moves, register pressure, initiation interval, RF ports,
+	// cluster count), all minimized.
+	ObjectiveVector = explore.Vector
+	// ExploreBindFunc binds one design point; InitialBindContext and
+	// BindContext both qualify.
+	ExploreBindFunc = explore.BindFunc
+)
+
+// Dominates reports n-dimensional Pareto dominance between objective
+// vectors (componentwise at-least-as-good, strictly better somewhere).
+func Dominates(a, b ObjectiveVector) bool { return explore.Dominates(a, b) }
+
+// Clusterings enumerates the canonical ways of splitting an FU budget
+// over exactly nc non-empty clusters.
+func Clusterings(alus, muls, nc int) []string { return explore.Clusterings(alus, muls, nc) }
+
+// ClusterPorts is the register-file port cost of the widest cluster of
+// a spec (3 ports per FU); malformed specs are an error, never a free
+// zero that would win every dominance comparison.
+func ClusterPorts(spec string) (int, error) { return explore.Ports(spec) }
+
+// ExploreSpace runs one design-space exploration with the named binding
+// algorithm ("init" for B-INIT, "iter" for full B-ITER) filling
+// cfg.Bind. Both algorithms go through the facade's store/audit
+// plumbing, so cfg.Options.Store serves audited cross-exploration hits
+// per design point. A cfg.Bind set by the caller is used as-is.
+func ExploreSpace(ctx context.Context, algo string, cfg ExploreConfig) (*ExploreResult, error) {
+	if cfg.Bind == nil {
+		switch algo {
+		case "init":
+			cfg.Bind = InitialBindContext
+		case "iter":
+			cfg.Bind = BindContext
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", algo)
+		}
+	}
+	return explore.Explore(ctx, cfg)
+}
+
+// LatencyLowerBoundClustered tightens LatencyLowerBound with the
+// clustering-aware critical path: dependences between FU types that
+// share no cluster are charged a mandatory inter-cluster transfer.
+// Unlike the plain bound — identical across every clustering of one FU
+// budget — this one separates candidate datapaths, which is what the
+// explorer's dominance pruning runs on.
+func LatencyLowerBoundClustered(g *Graph, dp *Datapath) int {
+	return optbind.LowerBoundClustered(g, dp)
+}

@@ -1,0 +1,78 @@
+package explore
+
+import (
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+	"vliwbind/internal/modulo"
+	"vliwbind/internal/optbind"
+	"vliwbind/internal/regpressure"
+)
+
+// optimistic builds the componentwise lower bound on every achievable
+// objective vector of g on dp — each axis independently bounded below,
+// so the combined vector is at least as good as any vector a real
+// binding can reach. If an already-bound point's ACHIEVED vector
+// dominates a candidate's OPTIMISTIC vector, then it dominates every
+// vector the candidate could achieve (achieved >= optimistic
+// componentwise, and dominance is monotone), so the candidate is
+// provably off the frontier and can be pruned without a search. The
+// per-axis bounds:
+//
+//   - L: optbind.LowerBoundClustered — critical path with mandatory
+//     inter-cluster transfers charged, or the FU-totals bound if larger.
+//   - Moves: one transfer per value whose producer's FU type never
+//     co-resides with some consumer's FU type in any cluster of dp;
+//     such a value must cross clusters at least once.
+//   - Pressure: regpressure.MinPeak — the outputs alone pin
+//     ceil(outputs/clusters) live values in some cluster at the end.
+//   - II: the minimum initiation interval MII (resource and recurrence
+//     bound); no feasible modulo schedule beats it. Multi-hop datapaths
+//     get the absent sentinel (0), matching their achieved vector.
+//   - Ports, Clusters: exact static properties of the spec.
+func optimistic(g *dfg.Graph, dp *machine.Datapath, ports int) Vector {
+	v := Vector{
+		L:        optbind.LowerBoundClustered(g, dp),
+		Moves:    minMoves(g, dp),
+		Pressure: regpressure.MinPeak(g, dp.NumClusters()),
+		Ports:    ports,
+		Clusters: dp.NumClusters(),
+	}
+	if !dp.MultiHop() {
+		v.II = modulo.MII(modulo.BodyLoop(g), dp)
+	}
+	return v
+}
+
+// minMoves counts the values that must ride the interconnect under
+// every legal binding: the producer's FU type and some consumer's FU
+// type share no cluster, so the pair cannot be co-located and the value
+// needs at least one transfer.
+func minMoves(g *dfg.Graph, dp *machine.Datapath) int {
+	var co [dfg.NumFUTypes][dfg.NumFUTypes]bool
+	for a := range co {
+		for b := range co[a] {
+			co[a][b] = true
+		}
+	}
+	for _, a := range dfg.ComputeFUTypes() {
+		for _, b := range dfg.ComputeFUTypes() {
+			co[a][b] = false
+			for c := 0; c < dp.NumClusters(); c++ {
+				if dp.NumFU(c, a) > 0 && dp.NumFU(c, b) > 0 {
+					co[a][b] = true
+					break
+				}
+			}
+		}
+	}
+	moves := 0
+	for _, n := range g.Nodes() {
+		for _, s := range n.Succs() {
+			if !co[n.FUType()][s.FUType()] {
+				moves++
+				break // one mandatory transfer pinned for this value
+			}
+		}
+	}
+	return moves
+}

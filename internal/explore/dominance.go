@@ -1,0 +1,77 @@
+package explore
+
+import "math"
+
+// Vector is the multi-criteria objective of one design point. Every
+// axis is minimized. II uses zero as "absent" — the datapath cannot be
+// software-pipelined (multi-hop interconnect) or no schedule was found
+// — and an absent II ranks strictly worse than any achieved one.
+type Vector struct {
+	// L is the schedule latency in cycles.
+	L int `json:"l"`
+	// Moves is the number of inter-cluster transfers.
+	Moves int `json:"moves"`
+	// Pressure is the peak per-cluster register pressure.
+	Pressure int `json:"pressure"`
+	// II is the modulo initiation interval (0 = absent).
+	II int `json:"ii"`
+	// Ports is the register-file port cost of the widest cluster.
+	Ports int `json:"ports"`
+	// Clusters is the number of clusters.
+	Clusters int `json:"clusters"`
+}
+
+// axes flattens the vector for componentwise comparison, mapping the
+// absent-II sentinel to the worst possible rank so that "no pipeline"
+// never dominates "some pipeline" and the order stays total and
+// transitive.
+func (v Vector) axes() [6]int {
+	ii := v.II
+	if ii <= 0 {
+		ii = math.MaxInt
+	}
+	return [6]int{v.L, v.Moves, v.Pressure, ii, v.Ports, v.Clusters}
+}
+
+// Dominates reports whether a is at least as good as b on every axis
+// and strictly better on at least one — n-dimensional Pareto dominance
+// with all axes minimized.
+func Dominates(a, b Vector) bool {
+	aa, bb := a.axes(), b.axes()
+	strict := false
+	for i := range aa {
+		if aa[i] > bb[i] {
+			return false
+		}
+		if aa[i] < bb[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// MarkPareto marks the non-dominated points of one exploration. Only
+// fully-searched, actually-bound points participate: a pruned point was
+// proven dominated before binding, and a degraded (budget-truncated)
+// point's vector is not the point's true objective — its truncated L
+// must neither displace a fully-searched point from the frontier nor
+// claim a spot itself.
+func MarkPareto(points []Point) {
+	for i := range points {
+		points[i].Pareto = false
+		if points[i].Pruned || points[i].Degraded {
+			continue
+		}
+		dominated := false
+		for j := range points {
+			if i == j || points[j].Pruned || points[j].Degraded {
+				continue
+			}
+			if Dominates(points[j].Vector, points[i].Vector) {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}

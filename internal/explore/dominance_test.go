@@ -1,0 +1,104 @@
+package explore
+
+import "testing"
+
+func TestDominates(t *testing.T) {
+	base := Vector{L: 10, Moves: 4, Pressure: 5, II: 6, Ports: 9, Clusters: 2}
+	cases := []struct {
+		name string
+		a, b Vector
+		want bool
+	}{
+		{"equal vectors never dominate", base, base, false},
+		{"strictly better L", Vector{9, 4, 5, 6, 9, 2}, base, true},
+		{"strictly better moves only", Vector{10, 3, 5, 6, 9, 2}, base, true},
+		{"worse moves only", Vector{10, 5, 5, 6, 9, 2}, base, false},
+		{"better L worse ports", Vector{9, 4, 5, 6, 12, 2}, base, false},
+		{"better on every axis", Vector{9, 3, 4, 5, 6, 1}, base, true},
+		{"absent II never beats achieved II", Vector{10, 4, 5, 0, 9, 2}, base, false},
+		{"achieved II beats absent II", base, Vector{10, 4, 5, 0, 9, 2}, true},
+		{"both II absent compares remaining axes", Vector{9, 4, 5, 0, 9, 2}, Vector{10, 4, 5, 0, 9, 2}, true},
+		{"fewer clusters, all else equal", Vector{10, 4, 5, 6, 9, 1}, base, true},
+	}
+	for _, tc := range cases {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Dominates(%+v, %+v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestMarkParetoFoldsMoves pins the satellite bugfix: with equal
+// (L, ports), strictly worse moves is enough to fall off the frontier —
+// the old cmd/explore starred both.
+func TestMarkParetoFoldsMoves(t *testing.T) {
+	pts := []Point{
+		{Spec: "a", Vector: Vector{L: 10, Moves: 0, Pressure: 3, II: 5, Ports: 9, Clusters: 2}},
+		{Spec: "b", Vector: Vector{L: 10, Moves: 4, Pressure: 3, II: 5, Ports: 9, Clusters: 2}},
+	}
+	MarkPareto(pts)
+	if !pts[0].Pareto {
+		t.Error("point a (fewer moves) should be on the frontier")
+	}
+	if pts[1].Pareto {
+		t.Error("point b (equal (L, ports), strictly worse moves) must not be Pareto")
+	}
+}
+
+// TestMarkParetoExcludesDegraded pins the other satellite bugfix: a
+// budget-truncated vector neither claims a frontier spot nor displaces
+// a fully-searched point from it.
+func TestMarkParetoExcludesDegraded(t *testing.T) {
+	pts := []Point{
+		{Spec: "full", Vector: Vector{L: 12, Moves: 2, Pressure: 3, II: 5, Ports: 9, Clusters: 2}},
+		{Spec: "cut", Degraded: true, Vector: Vector{L: 10, Moves: 0, Pressure: 2, II: 4, Ports: 6, Clusters: 2}},
+	}
+	MarkPareto(pts)
+	if pts[1].Pareto {
+		t.Error("degraded point marked Pareto; truncated vectors must not claim the frontier")
+	}
+	if !pts[0].Pareto {
+		t.Error("fully-searched point displaced by a degraded vector")
+	}
+}
+
+// TestMarkParetoExcludesPruned: a pruned point carries only its
+// optimistic bound, which must not displace bound points.
+func TestMarkParetoExcludesPruned(t *testing.T) {
+	pts := []Point{
+		{Spec: "bound", Vector: Vector{L: 12, Moves: 2, Pressure: 3, II: 5, Ports: 9, Clusters: 2}},
+		{Spec: "pruned", Pruned: true, PrunedBy: "bound", Vector: Vector{L: 8, Moves: 0, Pressure: 1, II: 3, Ports: 9, Clusters: 2}},
+	}
+	MarkPareto(pts)
+	if pts[1].Pareto {
+		t.Error("pruned point marked Pareto")
+	}
+	if !pts[0].Pareto {
+		t.Error("bound point displaced by a pruned point's optimistic vector")
+	}
+}
+
+// TestMarkParetoBruteForce cross-checks MarkPareto against the direct
+// quadratic definition on a synthetic grid of vectors.
+func TestMarkParetoBruteForce(t *testing.T) {
+	var pts []Point
+	for l := 8; l <= 10; l++ {
+		for m := 0; m <= 2; m++ {
+			for p := 6; p <= 9; p += 3 {
+				pts = append(pts, Point{Vector: Vector{L: l, Moves: m, Pressure: 2, II: l - 4, Ports: p, Clusters: 2}})
+			}
+		}
+	}
+	MarkPareto(pts)
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i != j && Dominates(pts[j].Vector, pts[i].Vector) {
+				dominated = true
+				break
+			}
+		}
+		if pts[i].Pareto == dominated {
+			t.Errorf("point %d (%+v): Pareto=%v, dominated=%v", i, pts[i].Vector, pts[i].Pareto, dominated)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package explore is the design-space exploration engine the paper's
+// conclusion motivates: enumerate the ways of clustering a fixed
+// functional-unit budget, bind one kernel against every candidate
+// datapath, and report the multi-criteria Pareto frontier over the
+// objective vector (latency, moves, register pressure, initiation
+// interval, register-file ports, cluster count).
+//
+// The engine prunes provably-dominated candidates before binding them
+// (see bounds.go for the soundness argument), fans the surviving design
+// points out across a bounded worker pool, and keeps its output
+// bit-identical to the sequential unpruned sweep: pruning decisions are
+// taken only from a statically-chosen anchor set evaluated before any
+// pruning, never from results that race with them.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Clusterings enumerates the distinct ways to split the FU budget over
+// exactly nc clusters (order-insensitive, every cluster non-empty),
+// as canonical datapath specs sorted lexicographically.
+func Clusterings(alus, muls, nc int) []string {
+	var aluParts, mulParts [][]int
+	compose(alus, nc, nil, &aluParts)
+	compose(muls, nc, nil, &mulParts)
+	seen := make(map[string]bool)
+	var out []string
+	for _, ap := range aluParts {
+		for _, mp := range mulParts {
+			ok := true
+			pairs := make([][2]int, nc)
+			for i := 0; i < nc; i++ {
+				if ap[i]+mp[i] == 0 {
+					ok = false
+					break
+				}
+				pairs[i] = [2]int{ap[i], mp[i]}
+			}
+			if !ok {
+				continue
+			}
+			// Canonicalize: clusters are interchangeable, so sort them.
+			sort.Slice(pairs, func(a, b int) bool {
+				if pairs[a][0] != pairs[b][0] {
+					return pairs[a][0] > pairs[b][0]
+				}
+				return pairs[a][1] > pairs[b][1]
+			})
+			var sb strings.Builder
+			sb.WriteByte('[')
+			for i, p := range pairs {
+				if i > 0 {
+					sb.WriteByte('|')
+				}
+				fmt.Fprintf(&sb, "%d,%d", p[0], p[1])
+			}
+			sb.WriteByte(']')
+			spec := sb.String()
+			if !seen[spec] {
+				seen[spec] = true
+				out = append(out, spec)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compose appends all ways to write total as nc non-negative parts.
+func compose(total, nc int, acc []int, out *[][]int) {
+	if nc == 1 {
+		part := append(append([]int(nil), acc...), total)
+		*out = append(*out, part)
+		return
+	}
+	for v := 0; v <= total; v++ {
+		compose(total-v, nc-1, append(acc, v), out)
+	}
+}
+
+// Ports estimates the register-file port cost of the widest cluster of
+// a datapath spec: 3 ports (2 read, 1 write) per functional unit. A
+// malformed spec is an error, never a silent zero — a zero port cost
+// would win every dominance comparison.
+func Ports(spec string) (int, error) {
+	if !strings.HasPrefix(spec, "[") || !strings.HasSuffix(spec, "]") {
+		return 0, fmt.Errorf("explore: malformed cluster spec %q: missing brackets", spec)
+	}
+	trimmed := spec[1 : len(spec)-1]
+	worst := 0
+	for _, part := range strings.Split(trimmed, "|") {
+		as, ms, ok := strings.Cut(part, ",")
+		if !ok {
+			return 0, fmt.Errorf("explore: malformed cluster %q in spec %q", part, spec)
+		}
+		a, err := strconv.Atoi(strings.TrimSpace(as))
+		if err != nil {
+			return 0, fmt.Errorf("explore: malformed cluster %q in spec %q: %v", part, spec, err)
+		}
+		m, err := strconv.Atoi(strings.TrimSpace(ms))
+		if err != nil {
+			return 0, fmt.Errorf("explore: malformed cluster %q in spec %q: %v", part, spec, err)
+		}
+		if a < 0 || m < 0 {
+			return 0, fmt.Errorf("explore: negative FU count in cluster %q of spec %q", part, spec)
+		}
+		if p := 3 * (a + m); p > worst {
+			worst = p
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,89 @@
+package explore
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"vliwbind/internal/dfg"
+	"vliwbind/internal/machine"
+)
+
+func TestClusteringsCanonical(t *testing.T) {
+	got := Clusterings(2, 1, 2)
+	want := []string{"[1,1|1,0]", "[2,0|0,1]"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Clusterings(2,1,2) = %v, want %v", got, want)
+	}
+}
+
+// TestClusteringsProperties pins the canonicalization contract on a
+// larger space: no duplicates, sorted output, every cluster non-empty,
+// clusters ordered so that permuted assignments collapse to one spec,
+// and every spec parses as a real datapath.
+func TestClusteringsProperties(t *testing.T) {
+	for nc := 1; nc <= 4; nc++ {
+		specs := Clusterings(4, 2, nc)
+		if !sort.StringsAreSorted(specs) {
+			t.Errorf("nc=%d: output not sorted: %v", nc, specs)
+		}
+		seen := make(map[string]bool)
+		for _, spec := range specs {
+			if seen[spec] {
+				t.Errorf("nc=%d: duplicate spec %s", nc, spec)
+			}
+			seen[spec] = true
+			dp, err := machine.ParseSpec(spec)
+			if err != nil {
+				t.Fatalf("nc=%d: spec %s does not parse: %v", nc, spec, err)
+			}
+			if dp.NumClusters() != nc {
+				t.Errorf("spec %s: %d clusters, want %d", spec, dp.NumClusters(), nc)
+			}
+			prevA, prevM := 1<<30, 1<<30
+			for c := 0; c < nc; c++ {
+				a := dp.NumFU(c, dfg.FUALU)
+				m := dp.NumFU(c, dfg.FUMul)
+				if a+m == 0 {
+					t.Errorf("spec %s: cluster %d is empty", spec, c)
+				}
+				if a > prevA || (a == prevA && m > prevM) {
+					t.Errorf("spec %s: clusters not in canonical descending order", spec)
+				}
+				prevA, prevM = a, m
+			}
+		}
+	}
+	// Order-insensitivity: the space of 2 clusters over (2,1) collapses
+	// the mirrored assignments — (1,1|1,0) and (1,0|1,1) are one spec.
+	if n := len(Clusterings(2, 1, 2)); n != 2 {
+		t.Errorf("Clusterings(2,1,2) has %d specs, want 2 (mirrors collapsed)", n)
+	}
+}
+
+func TestPorts(t *testing.T) {
+	good := []struct {
+		spec string
+		want int
+	}{
+		{"[2,1|2,1]", 9},
+		{"[4,2]", 18},
+		{"[1,0|0,1]", 3},
+		{"[3,0|1,2]", 9},
+	}
+	for _, tc := range good {
+		got, err := Ports(tc.spec)
+		if err != nil {
+			t.Errorf("Ports(%q): unexpected error %v", tc.spec, err)
+		}
+		if got != tc.want {
+			t.Errorf("Ports(%q) = %d, want %d", tc.spec, got, tc.want)
+		}
+	}
+	bad := []string{"", "2,1|2,1", "[2,1|2,1", "2,1|2,1]", "[x,2]", "[2;1]", "[2,1|]", "[|2,1]", "[-1,2]", "[2,1x|1,1]"}
+	for _, spec := range bad {
+		if p, err := Ports(spec); err == nil {
+			t.Errorf("Ports(%q) = %d with no error; malformed specs must not score", spec, p)
+		}
+	}
+}

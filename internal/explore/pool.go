@@ -1,0 +1,58 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// fanOut runs fn(i) for i in [0, n) on a bounded pool of workers. Size
+// <= 1 degenerates to a plain in-order loop with no goroutines — the
+// sequential baseline parallel runs must match bit-for-bit. A panic in
+// any task is re-raised on the caller's goroutine after the pool
+// drains, mirroring the binding engine's pool.
+func fanOut(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		once  sync.Once
+		pval  any
+		hitPx atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							once.Do(func() { pval = r })
+							hitPx.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if hitPx.Load() {
+		panic(pval)
+	}
+}

@@ -1,0 +1,60 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"vliwbind/internal/machine"
+)
+
+// TestFrontierBusVsRing regenerates the EXPERIMENTS.md excerpt's data:
+// DCT-DIT over a 4+2 budget on the shared bus and on a ring. The bus
+// frontier carries IIs (single-hop); the ring with three or more
+// clusters is multi-hop, so those frontier rows print "-".
+func TestFrontierBusVsRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full B-ITER frontier sweep")
+	}
+	for _, cfg := range []FrontierConfig{
+		{Kernel: "DCT-DIT", ALUs: 4, MULs: 2, MaxClusters: 3},
+		{Kernel: "DCT-DIT", ALUs: 4, MULs: 2, MaxClusters: 3, Topology: "ring", LinkCap: 1},
+	} {
+		res, err := RunFrontier(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Expired {
+			t.Fatalf("%+v: sweep expired", cfg)
+		}
+		front := res.Frontier()
+		if len(front) == 0 {
+			t.Fatalf("%+v: empty frontier over %d points", cfg, len(res.Points))
+		}
+		out := FormatFrontier(cfg, res)
+		if !strings.Contains(out, "DATAPATH") || !strings.Contains(out, "DCT-DIT frontier") {
+			t.Errorf("frontier table malformed:\n%s", out)
+		}
+		for _, p := range front {
+			if p.Degraded || p.Pruned {
+				t.Errorf("%+v: frontier contains a %s point", cfg, p.Spec)
+			}
+		}
+		// A multi-hop datapath cannot be software-pipelined: its II
+		// must be the absent sentinel.
+		for _, p := range res.Points {
+			dp, err := machine.Parse(p.Spec, machine.Config{NumBuses: 2, MoveLat: 1, Topology: cfg.Topology, LinkCap: cfg.LinkCap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dp.MultiHop() && p.II != 0 {
+				t.Errorf("%s@%s: II=%d on a multi-hop datapath", p.Spec, cfg.Topology, p.II)
+			}
+		}
+	}
+}
+
+func TestFrontierUnknownKernel(t *testing.T) {
+	if _, err := RunFrontier(FrontierConfig{Kernel: "nope", ALUs: 2, MULs: 1, MaxClusters: 2}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

@@ -40,6 +40,12 @@ type Loop struct {
 	Carried []CarriedDep
 }
 
+// BodyLoop wraps a straight-line kernel as a loop with no carried
+// dependences — the framing the design-space explorer uses to ask "what
+// initiation interval could this datapath sustain if the kernel were
+// the body of a perfectly parallel loop?".
+func BodyLoop(g *dfg.Graph) *Loop { return &Loop{Body: g} }
+
 // Validate checks that the loop is well formed.
 func (l *Loop) Validate() error {
 	if l.Body == nil {

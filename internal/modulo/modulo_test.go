@@ -444,3 +444,19 @@ func TestPipelineRefusesMultiHop(t *testing.T) {
 		t.Errorf("error %q does not mention %q", err, want)
 	}
 }
+
+func TestBodyLoop(t *testing.T) {
+	b := dfg.NewBuilder("bl")
+	x := b.Input("x")
+	b.Output(b.Neg(x))
+	l := BodyLoop(b.Graph())
+	if err := l.Validate(); err != nil {
+		t.Fatalf("BodyLoop loop invalid: %v", err)
+	}
+	if len(l.Carried) != 0 {
+		t.Errorf("BodyLoop carried deps = %d, want 0", len(l.Carried))
+	}
+	if mii := MII(l, machine.MustParse("[1,0]", machine.Config{})); mii != 1 {
+		t.Errorf("BodyLoop MII = %d, want 1", mii)
+	}
+}

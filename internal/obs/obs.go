@@ -91,6 +91,15 @@ const (
 	// EvStoreEvict records a store entry thrown out on the read path:
 	// the hit failed adoption or its fresh audit, with Err naming why.
 	EvStoreEvict = "store.evict"
+	// EvExplorePoint records one fully evaluated design point of a
+	// design-space exploration: the datapath spec (Name), the bound
+	// (L, M), and the point's wall time (DurNs).
+	EvExplorePoint = "explore.point"
+	// EvExplorePrune records one design point eliminated before binding:
+	// its spec (Name), the optimistic latency lower bound that was
+	// dominated (L), and the already-bound datapath that dominated it
+	// (By).
+	EvExplorePrune = "explore.prune"
 )
 
 // ClusterCost is one cluster's cost breakdown inside a B-INIT choice:
@@ -174,6 +183,10 @@ type Event struct {
 	DurNs int64   `json:"dur_ns,omitempty"`
 	Temp  float64 `json:"temp,omitempty"`
 	Err   string  `json:"err,omitempty"`
+
+	// By names the already-bound design point whose achieved objective
+	// vector dominated an explore.prune event's candidate.
+	By string `json:"by,omitempty"`
 }
 
 // Observer consumes events. Implementations must be safe for concurrent

@@ -187,3 +187,64 @@ func LowerBound(g *dfg.Graph, dp *machine.Datapath) int {
 	}
 	return lb
 }
+
+// LowerBoundClustered tightens LowerBound with a clustering-aware
+// critical path. LowerBound sees only FU totals and raw dependence
+// latencies, so every clustering of a fixed FU budget gets the same
+// bound; this variant additionally charges the interconnect for
+// dependences that provably cannot stay local. When the FU types of a
+// producer/consumer pair never co-reside in any cluster of dp (no
+// cluster hosts both), every legal binding places the two operations in
+// different clusters, so the edge pays at least one inter-cluster
+// transfer — MoveLat, a lower bound on the crossing cost under every
+// topology — on top of the producer's latency. The longest path under
+// these inflated edge weights is still a valid latency lower bound for
+// every binding on dp, and it separates segregated clusterings from
+// mixed ones, which is what makes it usable for dominance pruning in
+// the design-space explorer.
+func LowerBoundClustered(g *dfg.Graph, dp *machine.Datapath) int {
+	lb := LowerBound(g, dp)
+	// co[a][b]: some cluster hosts FUs of both type a and type b. Rows
+	// and columns outside the compute types (bus, invalid) stay "true"
+	// so only genuine compute→compute segregation is ever charged.
+	var co [dfg.NumFUTypes][dfg.NumFUTypes]bool
+	for a := range co {
+		for b := range co[a] {
+			co[a][b] = true
+		}
+	}
+	for _, a := range dfg.ComputeFUTypes() {
+		for _, b := range dfg.ComputeFUTypes() {
+			co[a][b] = false
+			for c := 0; c < dp.NumClusters(); c++ {
+				if dp.NumFU(c, a) > 0 && dp.NumFU(c, b) > 0 {
+					co[a][b] = true
+					break
+				}
+			}
+		}
+	}
+	move := dp.MoveLat()
+	cp := 0
+	asap := make([]int, g.NumNodes())
+	for _, n := range dfg.TopoOrder(g) {
+		s := 0
+		for _, p := range n.Preds() {
+			t := asap[p.ID()] + dp.Latency(p.Op())
+			if !co[p.FUType()][n.FUType()] {
+				t += move
+			}
+			if t > s {
+				s = t
+			}
+		}
+		asap[n.ID()] = s
+		if e := s + dp.Latency(n.Op()); e > cp {
+			cp = e
+		}
+	}
+	if cp > lb {
+		lb = cp
+	}
+	return lb
+}

@@ -151,6 +151,52 @@ func TestLowerBoundWithLatency(t *testing.T) {
 	}
 }
 
+func TestLowerBoundClustered(t *testing.T) {
+	// add -> mul -> add chain. On a mixed [1,1] machine both bounds
+	// agree with the raw critical path (3). On the segregated machine
+	// [1,0|0,1] no cluster hosts both types, so both chain edges must
+	// cross clusters and the bound tightens by 2x MoveLat.
+	b := dfg.NewBuilder("seg")
+	x, y := b.Input("x"), b.Input("y")
+	a1 := b.Add(x, y)
+	m1 := b.Mul(a1, y)
+	b.Output(b.Add(m1, y))
+	g := b.Graph()
+	mixed := machine.MustParse("[1,1]", machine.Config{})
+	if lb := LowerBoundClustered(g, mixed); lb != 3 {
+		t.Errorf("LowerBoundClustered mixed = %d, want 3", lb)
+	}
+	seg := machine.MustParse("[1,0|0,1]", machine.Config{})
+	if lb := LowerBoundClustered(g, seg); lb != 5 {
+		t.Errorf("LowerBoundClustered segregated = %d, want 5", lb)
+	}
+	if plain := LowerBound(g, seg); plain != 3 {
+		t.Errorf("LowerBound segregated = %d, want 3 (blind to clustering)", plain)
+	}
+}
+
+func TestLowerBoundClusteredSound(t *testing.T) {
+	// The clustered bound must never exceed what any binder achieves,
+	// including on segregated machines where the penalty term is active.
+	for _, spec := range []string{"[2,0|0,2]", "[2,1|1,1]", "[1,0|0,1|1,1]"} {
+		dp := machine.MustParse(spec, machine.Config{})
+		for seed := int64(0); seed < 4; seed++ {
+			g := kernels.Random(kernels.RandomConfig{Ops: 20, Seed: seed})
+			lb := LowerBoundClustered(g, dp)
+			if plain := LowerBound(g, dp); lb < plain {
+				t.Errorf("%s seed %d: clustered bound %d below plain bound %d", spec, seed, lb, plain)
+			}
+			res, err := bind.Bind(g, dp, bind.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.L() < lb {
+				t.Errorf("%s seed %d: B-ITER latency %d below clustered bound %d", spec, seed, res.L(), lb)
+			}
+		}
+	}
+}
+
 func TestNoBinderBeatsLowerBound(t *testing.T) {
 	dp := machine.MustParse("[2,1|1,1]", machine.Config{})
 	for seed := int64(0); seed < 8; seed++ {

@@ -102,3 +102,24 @@ func Analyze(s *sched.Schedule) *Report {
 	}
 	return rep
 }
+
+// MinPeak is a lower bound on Report.Peak over every possible binding
+// and schedule of g on a machine with nc clusters. Every non-store
+// output value is held by its producing cluster through the final cycle
+// of the schedule (Analyze's live-out rule), so at cycle L the outputs
+// alone pin ceil(outputs/nc) values in some cluster no matter how the
+// binder distributes them. The bound is deliberately coarse — it exists
+// so the design-space explorer can build an optimistic objective vector
+// that is provably no worse than any achievable one.
+func MinPeak(g *dfg.Graph, nc int) int {
+	if nc <= 0 {
+		return 0
+	}
+	outs := 0
+	for _, n := range g.Outputs() {
+		if n.Op() != dfg.OpStore {
+			outs++
+		}
+	}
+	return (outs + nc - 1) / nc
+}

@@ -229,3 +229,39 @@ func TestMoveSharedByTwoConsumers(t *testing.T) {
 		}
 	}
 }
+
+func TestMinPeak(t *testing.T) {
+	b := dfg.NewBuilder("mp")
+	x, y := b.Input("x"), b.Input("y")
+	for i := 0; i < 5; i++ {
+		b.Output(b.Add(x, y))
+	}
+	g := b.Graph()
+	for _, tc := range []struct{ nc, want int }{{1, 5}, {2, 3}, {3, 2}, {5, 1}, {0, 0}} {
+		if got := MinPeak(g, tc.nc); got != tc.want {
+			t.Errorf("MinPeak(5 outputs, nc=%d) = %d, want %d", tc.nc, got, tc.want)
+		}
+	}
+}
+
+// TestMinPeakIsLowerBound pins the soundness claim MinPeak is used for:
+// no bound kernel's analyzed peak dips below it.
+func TestMinPeakIsLowerBound(t *testing.T) {
+	for _, name := range []string{"ARF", "EWF", "FFT"} {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := k.Build()
+		for _, spec := range []string{"[4,2]", "[2,1|2,1]", "[2,1|1,1|1,0]"} {
+			dp := machine.MustParse(spec, machine.Config{})
+			res, err := bind.Bind(g, dp, bind.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if peak := Analyze(res.Schedule).Peak; peak < MinPeak(g, dp.NumClusters()) {
+				t.Errorf("%s on %s: peak %d below MinPeak %d", name, spec, peak, MinPeak(g, dp.NumClusters()))
+			}
+		}
+	}
+}
